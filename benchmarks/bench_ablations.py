@@ -1,0 +1,72 @@
+"""Benchmarks: design-choice ablations (beyond the paper's figures).
+
+Each sweep exercises one tunable the paper names but does not chart:
+refinement factor, tempering update, the Eq. 3 threshold ambiguity,
+stream order, the initial-alpha formula discrepancy, profiling noise and
+the imbalance tolerance.
+"""
+
+from repro.experiments import ablations
+
+
+def test_refinement_factor(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: ablations.refinement_factor_sweep(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["best_factor"] = result.best()
+    print()
+    print(result.render())
+
+
+def test_alpha_update(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: ablations.alpha_update_sweep(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["best_update"] = result.best()
+    print()
+    print(result.render())
+
+
+def test_presence_threshold(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: ablations.presence_threshold_sweep(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["values"] = {str(k): round(v, 1) for k, v in result.values.items()}
+    print()
+    print(result.render())
+
+
+def test_stream_order(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: ablations.stream_order_sweep(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["best_order"] = result.best()
+    print()
+    print(result.render())
+
+
+def test_alpha_initial(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: ablations.alpha_initial_sweep(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["best_mode"] = result.best()
+    print()
+    print(result.render())
+
+
+def test_profiling_noise(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: ablations.profiling_noise_sweep(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["values"] = {str(k): round(v, 1) for k, v in result.values.items()}
+    print()
+    print(result.render())
+
+
+def test_imbalance_tolerance(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: ablations.tolerance_sweep(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["values"] = {str(k): round(v, 1) for k, v in result.values.items()}
+    print()
+    print(result.render())

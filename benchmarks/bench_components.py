@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the library's hot components.
+
+These time the pieces a downstream user pays for repeatedly: one
+restreaming pass, a full multilevel bisection, the metric kernels, the
+ring profiler and a benchmark exchange simulation.  Unlike the figure
+benchmarks they use multiple rounds, since each call is cheap.
+"""
+
+import numpy as np
+
+from repro.architecture.bandwidth import archer_like_bandwidth
+from repro.architecture.cost import cost_matrix_from_bandwidth, uniform_cost_matrix
+from repro.architecture.profiling import RingProfiler
+from repro.architecture.topology import archer_like_topology
+from repro.bench.synthetic import SyntheticBenchmark
+from repro.core.config import HyperPRAWConfig
+from repro.core.hyperpraw import HyperPRAW
+from repro.core.metrics import evaluate_partition
+from repro.hypergraph.suite import load_instance
+from repro.partitioning.multilevel import MultilevelRB
+from repro.simcomm.network import LinkModel
+
+
+def _machine(num_nodes=1):
+    topo = archer_like_topology(num_nodes=num_nodes)
+    bw, lat = archer_like_bandwidth(topo).matrices(seed=0)
+    return topo, LinkModel(bw, lat), cost_matrix_from_bandwidth(bw)
+
+
+def test_hyperpraw_single_pass(benchmark):
+    """One full restreaming pass over the sparsine stand-in (24 parts)."""
+    hg = load_instance("sparsine", scale=0.3)
+    cfg = HyperPRAWConfig(max_iterations=1, record_history=False)
+    partitioner = HyperPRAW.basic(cfg)
+    benchmark(lambda: partitioner.partition(hg, 24))
+
+
+def test_hyperpraw_full_convergence(benchmark):
+    """Complete HyperPRAW-aware run to convergence (24 parts)."""
+    hg = load_instance("2cubes_sphere", scale=0.3)
+    _, _, cost = _machine()
+    partitioner = HyperPRAW.aware(HyperPRAWConfig(max_iterations=60))
+    benchmark.pedantic(
+        lambda: partitioner.partition(hg, 24, cost_matrix=cost), rounds=2, iterations=1
+    )
+
+
+def test_multilevel_partition(benchmark):
+    """Full multilevel recursive bisection into 24 parts."""
+    hg = load_instance("2cubes_sphere", scale=0.3)
+    benchmark.pedantic(
+        lambda: MultilevelRB().partition(hg, 24, seed=0), rounds=2, iterations=1
+    )
+
+
+def test_metrics_kernel(benchmark):
+    """All Section 5.2 metrics on one partition (the per-pass cost)."""
+    hg = load_instance("sparsine", scale=0.5)
+    assignment = np.arange(hg.num_vertices) % 24
+    cost = uniform_cost_matrix(24)
+    benchmark(lambda: evaluate_partition(hg, assignment, 24, cost))
+
+
+def test_ring_profiler(benchmark):
+    """Full ring-profiling sweep of a 24-rank machine."""
+    _, link, _ = _machine()
+    profiler = RingProfiler(link, repeats=1)
+    benchmark(lambda: profiler.profile(seed=1))
+
+
+def test_exchange_simulation(benchmark):
+    """One synthetic-benchmark run (traffic build + blocking model)."""
+    hg = load_instance("sparsine", scale=0.5)
+    _, link, _ = _machine()
+    bench = SyntheticBenchmark(link, timesteps=5)
+    assignment = np.arange(hg.num_vertices) % 24
+    benchmark(lambda: bench.run(hg, assignment, 24))

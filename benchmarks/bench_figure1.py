@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 1 (profiled bandwidth vs naive traffic)."""
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: figure1.run(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["traffic_bandwidth_corr"] = round(result.affinity, 4)
+    print()
+    print(result.render(max_size=32))

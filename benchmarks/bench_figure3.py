@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 3 (refinement-strategy histories).
+
+Expected shape (paper Section 6.1): refinement 0.95 reaches the lowest
+final partitioning communication cost, no-refinement the highest.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: figure3.run(bench_ctx), rounds=1, iterations=1
+    )
+    ok = {inst: result.strategy_ordering_ok(inst) for inst in result.final_costs}
+    benchmark.extra_info["paper_ordering"] = ok
+    print()
+    print(result.render())

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (cut / SOED / PC-cost quality panels).
+
+Expected shape: hyperedge cut comparable across algorithms, PC cost best
+for hyperpraw-aware on (nearly) every instance.
+"""
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: figure4.run(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["aware_wins_pc_everywhere"] = result.aware_wins_pc_everywhere()
+    print()
+    print(result.render())

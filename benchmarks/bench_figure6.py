@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 6 (traffic vs bandwidth alignment).
+
+Expected shape: only hyperpraw-aware's traffic correlates positively with
+the machine's bandwidth matrix (Figure 6D); the blind partitioners show
+uniformly random patterns (6B, 6C).
+"""
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: figure6.run(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["affinities"] = {
+        k: round(v, 4) for k, v in result.affinities.items()
+    }
+    benchmark.extra_info["aware_most_aligned"] = result.aware_most_aligned()
+    print()
+    print(result.render(max_size=32))

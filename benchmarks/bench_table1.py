@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (suite construction + statistics)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, bench_ctx):
+    result = benchmark.pedantic(
+        lambda: table1.run(bench_ctx), rounds=1, iterations=1
+    )
+    benchmark.extra_info["instances"] = len(result.stats)
+    benchmark.extra_info["total_pins"] = int(sum(s.num_pins for s in result.stats))
+    print()
+    print(result.render())

@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper via
+its :mod:`repro.experiments` driver and reports the wall-clock cost of
+doing so through pytest-benchmark.  The *simulated* results (speedups,
+costs) are attached to the benchmark's ``extra_info`` so
+``pytest benchmarks/ --benchmark-only`` both times the reproduction and
+prints what it reproduced.
+
+Benchmarks default to a reduced world (one or two simulated nodes, scaled
+instances, single job) so the whole harness completes in minutes; the
+``REPRO_BENCH_FULL=1`` environment variable switches to the full
+4-node / scale-1.0 / 3-job configuration used for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_ctx() -> ExperimentContext:
+    """Benchmark world: reduced by default, full with REPRO_BENCH_FULL=1."""
+    if FULL:
+        return ExperimentContext(num_nodes=4, scale=1.0, num_jobs=3, iterations=2)
+    return ExperimentContext(
+        num_nodes=2,
+        scale=0.3,
+        num_jobs=1,
+        iterations=1,
+        timesteps=5,
+        max_iterations=60,
+    )

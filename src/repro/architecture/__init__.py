@@ -1,0 +1,50 @@
+"""Architecture substrate: machine topology, bandwidth and cost matrices.
+
+The paper's core claim is that HPC systems are *communication-
+heterogeneous*: two cores in the same processor talk orders of magnitude
+faster than two cores in different cabinets (Figure 1A profiles ARCHER's
+24-core nodes).  HyperPRAW consumes that heterogeneity as a peer-to-peer
+**cost matrix**.  This package models the machine side:
+
+* :mod:`~repro.architecture.topology` — hierarchical machine descriptions
+  (core / socket / node / blade / group) with an ARCHER-like preset;
+* :mod:`~repro.architecture.bandwidth` — synthesis of peer-to-peer
+  bandwidth and latency matrices from a topology plus per-level link
+  characteristics and multiplicative noise;
+* :mod:`~repro.architecture.cost` — the paper's normalisation
+  ``C(i,j) = 2 - (b_ij - b_min)/(b_max - b_min)`` (Section 4.2) and the
+  uniform matrix used by HyperPRAW-basic;
+* :mod:`~repro.architecture.profiling` — the mpiGraph-style ring protocol
+  that *discovers* the bandwidth matrix by timing messages on the
+  :mod:`repro.simcomm` simulator, mirroring the paper's
+  profile-at-job-start workflow.
+"""
+
+from repro.architecture.topology import (
+    MachineTopology,
+    archer_like_topology,
+    fat_tree_topology,
+    flat_topology,
+)
+from repro.architecture.bandwidth import LevelLinkSpec, BandwidthModel, archer_like_bandwidth
+from repro.architecture.cost import (
+    cost_matrix_from_bandwidth,
+    uniform_cost_matrix,
+    validate_cost_matrix,
+)
+from repro.architecture.profiling import RingProfiler, ProfileResult
+
+__all__ = [
+    "MachineTopology",
+    "archer_like_topology",
+    "fat_tree_topology",
+    "flat_topology",
+    "LevelLinkSpec",
+    "BandwidthModel",
+    "archer_like_bandwidth",
+    "cost_matrix_from_bandwidth",
+    "uniform_cost_matrix",
+    "validate_cost_matrix",
+    "RingProfiler",
+    "ProfileResult",
+]

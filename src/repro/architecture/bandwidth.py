@@ -1,0 +1,168 @@
+"""Peer-to-peer bandwidth / latency matrix synthesis.
+
+The ground-truth network characteristics of a simulated machine.  Each
+distance class of the topology (same processor, same node, same blade, ...)
+gets a nominal bandwidth and latency; per-pair multiplicative log-normal
+noise models manufacturing variation and background traffic, and a per-job
+seed models the scheduler handing out different node allocations — the
+paper re-profiles every job precisely because of this (Section 4.2).
+
+Bandwidth magnitudes follow the ARCHER profile in the paper's Figure 1A,
+whose colour bar spans ``log(MB/s)`` of roughly 5.5–8 (natural log): about
+3 GB/s within a processor down to ~250 MB/s across blades.  Only the
+*ratios* matter to HyperPRAW (costs are min-max normalised); tests pin the
+ratios, not the absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.architecture.topology import MachineTopology
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["LevelLinkSpec", "BandwidthModel", "archer_like_bandwidth"]
+
+
+@dataclass(frozen=True)
+class LevelLinkSpec:
+    """Nominal link characteristics for one distance class.
+
+    Attributes
+    ----------
+    bandwidth_mbs:
+        nominal peer-to-peer bandwidth in MB/s.
+    latency_us:
+        nominal one-way message latency in microseconds.
+    """
+
+    bandwidth_mbs: float
+    latency_us: float
+
+    def __post_init__(self):
+        check_positive("bandwidth_mbs", self.bandwidth_mbs)
+        check_positive("latency_us", self.latency_us, strict=False)
+
+
+class BandwidthModel:
+    """Generates ground-truth bandwidth/latency matrices for a topology.
+
+    Parameters
+    ----------
+    topology:
+        machine description.
+    class_specs:
+        one :class:`LevelLinkSpec` per distance class **starting at class 1**
+        (class 0 — a unit talking to itself — is free and excluded from
+        normalisation, matching ``C(i,i) = 0`` in the paper).
+    noise_sigma:
+        sigma of multiplicative log-normal noise applied per (unordered)
+        pair. 0 disables noise.
+    """
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        class_specs: "list[LevelLinkSpec]",
+        *,
+        noise_sigma: float = 0.08,
+    ) -> None:
+        if len(class_specs) != topology.num_classes - 1:
+            raise ValueError(
+                f"need {topology.num_classes - 1} class specs for "
+                f"{topology.num_classes} distance classes, got {len(class_specs)}"
+            )
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        bws = [spec.bandwidth_mbs for spec in class_specs]
+        if any(b2 > b1 for b1, b2 in zip(bws, bws[1:])):
+            raise ValueError(
+                "class bandwidths must be non-increasing with distance "
+                f"(got {bws}); a farther pair cannot be faster"
+            )
+        self.topology = topology
+        self.class_specs = list(class_specs)
+        self.noise_sigma = float(noise_sigma)
+
+    # ------------------------------------------------------------------
+    def bandwidth_matrix(self, *, seed=None) -> np.ndarray:
+        """Ground-truth symmetric bandwidth matrix in MB/s.
+
+        The diagonal holds the class-1 nominal bandwidth purely as a
+        placeholder — self-communication never happens in the simulator and
+        the cost normalisation excludes the diagonal.
+        """
+        classes = self.topology.class_matrix()
+        nominal = np.empty(self.topology.num_classes, dtype=np.float64)
+        nominal[0] = self.class_specs[0].bandwidth_mbs
+        for k, spec in enumerate(self.class_specs, start=1):
+            nominal[k] = spec.bandwidth_mbs
+        bw = nominal[classes]
+        bw = self._apply_noise(bw, seed, tag=0)
+        np.fill_diagonal(bw, nominal[0])
+        return bw
+
+    def latency_matrix(self, *, seed=None) -> np.ndarray:
+        """Ground-truth symmetric one-way latency matrix in **seconds**."""
+        classes = self.topology.class_matrix()
+        nominal = np.empty(self.topology.num_classes, dtype=np.float64)
+        nominal[0] = 0.0
+        for k, spec in enumerate(self.class_specs, start=1):
+            nominal[k] = spec.latency_us * 1e-6
+        lat = nominal[classes]
+        lat = self._apply_noise(lat, seed, tag=1)
+        np.fill_diagonal(lat, 0.0)
+        return lat
+
+    def matrices(self, *, seed=None) -> tuple[np.ndarray, np.ndarray]:
+        """``(bandwidth_mbs, latency_s)`` pair sharing one seed."""
+        return self.bandwidth_matrix(seed=seed), self.latency_matrix(seed=seed)
+
+    # ------------------------------------------------------------------
+    def _apply_noise(self, matrix: np.ndarray, seed, *, tag: int) -> np.ndarray:
+        if self.noise_sigma == 0:
+            return matrix
+        rng = as_generator(None if seed is None else _mix_seed(seed, tag))
+        n = matrix.shape[0]
+        noise = rng.lognormal(mean=0.0, sigma=self.noise_sigma, size=(n, n))
+        # Symmetrise so (i, j) and (j, i) see the same link.
+        iu = np.triu_indices(n, k=1)
+        sym = np.ones_like(matrix)
+        sym[iu] = noise[iu]
+        sym.T[iu] = noise[iu]
+        return matrix * sym
+
+
+def _mix_seed(seed, tag: int):
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.SeedSequence([int(seed), tag])
+
+
+def archer_like_bandwidth(
+    topology: MachineTopology, *, noise_sigma: float = 0.08
+) -> BandwidthModel:
+    """ARCHER-flavoured link characteristics for an
+    :func:`~repro.architecture.topology.archer_like_topology` machine.
+
+    Values approximate Figure 1A read as natural-log MB/s: ~3 GB/s inside a
+    processor, ~1.8 GB/s between the two processors of a node, ~400 MB/s
+    between nodes of a blade, ~250 MB/s across blades, ~230 MB/s across
+    groups.  The fastest/slowest ratio of ~13x is the heterogeneity the
+    paper exploits.
+    """
+    tiers = [
+        LevelLinkSpec(bandwidth_mbs=3000.0, latency_us=0.8),   # same processor
+        LevelLinkSpec(bandwidth_mbs=1800.0, latency_us=1.2),   # same node
+        LevelLinkSpec(bandwidth_mbs=400.0, latency_us=2.5),    # same blade
+        LevelLinkSpec(bandwidth_mbs=250.0, latency_us=3.5),    # same group
+        LevelLinkSpec(bandwidth_mbs=230.0, latency_us=5.0),    # cross group
+    ]
+    return BandwidthModel(
+        topology,
+        tiers[: topology.num_classes - 1],
+        noise_sigma=noise_sigma,
+    )

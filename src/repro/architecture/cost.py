@@ -1,0 +1,94 @@
+"""Communication-cost matrix normalisation (paper Section 4.2).
+
+From the profiled bandwidth matrix ``B`` the paper derives
+
+.. math::
+
+    C(i, j) = 2 - \\frac{b_{ij} - b_{min}}{b_{max} - b_{min}},
+    \\qquad C(i, i) = 0,
+
+so the fastest link costs 1, the slowest costs 2, and self-communication is
+free.  The normalisation makes HyperPRAW independent of the absolute
+bandwidth magnitude — the paper notes un-normalised costs would distort the
+balance between the workload and communication terms of the value function.
+
+``b_min``/``b_max`` are taken over **off-diagonal** entries only: the
+diagonal is a self-communication placeholder, and including it would
+compress all real links toward cost 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_square_matrix
+
+__all__ = [
+    "cost_matrix_from_bandwidth",
+    "uniform_cost_matrix",
+    "validate_cost_matrix",
+]
+
+
+def cost_matrix_from_bandwidth(bandwidth: np.ndarray) -> np.ndarray:
+    """Normalise a bandwidth matrix into the paper's cost matrix.
+
+    Parameters
+    ----------
+    bandwidth:
+        square matrix of peer-to-peer bandwidths (any consistent unit);
+        only off-diagonal entries are read.
+
+    Returns
+    -------
+    numpy.ndarray
+        cost matrix with ``C[i, i] = 0`` and off-diagonal entries in
+        ``[1, 2]`` (all exactly 1 when every link is identical, e.g. a
+        ``1x1`` or perfectly homogeneous machine).
+    """
+    bw = check_square_matrix("bandwidth", bandwidth)
+    n = bw.shape[0]
+    if n == 1:
+        return np.zeros((1, 1))
+    off = ~np.eye(n, dtype=bool)
+    values = bw[off]
+    if (values <= 0).any():
+        raise ValueError("bandwidths must be strictly positive")
+    bmin, bmax = float(values.min()), float(values.max())
+    if bmax == bmin:
+        cost = np.ones_like(bw)
+    else:
+        cost = 2.0 - (bw - bmin) / (bmax - bmin)
+    np.fill_diagonal(cost, 0.0)
+    return cost
+
+
+def uniform_cost_matrix(num_units: int) -> np.ndarray:
+    """The cost matrix HyperPRAW-basic uses: every distinct pair costs 1.
+
+    Equivalent to pretending the machine is perfectly homogeneous; the
+    value function then reduces to pure (architecture-blind) communication
+    minimisation.
+    """
+    if num_units < 1:
+        raise ValueError(f"num_units must be >= 1, got {num_units}")
+    cost = np.ones((num_units, num_units), dtype=np.float64)
+    np.fill_diagonal(cost, 0.0)
+    return cost
+
+
+def validate_cost_matrix(cost: np.ndarray, *, num_units: int | None = None) -> np.ndarray:
+    """Check the structural invariants of a cost matrix.
+
+    Zero diagonal and non-negative entries are required by the value
+    function and the PC-cost metric; symmetry is required because the
+    synthetic benchmark sends messages both ways over each cut pair.
+    """
+    cost = check_square_matrix("cost", cost, num_units)
+    if not np.allclose(np.diag(cost), 0.0):
+        raise ValueError("cost matrix must have a zero diagonal")
+    if (cost < 0).any():
+        raise ValueError("cost matrix entries must be non-negative")
+    if not np.allclose(cost, cost.T, rtol=1e-9, atol=1e-12):
+        raise ValueError("cost matrix must be symmetric")
+    return cost

@@ -1,0 +1,29 @@
+"""The paper's synthetic runtime benchmark and the multi-job experiment runner.
+
+Section 5.3: *"The benchmark is a null-compute simulation based on the
+input hypergraph ... for each hyperedge on a given hypergraph, a message is
+sent to and from each vertex in the hyperedge if the vertices are located
+in different partitions."*  It is purely communication-bound, so the
+partition placement — and, on a heterogeneous machine, *which links* the
+cut traffic lands on — fully determines runtime.
+
+* :class:`~repro.bench.synthetic.SyntheticBenchmark` — builds the
+  per-timestep traffic matrix implied by a partition and runs it through
+  the :mod:`repro.simcomm` cluster simulator.
+* :class:`~repro.bench.runner.ExperimentRunner` — the paper's evaluation
+  protocol: several simulated job allocations (different bandwidth
+  realisations), ring-profiling per job, partitioning per strategy, and
+  repeated benchmark iterations with per-iteration network jitter.
+"""
+
+from repro.bench.synthetic import SyntheticBenchmark, BenchmarkOutcome, partition_traffic
+from repro.bench.runner import ExperimentRunner, JobContext, RunRecord
+
+__all__ = [
+    "SyntheticBenchmark",
+    "BenchmarkOutcome",
+    "partition_traffic",
+    "ExperimentRunner",
+    "JobContext",
+    "RunRecord",
+]

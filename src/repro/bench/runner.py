@@ -1,0 +1,296 @@
+"""Multi-job experiment runner — the paper's evaluation protocol.
+
+Section 5.3: *"To account for variable network traffic and different node
+configurations provided by the job scheduler, the runtime experiments are
+run on three different jobs (hence different node placement and
+communication costs), with each job doing two iterations.  Therefore the
+total number of simulations run per experiment is 6."*
+
+:class:`ExperimentRunner` reproduces that protocol on the simulator:
+
+1. For each of ``num_jobs`` simulated allocations, draw a fresh
+   ground-truth bandwidth/latency realisation (different seed = different
+   node placement) and **ring-profile** it — partitioners only ever see
+   the *measured* cost matrix, never the ground truth.
+2. Partition every instance with every strategy once per job.
+3. Run the synthetic benchmark ``iterations`` times per job with
+   per-iteration multiplicative bandwidth jitter (background traffic).
+4. Aggregate runtimes and quality metrics per (instance, strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.architecture.bandwidth import BandwidthModel
+from repro.architecture.profiling import RingProfiler
+from repro.bench.synthetic import SyntheticBenchmark
+from repro.core.base import Partitioner
+from repro.core.metrics import PartitionQuality, evaluate_partition
+from repro.hypergraph.model import Hypergraph
+from repro.simcomm.network import LinkModel
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive
+
+__all__ = ["JobContext", "RunRecord", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class JobContext:
+    """One simulated job allocation.
+
+    Attributes
+    ----------
+    job_id:
+        index within the experiment.
+    link_model:
+        ground-truth machine for this allocation.
+    measured_bandwidth:
+        the ring-profiled bandwidth matrix (what the paper's tooling sees).
+    cost_matrix:
+        normalised cost matrix derived from the *measured* bandwidths.
+    profiling_time_s:
+        simulated cost of the profiling session itself.
+    """
+
+    job_id: int
+    link_model: LinkModel
+    measured_bandwidth: np.ndarray
+    cost_matrix: np.ndarray
+    profiling_time_s: float
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One benchmark simulation (one iteration of one job)."""
+
+    instance: str
+    algorithm: str
+    job_id: int
+    iteration: int
+    runtime_s: float
+    quality: PartitionQuality
+    partition_wall_s: float
+
+
+class ExperimentRunner:
+    """Runs the full paper protocol for a set of instances and strategies.
+
+    Parameters
+    ----------
+    bandwidth_model:
+        generator of ground-truth machines (one realisation per job).
+    num_parts:
+        partitions / compute units used (defaults to the machine size).
+    num_jobs / iterations:
+        the paper uses 3 jobs x 2 iterations.
+    message_bytes / timesteps / sim_model:
+        synthetic benchmark parameters.
+    iteration_noise:
+        sigma of per-iteration log-normal bandwidth jitter (variable
+        network traffic between iterations of the same job).
+    profiler_repeats / profiler_noise:
+        ring-profiling parameters.
+    blind_rank_mapping:
+        how partition ids of *architecture-blind* partitioners map onto
+        physical ranks.  ``"shuffled"`` (default) applies a random, per-
+        (job, instance, algorithm) permutation: a blind partitioner's part
+        numbering carries no placement information, which is exactly what
+        the paper's Figure 6B/6C shows for Zoltan and HyperPRAW-basic
+        (uniformly random peer-to-peer patterns).  ``"identity"`` keeps
+        part ``k`` on rank ``k``; with our recursive-bisection baseline
+        that accidentally aligns sibling partitions (which share the
+        heaviest boundary) with same-processor rank pairs — a numbering
+        artefact, not an algorithmic property.  Architecture-aware
+        partitioners always keep the identity mapping: their partition
+        ids *are* physical ranks.
+    seed:
+        master seed; all per-job and per-iteration seeds derive from it.
+    """
+
+    def __init__(
+        self,
+        bandwidth_model: BandwidthModel,
+        *,
+        num_parts: "int | None" = None,
+        num_jobs: int = 3,
+        iterations: int = 2,
+        message_bytes: int = 1024,
+        timesteps: int = 10,
+        sim_model: str = "blocking",
+        iteration_noise: float = 0.03,
+        profiler_repeats: int = 2,
+        profiler_noise: float = 0.03,
+        blind_rank_mapping: str = "shuffled",
+        seed: int = 0,
+    ) -> None:
+        if blind_rank_mapping not in ("shuffled", "identity"):
+            raise ValueError(
+                f"blind_rank_mapping must be 'shuffled' or 'identity', "
+                f"got {blind_rank_mapping!r}"
+            )
+        self.bandwidth_model = bandwidth_model
+        machine_size = bandwidth_model.topology.num_units
+        self.num_parts = int(num_parts) if num_parts is not None else machine_size
+        if self.num_parts > machine_size:
+            raise ValueError(
+                f"num_parts={self.num_parts} exceeds machine size {machine_size}"
+            )
+        self.num_jobs = int(check_positive("num_jobs", num_jobs))
+        self.iterations = int(check_positive("iterations", iterations))
+        self.message_bytes = int(check_positive("message_bytes", message_bytes))
+        self.timesteps = int(check_positive("timesteps", timesteps))
+        self.sim_model = sim_model
+        self.iteration_noise = float(iteration_noise)
+        self.profiler_repeats = int(profiler_repeats)
+        self.profiler_noise = float(profiler_noise)
+        self.blind_rank_mapping = blind_rank_mapping
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def make_jobs(self) -> list[JobContext]:
+        """Simulate ``num_jobs`` allocations, each ring-profiled."""
+        jobs = []
+        for j in range(self.num_jobs):
+            bw_seed = derive_seed(self.seed, "job-bandwidth", j)
+            bw, lat = self.bandwidth_model.matrices(seed=bw_seed)
+            link = LinkModel(bw, lat)
+            profiler = RingProfiler(
+                link,
+                repeats=self.profiler_repeats,
+                measurement_noise=self.profiler_noise,
+            )
+            profile = profiler.profile(seed=derive_seed(self.seed, "profiling", j))
+            jobs.append(
+                JobContext(
+                    job_id=j,
+                    link_model=link,
+                    measured_bandwidth=profile.bandwidth_mbs,
+                    cost_matrix=profile.cost_matrix(),
+                    profiling_time_s=profile.profiling_time_s,
+                )
+            )
+        return jobs
+
+    def _jittered_link(self, job: JobContext, iteration: int) -> LinkModel:
+        """Per-iteration machine: ground truth + background-traffic jitter."""
+        if self.iteration_noise <= 0:
+            return job.link_model
+        rng = np.random.default_rng(
+            derive_seed(self.seed, "iteration-jitter", job.job_id, iteration)
+        )
+        n = job.link_model.num_ranks
+        noise = rng.lognormal(0.0, self.iteration_noise, size=(n, n))
+        iu = np.triu_indices(n, k=1)
+        sym = np.ones((n, n))
+        sym[iu] = noise[iu]
+        sym.T[iu] = noise[iu]
+        return LinkModel(
+            job.link_model.bandwidth_mbs * sym, job.link_model.latency_s
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        instances: "dict[str, Hypergraph]",
+        partitioners: "dict[str, Partitioner]",
+        *,
+        jobs: "list[JobContext] | None" = None,
+    ) -> list[RunRecord]:
+        """Run the full protocol; returns one record per simulation.
+
+        ``len(instances) * len(partitioners) * num_jobs * iterations``
+        records in total.
+        """
+        if jobs is None:
+            jobs = self.make_jobs()
+        records: list[RunRecord] = []
+        for job in jobs:
+            for inst_name, hg in instances.items():
+                for algo_name, partitioner in partitioners.items():
+                    part_seed = derive_seed(
+                        self.seed, "partition", job.job_id, inst_name, algo_name
+                    )
+                    result = partitioner.partition(
+                        hg,
+                        self.num_parts,
+                        cost_matrix=job.cost_matrix,
+                        seed=part_seed,
+                    )
+                    assignment = self._map_to_ranks(
+                        result, job.job_id, inst_name, algo_name
+                    )
+                    quality = evaluate_partition(
+                        hg,
+                        assignment,
+                        self.num_parts,
+                        job.cost_matrix,
+                        algorithm=algo_name,
+                    )
+                    for it in range(self.iterations):
+                        link = self._jittered_link(job, it)
+                        bench = SyntheticBenchmark(
+                            link,
+                            message_bytes=self.message_bytes,
+                            timesteps=self.timesteps,
+                            model=self.sim_model,
+                        )
+                        outcome = bench.run(hg, assignment, self.num_parts)
+                        records.append(
+                            RunRecord(
+                                instance=inst_name,
+                                algorithm=algo_name,
+                                job_id=job.job_id,
+                                iteration=it,
+                                runtime_s=outcome.runtime_s,
+                                quality=quality,
+                                partition_wall_s=float(
+                                    result.metadata.get("wall_time_s", float("nan"))
+                                ),
+                            )
+                        )
+        return records
+
+    # ------------------------------------------------------------------
+    def _map_to_ranks(
+        self, result, job_id: int, instance: str, algorithm: str
+    ) -> np.ndarray:
+        """Map partition ids to physical ranks (see ``blind_rank_mapping``)."""
+        aware = bool(result.metadata.get("architecture_aware", False))
+        if aware or self.blind_rank_mapping == "identity":
+            return result.assignment
+        rng = np.random.default_rng(
+            derive_seed(self.seed, "rank-map", job_id, instance, algorithm)
+        )
+        perm = rng.permutation(self.num_parts)
+        return perm[result.assignment]
+
+    @staticmethod
+    def aggregate_runtimes(records: "list[RunRecord]") -> dict:
+        """``{(instance, algorithm): (mean_runtime, std_runtime)}``."""
+        groups: dict[tuple, list[float]] = {}
+        for r in records:
+            groups.setdefault((r.instance, r.algorithm), []).append(r.runtime_s)
+        return {
+            key: (float(np.mean(vals)), float(np.std(vals)))
+            for key, vals in groups.items()
+        }
+
+    @staticmethod
+    def speedups(
+        records: "list[RunRecord]", *, baseline: str
+    ) -> dict:
+        """``{(instance, algorithm): mean_baseline / mean_algorithm}``."""
+        means = ExperimentRunner.aggregate_runtimes(records)
+        out = {}
+        instances = {inst for inst, _ in means}
+        for inst in instances:
+            base = means.get((inst, baseline))
+            if base is None:
+                continue
+            for (i, algo), (mean, _) in means.items():
+                if i == inst and mean > 0:
+                    out[(inst, algo)] = base[0] / mean
+        return out

@@ -1,0 +1,178 @@
+"""Null-compute synthetic benchmark (paper Section 5.3).
+
+Per timestep, every hyperedge makes each pair of its pins that live in
+different partitions exchange one message in each direction.  With
+``n_k(e)`` pins of hyperedge ``e`` in partition ``k``, the number of
+logical messages from partition ``a`` to partition ``b != a`` is
+
+.. math:: m_{ab} = \\sum_e n_a(e) \\cdot n_b(e) = (N^T N)_{ab}
+
+— one matrix product over the hyperedge-partition count matrix ``N``
+computes the whole exchange.  Bytes are ``message_bytes`` per logical
+message (scaled by hyperedge weight when weights are in use, matching the
+paper's "weighted hyperedges" extension).  The aggregated exchange is then
+timed by the cluster simulator; total runtime is ``timesteps`` identical
+exchanges plus a per-step synchronisation barrier.
+
+The benchmark is an *extreme* application (zero compute), which is the
+point: it isolates exactly the quantity the partitioners differ on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import edge_partition_counts
+from repro.hypergraph.model import Hypergraph
+from repro.simcomm.collectives import barrier_time
+from repro.simcomm.network import LinkModel
+from repro.simcomm.simulator import ClusterSimulator, ExchangeResult
+from repro.simcomm.trace import TrafficTrace
+from repro.utils.validation import check_positive
+
+__all__ = ["partition_traffic", "BenchmarkOutcome", "SyntheticBenchmark"]
+
+
+def partition_traffic(
+    hg: Hypergraph,
+    assignment: np.ndarray,
+    num_parts: int,
+    *,
+    message_bytes: int = 1024,
+    use_edge_weights: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-timestep traffic implied by a partition.
+
+    Returns ``(bytes_matrix, messages_matrix)`` where entry ``[a, b]``
+    aggregates the messages partition ``a`` sends to ``b`` during one
+    timestep.  Both diagonals are zero — intra-partition pairs exchange
+    nothing over the network.
+    """
+    check_positive("message_bytes", message_bytes)
+    counts = edge_partition_counts(hg, assignment, num_parts).astype(np.float64)
+    messages = counts.T @ counts
+    np.fill_diagonal(messages, 0.0)
+    if use_edge_weights and not np.all(hg.edge_weights == 1.0):
+        weighted = counts * hg.edge_weights[:, None]
+        bytes_matrix = (weighted.T @ counts) * float(message_bytes)
+    else:
+        bytes_matrix = messages * float(message_bytes)
+    np.fill_diagonal(bytes_matrix, 0.0)
+    return bytes_matrix, messages.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class BenchmarkOutcome:
+    """Result of one synthetic-benchmark run.
+
+    Attributes
+    ----------
+    runtime_s:
+        total simulated runtime over all timesteps (exchange + barrier).
+    per_step_s:
+        simulated seconds per timestep.
+    barrier_s:
+        synchronisation cost per timestep (identical across partitioners).
+    total_bytes / total_messages:
+        network totals per timestep.
+    exchange:
+        the simulator's detailed result for one timestep.
+    trace:
+        accumulated traffic matrix (all timesteps) for Figure 1B/6 plots.
+    """
+
+    runtime_s: float
+    per_step_s: float
+    barrier_s: float
+    total_bytes: float
+    total_messages: int
+    exchange: ExchangeResult
+    trace: TrafficTrace
+
+
+class SyntheticBenchmark:
+    """Runs the null-compute benchmark on a simulated machine.
+
+    Parameters
+    ----------
+    link_model:
+        the machine (must have at least ``num_parts`` ranks; partition
+        ``k`` runs on rank ``k``).
+    message_bytes:
+        payload per logical message.
+    timesteps:
+        benchmark iterations; the traffic is identical each step, so the
+        makespan is simulated once and scaled.
+    model:
+        ``"blocking"`` (default — the paper's blocking send/receive
+        loop), ``"overlap"`` (LogGP-style non-blocking) or
+        ``"endpoint"`` (event-driven serialisation) simulator model.
+    include_barrier:
+        add a per-step barrier, as a bulk-synchronous application would.
+    """
+
+    def __init__(
+        self,
+        link_model: LinkModel,
+        *,
+        message_bytes: int = 1024,
+        timesteps: int = 10,
+        model: str = "blocking",
+        include_barrier: bool = True,
+    ) -> None:
+        self.link_model = link_model
+        self.message_bytes = int(check_positive("message_bytes", message_bytes))
+        self.timesteps = int(check_positive("timesteps", timesteps))
+        self.model = model
+        self.include_barrier = bool(include_barrier)
+        self._simulator = ClusterSimulator(link_model)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        hg: Hypergraph,
+        assignment: np.ndarray,
+        num_parts: int,
+        *,
+        use_edge_weights: bool = True,
+    ) -> BenchmarkOutcome:
+        """Simulate the benchmark for one partition assignment."""
+        if num_parts > self.link_model.num_ranks:
+            raise ValueError(
+                f"{num_parts} partitions but machine has only "
+                f"{self.link_model.num_ranks} ranks"
+            )
+        bytes_m, msgs_m = partition_traffic(
+            hg,
+            assignment,
+            num_parts,
+            message_bytes=self.message_bytes,
+            use_edge_weights=use_edge_weights,
+        )
+        # Pad to the machine size so rank ids align with partition ids.
+        n = self.link_model.num_ranks
+        if num_parts < n:
+            padded_b = np.zeros((n, n))
+            padded_b[:num_parts, :num_parts] = bytes_m
+            padded_m = np.zeros((n, n), dtype=np.int64)
+            padded_m[:num_parts, :num_parts] = msgs_m
+            bytes_m, msgs_m = padded_b, padded_m
+        exchange = self._simulator.run_exchange_matrix(
+            bytes_m, messages_matrix=msgs_m, model=self.model
+        )
+        barrier = barrier_time(self.link_model) if self.include_barrier else 0.0
+        per_step = exchange.makespan_s + barrier
+        trace = TrafficTrace(n)
+        for _ in range(self.timesteps):
+            trace.record_matrix(bytes_m, msgs_m)
+        return BenchmarkOutcome(
+            runtime_s=per_step * self.timesteps,
+            per_step_s=per_step,
+            barrier_s=barrier,
+            total_bytes=float(bytes_m.sum()),
+            total_messages=int(msgs_m.sum()),
+            exchange=exchange,
+            trace=trace,
+        )

@@ -1,0 +1,113 @@
+"""HyperPRAW configuration.
+
+All Algorithm 1 parameters in one frozen dataclass, with the paper's
+defaults.  The experiment drivers construct three canonical variants:
+
+* ``aware``  — profiled cost matrix, refinement 0.95 (the headline
+  configuration);
+* ``basic``  — uniform cost matrix, otherwise identical;
+* ``no-refinement`` / ``refinement 1.0`` — the Figure 3 ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["HyperPRAWConfig"]
+
+
+@dataclass(frozen=True)
+class HyperPRAWConfig:
+    """Parameters of the HyperPRAW restreaming algorithm (Algorithm 1).
+
+    Attributes
+    ----------
+    imbalance_tolerance:
+        maximum accepted max/mean load ratio (Algorithm 1's
+        ``imbalance_tolerance``).  The paper does not print its value; 1.1
+        (10% slack) is the conventional hypergraph-partitioning default
+        and Zoltan's too, keeping the comparison fair.
+    max_iterations:
+        hard cap ``N`` on restreaming passes.
+    alpha_initial:
+        ``"paper"``, ``"fennel"`` or an explicit float — see
+        :func:`repro.core.schedule.initial_alpha`.  The default is the
+        paper's printed formula: it keeps the stream balanced from the
+        first pass, giving the monotone PC-cost descent of Figure 3
+        (the literal FENNEL form starts so low that early passes collapse
+        into a degenerate, maximally imbalanced partition).
+    alpha_update:
+        tempering multiplier while over tolerance (paper: 1.7).
+    refinement_factor:
+        alpha multiplier during refinement (paper compares 1.0 and 0.95;
+        0.95 wins and is the default).
+    refinement:
+        ``False`` reproduces the "no refinement" baseline: stop at the
+        first pass within tolerance.
+    presence_threshold:
+        Eq. 3 threshold on ``X_j(v)`` — 1 for the prose reading (default),
+        2 for the literal formula.
+    stream_order:
+        ``"natural"`` (vertex id order, the streaming convention) or
+        ``"shuffled"`` (one fixed random order drawn from ``seed``).
+    use_edge_weights:
+        honour hyperedge weights in the monitored PC-cost metric.
+    record_history:
+        keep per-pass :class:`~repro.core.result.IterationRecord` entries
+        (Figure 3 needs them; disable for large sweeps).
+    """
+
+    imbalance_tolerance: float = 1.1
+    max_iterations: int = 100
+    alpha_initial: "str | float" = "paper"
+    alpha_update: float = 1.7
+    refinement_factor: float = 0.95
+    refinement: bool = True
+    presence_threshold: int = 1
+    stream_order: str = "natural"
+    use_edge_weights: bool = True
+    record_history: bool = True
+
+    def __post_init__(self):
+        if self.imbalance_tolerance < 1.0:
+            raise ValueError(
+                f"imbalance_tolerance must be >= 1.0, got {self.imbalance_tolerance}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.alpha_update <= 0:
+            raise ValueError(f"alpha_update must be > 0, got {self.alpha_update}")
+        if self.refinement_factor <= 0:
+            raise ValueError(
+                f"refinement_factor must be > 0, got {self.refinement_factor}"
+            )
+        if self.presence_threshold < 1:
+            raise ValueError(
+                f"presence_threshold must be >= 1, got {self.presence_threshold}"
+            )
+        if self.stream_order not in ("natural", "shuffled"):
+            raise ValueError(
+                f"stream_order must be 'natural' or 'shuffled', got {self.stream_order!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def with_(self, **changes) -> "HyperPRAWConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def paper_refinement_095(cls) -> "HyperPRAWConfig":
+        """The paper's winning configuration (refinement 0.95)."""
+        return cls(refinement=True, refinement_factor=0.95)
+
+    @classmethod
+    def paper_refinement_100(cls) -> "HyperPRAWConfig":
+        """Figure 3's 'refinement 1.0' variant (alpha frozen in refinement)."""
+        return cls(refinement=True, refinement_factor=1.0)
+
+    @classmethod
+    def paper_no_refinement(cls) -> "HyperPRAWConfig":
+        """Figure 3's 'no refinement' variant: stop at tolerance."""
+        return cls(refinement=False)

@@ -1,0 +1,264 @@
+"""HyperPRAW: architecture-aware hypergraph restreaming (Algorithm 1).
+
+The algorithm, as published:
+
+1. Initialise with a round-robin assignment (``v -> v mod p``).
+2. Repeat up to ``N`` streaming passes.  Each pass visits every vertex,
+   lifts it out of the running state, scores every partition with the
+   value function ``V_i(v) = -N_i(v) T_i(v) - alpha W(i)/E(i)`` (Eq. 1)
+   and re-places the vertex at the argmax.
+3. After each pass, while the load imbalance exceeds the tolerance,
+   multiply ``alpha`` by the tempering update (1.7) and stream again.
+4. Once within tolerance, the **refinement phase** begins: keep streaming
+   (updating ``alpha`` by the refinement factor — 0.95 relaxes balance
+   pressure) while the partitioning communication cost (Eq. 5) improves;
+   when a pass makes it worse, roll back to the previous pass's partition
+   and stop.  With ``refinement`` disabled the algorithm instead stops at
+   the first pass within tolerance (Figure 3's "no refinement" baseline).
+
+Architecture awareness enters *only* through the cost matrix ``C``:
+**HyperPRAW-aware** receives the profiled matrix of Section 4.2;
+**HyperPRAW-basic** receives the uniform matrix (every distinct pair costs
+1), making it a pure communication-volume restreamer.
+
+Complexity per pass: ``O(sum_v deg(v) * p)`` — each vertex move touches
+its incident hyperedges' partition counters, and scoring is one ``p x p``
+mat-vec.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.architecture.cost import uniform_cost_matrix, validate_cost_matrix
+from repro.core.base import Partitioner
+from repro.core.config import HyperPRAWConfig
+from repro.core.metrics import partitioning_comm_cost
+from repro.core.result import IterationRecord, PartitionResult
+from repro.core.schedule import TemperingSchedule, initial_alpha
+from repro.core.state import StreamState
+from repro.hypergraph.model import Hypergraph
+from repro.utils.rng import as_generator
+
+__all__ = ["HyperPRAW"]
+
+
+class HyperPRAW(Partitioner):
+    """The paper's restreaming partitioner.
+
+    Parameters
+    ----------
+    config:
+        algorithm parameters; defaults to the paper's winning
+        configuration (refinement factor 0.95).
+    variant:
+        optional label override; otherwise the name reflects whether a
+        non-uniform cost matrix was supplied at :meth:`partition` time.
+
+    Examples
+    --------
+    >>> from repro.hypergraph import load_instance
+    >>> from repro.core import HyperPRAW
+    >>> hg = load_instance("sparsine", scale=0.1)
+    >>> result = HyperPRAW().partition(hg, 8)
+    >>> result.assignment.shape == (hg.num_vertices,)
+    True
+    """
+
+    def __init__(self, config: "HyperPRAWConfig | None" = None, *, variant: str | None = None):
+        self.config = config or HyperPRAWConfig()
+        self._variant = variant
+        self.name = variant or "hyperpraw"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def basic(cls, config: "HyperPRAWConfig | None" = None) -> "HyperPRAW":
+        """HyperPRAW-basic: ignores any supplied cost matrix (uniform costs)."""
+        obj = cls(config, variant="hyperpraw-basic")
+        obj._force_uniform = True
+        return obj
+
+    @classmethod
+    def aware(cls, config: "HyperPRAWConfig | None" = None) -> "HyperPRAW":
+        """HyperPRAW-aware: requires a cost matrix at partition time."""
+        return cls(config, variant="hyperpraw-aware")
+
+    _force_uniform = False
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        hg: Hypergraph,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        """Run Algorithm 1 on ``hg``.
+
+        ``cost_matrix`` selects the variant: ``None`` (or a
+        :meth:`basic`-constructed instance) uses uniform costs.
+        """
+        self._check_args(hg, num_parts)
+        cfg = self.config
+        if self._force_uniform or cost_matrix is None:
+            C = uniform_cost_matrix(num_parts)
+            aware = False
+        else:
+            C = validate_cost_matrix(cost_matrix, num_units=num_parts)
+            aware = not np.allclose(
+                C[~np.eye(num_parts, dtype=bool)],
+                C[0, 1] if num_parts > 1 else 0.0,
+            )
+        if self._variant is None:
+            self.name = "hyperpraw-aware" if aware else "hyperpraw-basic"
+        if self.name == "hyperpraw-aware" and not aware and num_parts > 1:
+            # A literally uniform matrix fed to the aware variant is legal
+            # (flat machines exist) — keep the label, behaviour coincides
+            # with basic, which tests assert explicitly.
+            pass
+
+        t_start = time.perf_counter()
+        # Algorithm 1 line 1: round-robin initialisation.
+        init = np.arange(hg.num_vertices, dtype=np.int64) % num_parts
+        state = StreamState(hg, num_parts, init)
+        schedule = TemperingSchedule(
+            alpha=initial_alpha(hg, num_parts, cfg.alpha_initial),
+            tempering_update=cfg.alpha_update,
+            refinement_factor=cfg.refinement_factor,
+        )
+        order = np.arange(hg.num_vertices, dtype=np.int64)
+        if cfg.stream_order == "shuffled":
+            as_generator(seed).shuffle(order)
+
+        history: list[IterationRecord] = []
+        best_assignment: "np.ndarray | None" = None
+        best_cost = np.inf
+        converged = False
+        rolled_back = False
+        iterations_run = 0
+
+        for it in range(1, cfg.max_iterations + 1):
+            alpha = schedule.alpha
+            self._stream_pass(state, C, alpha, order, cfg.presence_threshold)
+            iterations_run = it
+            imb = state.imbalance()
+            cost = partitioning_comm_cost(
+                hg,
+                state.assignment,
+                num_parts,
+                C,
+                counts=state.edge_counts,
+                use_edge_weights=cfg.use_edge_weights,
+            )
+            within = imb <= cfg.imbalance_tolerance
+            if cfg.record_history:
+                history.append(
+                    IterationRecord(
+                        iteration=it,
+                        alpha=alpha,
+                        imbalance=imb,
+                        pc_cost=cost,
+                        phase="refinement" if within else "tempering",
+                    )
+                )
+            if not within:
+                schedule.after_pass(within_tolerance=False)
+                continue
+            # --- within tolerance ---------------------------------------
+            if not cfg.refinement:
+                best_assignment, best_cost = state.snapshot(), cost
+                converged = True
+                break
+            if cost < best_cost:
+                best_assignment, best_cost = state.snapshot(), cost
+                schedule.after_pass(within_tolerance=True)
+                continue
+            # Refinement stopped improving: roll back to the best pass.
+            converged = True
+            rolled_back = True
+            break
+
+        if best_assignment is None:
+            # Never reached tolerance within the iteration budget; return
+            # the final state (the paper's Algorithm 1 returns P^N too).
+            best_assignment = state.snapshot()
+            best_cost = partitioning_comm_cost(
+                hg,
+                best_assignment,
+                num_parts,
+                C,
+                counts=state.edge_counts,
+                use_edge_weights=cfg.use_edge_weights,
+            )
+
+        return PartitionResult(
+            assignment=best_assignment,
+            num_parts=num_parts,
+            algorithm=self.name,
+            iterations=history,
+            metadata={
+                "converged": converged,
+                "rolled_back": rolled_back,
+                "iterations_run": iterations_run,
+                "final_alpha": schedule.alpha,
+                "final_pc_cost": float(best_cost),
+                "architecture_aware": aware,
+                "imbalance_tolerance": cfg.imbalance_tolerance,
+                "wall_time_s": time.perf_counter() - t_start,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stream_pass(
+        state: StreamState,
+        cost_matrix: np.ndarray,
+        alpha: float,
+        order: np.ndarray,
+        presence_threshold: int,
+    ) -> None:
+        """One greedy pass over all vertices (the body of Algorithm 1).
+
+        Inlined version of remove -> score (Eq. 1) -> place, operating
+        directly on the state's arrays; this loop dominates total runtime,
+        so attribute lookups and temporaries are hoisted out.
+        """
+        p = state.num_parts
+        counts = state.edge_counts
+        loads = state.loads
+        assignment = state.assignment
+        vptr = state.hg.vertex_ptr
+        vedges = state.hg.vertex_edges
+        weights = state.hg.vertex_weights
+        inv_expected = 1.0 / state.expected_loads
+        values = np.empty(p, dtype=np.float64)
+        load_pen = np.empty(p, dtype=np.float64)
+
+        for v in order:
+            lo, hi = vptr[v], vptr[v + 1]
+            rows = vedges[lo:hi]
+            old = assignment[v]
+            w_v = weights[v]
+            # remove v
+            counts[rows, old] -= 1
+            loads[old] -= w_v
+            # neighbour counts X_j(v) over incident hyperedges
+            if rows.size:
+                X = counts[rows].sum(axis=0, dtype=np.float64)
+                n_neigh = int(np.count_nonzero(X >= presence_threshold))
+                # V_i = -(n/p) * (C @ X)_i - alpha * W_i / E_i
+                np.matmul(cost_matrix, X, out=values)
+                values *= -(n_neigh / p)
+            else:
+                values[:] = 0.0
+            np.multiply(loads, inv_expected, out=load_pen)
+            load_pen *= alpha
+            values -= load_pen
+            j = int(np.argmax(values))
+            # place v
+            counts[rows, j] += 1
+            loads[j] += w_v
+            assignment[v] = j

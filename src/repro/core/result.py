@@ -1,0 +1,104 @@
+"""Result containers shared by every partitioner.
+
+:class:`PartitionResult` is the single return type of the partitioner API:
+an assignment vector plus provenance (algorithm, parameters) and — for the
+restreaming algorithms — the per-iteration history that Figure 3 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationRecord", "PartitionResult"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One restreaming pass, as plotted in Figure 3.
+
+    Attributes
+    ----------
+    iteration:
+        1-based pass number.
+    alpha:
+        workload-imbalance weight used *during* the pass.
+    imbalance:
+        max-load / mean-load after the pass.
+    pc_cost:
+        partitioning communication cost (Eq. 5) after the pass.
+    phase:
+        ``"tempering"`` while over the imbalance tolerance,
+        ``"refinement"`` once within it.
+    """
+
+    iteration: int
+    alpha: float
+    imbalance: float
+    pc_cost: float
+    phase: str
+
+
+@dataclass
+class PartitionResult:
+    """A partition assignment with provenance.
+
+    Attributes
+    ----------
+    assignment:
+        int array of length ``num_vertices``; ``assignment[v]`` is the
+        partition of vertex ``v``, in ``0..num_parts-1``.
+    num_parts:
+        number of partitions requested (every value in ``assignment`` is
+        below this; a partition may legitimately end up empty).
+    algorithm:
+        short identifier, e.g. ``"hyperpraw-aware"`` or ``"multilevel-rb"``.
+    iterations:
+        restreaming history (empty for single-shot partitioners).
+    metadata:
+        free-form run details (seeds, config echoes, timing).
+    """
+
+    assignment: np.ndarray
+    num_parts: int
+    algorithm: str
+    iterations: list = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.assignment = np.asarray(self.assignment, dtype=np.int32)
+        if self.assignment.ndim != 1:
+            raise ValueError(
+                f"assignment must be 1-D, got shape {self.assignment.shape}"
+            )
+        if self.num_parts < 1:
+            raise ValueError(f"num_parts must be >= 1, got {self.num_parts}")
+        if self.assignment.size and (
+            self.assignment.min() < 0 or self.assignment.max() >= self.num_parts
+        ):
+            raise ValueError(
+                f"assignment values must lie in [0, {self.num_parts}), got "
+                f"[{self.assignment.min()}, {self.assignment.max()}]"
+            )
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.assignment.size)
+
+    def part_sizes(self) -> np.ndarray:
+        """Vertices per partition (length ``num_parts``)."""
+        return np.bincount(self.assignment, minlength=self.num_parts)
+
+    def final_pc_cost(self) -> float:
+        """PC cost of the last recorded iteration (NaN when no history)."""
+        if not self.iterations:
+            return float("nan")
+        return self.iterations[-1].pc_cost
+
+    def history_series(self) -> tuple[list, list]:
+        """``(iteration_numbers, pc_costs)`` for Figure 3 plotting."""
+        return (
+            [r.iteration for r in self.iterations],
+            [r.pc_cost for r in self.iterations],
+        )

@@ -1,0 +1,144 @@
+"""Incremental stream state.
+
+The restreaming inner loop moves one vertex at a time, thousands of times
+per pass; recomputing any global structure per move would be quadratic.
+:class:`StreamState` maintains exactly the two pieces of state the value
+function needs, updated incrementally:
+
+* ``edge_counts`` — the ``(E x p)`` hyperedge-partition pin-count matrix;
+  moving vertex ``v`` touches only the ``deg(v)`` rows of its incident
+  hyperedges;
+* ``loads`` — per-partition vertex-weight totals, ``W(k)`` in the paper.
+
+With those, a vertex's neighbour vector ``X_j(v)`` (Eq. 4) is the column
+sum of its incident hyperedges' rows — O(deg(v) * p) — and is exact
+because the vertex is *removed* from the state before being evaluated
+(restreaming re-places an already-placed vertex; leaving it in place would
+bias the value function toward its current partition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import edge_partition_counts, partition_loads
+from repro.hypergraph.model import Hypergraph
+
+__all__ = ["StreamState"]
+
+
+class StreamState:
+    """Mutable assignment state during (re)streaming.
+
+    Parameters
+    ----------
+    hg:
+        the hypergraph being partitioned.
+    num_parts:
+        partition count ``p``.
+    assignment:
+        initial assignment (e.g. round-robin); copied.
+    expected_loads:
+        target load per partition, ``E(k)`` in Eq. 1; defaults to uniform
+        ``total_weight / p``.  Heterogeneous capacities (the paper's
+        Section 4.1 note) are supported by passing a custom vector.
+    """
+
+    def __init__(
+        self,
+        hg: Hypergraph,
+        num_parts: int,
+        assignment: np.ndarray,
+        *,
+        expected_loads: "np.ndarray | None" = None,
+    ) -> None:
+        if num_parts < 1:
+            raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+        self.hg = hg
+        self.num_parts = int(num_parts)
+        self.assignment = np.asarray(assignment, dtype=np.int64).copy()
+        if self.assignment.shape != (hg.num_vertices,):
+            raise ValueError(
+                f"assignment must have shape ({hg.num_vertices},), "
+                f"got {self.assignment.shape}"
+            )
+        self.edge_counts = edge_partition_counts(hg, self.assignment, num_parts)
+        self.loads = partition_loads(hg, self.assignment, num_parts)
+        if expected_loads is None:
+            expected_loads = np.full(
+                num_parts, hg.total_vertex_weight() / num_parts
+            )
+        self.expected_loads = np.asarray(expected_loads, dtype=np.float64)
+        if self.expected_loads.shape != (num_parts,):
+            raise ValueError(
+                f"expected_loads must have shape ({num_parts},), "
+                f"got {self.expected_loads.shape}"
+            )
+        if (self.expected_loads <= 0).any():
+            raise ValueError("expected_loads must be strictly positive")
+        # Cached views to keep the hot loop free of attribute lookups.
+        self._vptr = hg.vertex_ptr
+        self._vedges = hg.vertex_edges
+        self._weights = hg.vertex_weights
+        self._removed = -1  # vertex currently lifted out of the state
+
+    # ------------------------------------------------------------------
+    # hot-path operations
+    # ------------------------------------------------------------------
+    def remove(self, v: int) -> int:
+        """Lift vertex ``v`` out of the state; returns its old partition."""
+        if self._removed >= 0:
+            raise RuntimeError(
+                f"vertex {self._removed} is already removed; place it first"
+            )
+        old = int(self.assignment[v])
+        rows = self._vedges[self._vptr[v] : self._vptr[v + 1]]
+        self.edge_counts[rows, old] -= 1
+        self.loads[old] -= self._weights[v]
+        self._removed = v
+        return old
+
+    def place(self, v: int, part: int) -> None:
+        """Assign the removed vertex ``v`` to ``part``."""
+        if self._removed != v:
+            raise RuntimeError(f"vertex {v} is not the removed vertex ({self._removed})")
+        rows = self._vedges[self._vptr[v] : self._vptr[v + 1]]
+        self.edge_counts[rows, part] += 1
+        self.loads[part] += self._weights[v]
+        self.assignment[v] = part
+        self._removed = -1
+
+    def neighbour_counts(self, v: int) -> np.ndarray:
+        """``X_j(v)``: neighbours of ``v`` per partition (Eq. 4's X).
+
+        Only exact while ``v`` is removed (otherwise ``v`` counts itself).
+        Neighbours sharing several hyperedges with ``v`` count once per
+        shared hyperedge — communication volume is per hyperedge, so the
+        multiplicity is intentional.
+        """
+        rows = self._vedges[self._vptr[v] : self._vptr[v + 1]]
+        if rows.size == 0:
+            return np.zeros(self.num_parts, dtype=np.int64)
+        return self.edge_counts[rows].sum(axis=0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # pass-level queries
+    # ------------------------------------------------------------------
+    def imbalance(self) -> float:
+        """max-load / mean-load (valid when no vertex is removed)."""
+        mean = self.loads.sum() / self.num_parts
+        if mean == 0:
+            return 1.0
+        return float(self.loads.max() / mean)
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the current assignment."""
+        return self.assignment.copy()
+
+    def consistency_check(self) -> None:
+        """Recompute the counters from scratch and compare (tests only)."""
+        assert self._removed == -1, "check with a vertex removed"
+        counts = edge_partition_counts(self.hg, self.assignment, self.num_parts)
+        assert np.array_equal(counts, self.edge_counts), "edge counts drifted"
+        loads = partition_loads(self.hg, self.assignment, self.num_parts)
+        assert np.allclose(loads, self.loads), "loads drifted"

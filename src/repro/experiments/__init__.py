@@ -1,0 +1,37 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Each driver is a pure function taking an
+:class:`~repro.experiments.common.ExperimentContext` and returning a
+result dataclass with (a) the raw data series and (b) a ``render()``
+method producing the paper-style text table / heatmap.  The CLI
+(``hyperpraw-repro``) and the benchmark suite under ``benchmarks/`` are
+thin wrappers over these drivers, so "regenerate Figure 5" is a single
+function call with a seeded context.
+
+==================  =====================================================
+module              reproduces
+==================  =====================================================
+``table1``          Table 1 — dataset statistics (stand-ins vs paper)
+``figure1``         Fig. 1A/1B — profiled bandwidth vs naive traffic
+``figure3``         Fig. 3 — refinement-strategy partition histories
+``figure4``         Fig. 4A-C — quality metrics across 10 instances
+``figure5``         Fig. 5 — synthetic benchmark runtimes + speedups
+``figure6``         Fig. 6A-D — bandwidth vs per-partitioner traffic
+``ablations``       extra design-choice sweeps called out in DESIGN.md
+==================  =====================================================
+"""
+
+from repro.experiments.common import ExperimentContext, default_partitioners
+from repro.experiments import table1, figure1, figure3, figure4, figure5, figure6, ablations
+
+__all__ = [
+    "ExperimentContext",
+    "default_partitioners",
+    "table1",
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "ablations",
+]

@@ -1,0 +1,201 @@
+"""Design-choice ablations beyond the paper's figures.
+
+The paper names several tunables without sweeping them (refinement
+factor, the 1.7 tempering update, the ambiguous Eq. 3 threshold, stream
+order) and relies on profiling accuracy without quantifying it.  These
+drivers fill those gaps; each returns ``{parameter_value: final PC cost}``
+(or runtime) on a chosen instance so benchmarks can chart sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.architecture.profiling import RingProfiler
+from repro.core.config import HyperPRAWConfig
+from repro.core.hyperpraw import HyperPRAW
+from repro.experiments.common import ExperimentContext
+from repro.hypergraph.suite import load_instance
+from repro.utils.rng import derive_seed
+from repro.utils.tables import format_kv
+
+__all__ = [
+    "AblationResult",
+    "refinement_factor_sweep",
+    "alpha_update_sweep",
+    "presence_threshold_sweep",
+    "stream_order_sweep",
+    "alpha_initial_sweep",
+    "profiling_noise_sweep",
+    "tolerance_sweep",
+]
+
+
+@dataclass
+class AblationResult:
+    """One sweep: ``values[parameter] -> final PC cost``."""
+
+    name: str
+    instance: str
+    values: dict
+
+    def best(self):
+        return min(self.values, key=self.values.get)
+
+    def render(self) -> str:
+        return format_kv(
+            self.values,
+            title=f"ablation: {self.name} on {self.instance} (final PC cost)",
+        )
+
+
+def _run_config(ctx, hg, cfg, job, tag) -> float:
+    result = HyperPRAW.aware(cfg).partition(
+        hg,
+        ctx.num_parts,
+        cost_matrix=job.cost_matrix,
+        seed=derive_seed(ctx.seed, "ablation", tag),
+    )
+    return float(result.metadata["final_pc_cost"])
+
+
+def refinement_factor_sweep(
+    ctx: "ExperimentContext | None" = None,
+    *,
+    instance: str = "2cubes_sphere",
+    factors=(0.85, 0.9, 0.95, 1.0, 1.05),
+) -> AblationResult:
+    """Sweep the refinement factor (the paper compares only 1.0 / 0.95)."""
+    ctx = ctx or ExperimentContext()
+    hg = load_instance(instance, scale=ctx.scale)
+    job = ctx.one_job()
+    values = {
+        f: _run_config(
+            ctx, hg, HyperPRAWConfig(refinement_factor=f), job, f"rf-{f}"
+        )
+        for f in factors
+    }
+    return AblationResult("refinement_factor", instance, values)
+
+
+def alpha_update_sweep(
+    ctx: "ExperimentContext | None" = None,
+    *,
+    instance: str = "2cubes_sphere",
+    updates=(1.2, 1.5, 1.7, 2.0, 3.0),
+) -> AblationResult:
+    """Sweep the tempering update (paper fixes 1.7)."""
+    ctx = ctx or ExperimentContext()
+    hg = load_instance(instance, scale=ctx.scale)
+    job = ctx.one_job()
+    values = {
+        u: _run_config(ctx, hg, HyperPRAWConfig(alpha_update=u), job, f"au-{u}")
+        for u in updates
+    }
+    return AblationResult("alpha_update", instance, values)
+
+
+def presence_threshold_sweep(
+    ctx: "ExperimentContext | None" = None, *, instance: str = "sparsine"
+) -> AblationResult:
+    """Eq. 3 ambiguity: X_j >= 1 (prose) vs X_j > 1 (literal formula)."""
+    ctx = ctx or ExperimentContext()
+    hg = load_instance(instance, scale=ctx.scale)
+    job = ctx.one_job()
+    values = {
+        t: _run_config(
+            ctx, hg, HyperPRAWConfig(presence_threshold=t), job, f"pt-{t}"
+        )
+        for t in (1, 2)
+    }
+    return AblationResult("presence_threshold", instance, values)
+
+
+def stream_order_sweep(
+    ctx: "ExperimentContext | None" = None, *, instance: str = "2cubes_sphere"
+) -> AblationResult:
+    """Natural vertex order vs one fixed shuffle."""
+    ctx = ctx or ExperimentContext()
+    hg = load_instance(instance, scale=ctx.scale)
+    job = ctx.one_job()
+    values = {
+        order: _run_config(
+            ctx, hg, HyperPRAWConfig(stream_order=order), job, f"so-{order}"
+        )
+        for order in ("natural", "shuffled")
+    }
+    return AblationResult("stream_order", instance, values)
+
+
+def alpha_initial_sweep(
+    ctx: "ExperimentContext | None" = None, *, instance: str = "2cubes_sphere"
+) -> AblationResult:
+    """The printed initial-alpha formula vs FENNEL's (see schedule docs)."""
+    ctx = ctx or ExperimentContext()
+    hg = load_instance(instance, scale=ctx.scale)
+    job = ctx.one_job()
+    values = {
+        mode: _run_config(
+            ctx, hg, HyperPRAWConfig(alpha_initial=mode), job, f"ai-{mode}"
+        )
+        for mode in ("paper", "fennel")
+    }
+    return AblationResult("alpha_initial", instance, values)
+
+
+def profiling_noise_sweep(
+    ctx: "ExperimentContext | None" = None,
+    *,
+    instance: str = "sat14_itox_vc1130_dual",
+    noises=(0.0, 0.05, 0.15, 0.4),
+) -> AblationResult:
+    """How much measurement noise can the cost matrix absorb?
+
+    The aware variant is re-run with increasingly noisy profiled matrices
+    over the *same* ground-truth machine; the metric is the true-cost PC
+    (evaluated with the noise-free matrix).
+    """
+    from repro.architecture.cost import cost_matrix_from_bandwidth
+    from repro.core.metrics import partitioning_comm_cost
+    from repro.simcomm.network import LinkModel
+
+    ctx = ctx or ExperimentContext()
+    hg = load_instance(instance, scale=ctx.scale)
+    bw, lat = ctx.bandwidth_model().matrices(seed=derive_seed(ctx.seed, "abl-noise"))
+    link = LinkModel(bw, lat)
+    true_cost = cost_matrix_from_bandwidth(bw)
+    values = {}
+    for noise in noises:
+        profiler = RingProfiler(link, repeats=1, measurement_noise=noise)
+        profile = profiler.profile(seed=derive_seed(ctx.seed, "abl-noise", str(noise)))
+        result = HyperPRAW.aware().partition(
+            hg,
+            ctx.num_parts,
+            cost_matrix=profile.cost_matrix(),
+            seed=derive_seed(ctx.seed, "abl-noise-run", str(noise)),
+        )
+        values[noise] = partitioning_comm_cost(
+            hg, result.assignment, ctx.num_parts, true_cost
+        )
+    return AblationResult("profiling_noise", instance, values)
+
+
+def tolerance_sweep(
+    ctx: "ExperimentContext | None" = None,
+    *,
+    instance: str = "2cubes_sphere",
+    tolerances=(1.02, 1.05, 1.1, 1.2, 1.5),
+) -> AblationResult:
+    """Imbalance tolerance vs achievable PC cost (looser = cheaper comm)."""
+    ctx = ctx or ExperimentContext()
+    hg = load_instance(instance, scale=ctx.scale)
+    job = ctx.one_job()
+    values = {
+        t: _run_config(
+            ctx, hg, HyperPRAWConfig(imbalance_tolerance=t), job, f"tol-{t}"
+        )
+        for t in tolerances
+    }
+    return AblationResult("imbalance_tolerance", instance, values)

@@ -1,0 +1,116 @@
+"""Command-line front end: ``hyperpraw-repro``.
+
+Regenerates any table/figure of the paper from the terminal::
+
+    hyperpraw-repro table1
+    hyperpraw-repro figure5 --nodes 4 --scale 0.5 --jobs 1 --iterations 1
+    hyperpraw-repro all --scale 0.25
+
+Every command accepts the shared world parameters (``--nodes``,
+``--scale``, ``--seed``, ...) and prints the paper-style text rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ExperimentContext,
+    ablations,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+)
+
+__all__ = ["main", "build_parser"]
+
+_COMMANDS = ("table1", "figure1", "figure3", "figure4", "figure5", "figure6", "ablations", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hyperpraw-repro",
+        description="Reproduce the tables and figures of the HyperPRAW paper (ICPP 2019).",
+    )
+    parser.add_argument("command", choices=_COMMANDS, help="which artefact to regenerate")
+    parser.add_argument("--nodes", type=int, default=4, help="simulated ARCHER-like nodes (24 cores each)")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale multiplier")
+    parser.add_argument("--jobs", type=int, default=3, help="simulated job allocations")
+    parser.add_argument("--iterations", type=int, default=2, help="benchmark iterations per job")
+    parser.add_argument("--seed", type=int, default=20190805, help="master seed")
+    parser.add_argument("--timesteps", type=int, default=10, help="benchmark timesteps")
+    parser.add_argument("--message-bytes", type=int, default=1024, help="payload per logical message")
+    parser.add_argument(
+        "--sim-model",
+        choices=("blocking", "overlap", "endpoint"),
+        default="blocking",
+        help="cluster simulator timing model",
+    )
+    parser.add_argument(
+        "--instances",
+        nargs="*",
+        default=None,
+        help="restrict to these suite instances (default: all ten)",
+    )
+    parser.add_argument(
+        "--max-iterations", type=int, default=100, help="HyperPRAW restreaming cap"
+    )
+    return parser
+
+
+def context_from_args(args) -> ExperimentContext:
+    return ExperimentContext(
+        num_nodes=args.nodes,
+        scale=args.scale,
+        num_jobs=args.jobs,
+        iterations=args.iterations,
+        seed=args.seed,
+        instances=args.instances,
+        message_bytes=args.message_bytes,
+        timesteps=args.timesteps,
+        sim_model=args.sim_model,
+        max_iterations=args.max_iterations,
+    )
+
+
+def _run_ablations(ctx: ExperimentContext) -> str:
+    parts = [
+        ablations.refinement_factor_sweep(ctx).render(),
+        ablations.alpha_update_sweep(ctx).render(),
+        ablations.presence_threshold_sweep(ctx).render(),
+        ablations.stream_order_sweep(ctx).render(),
+        ablations.alpha_initial_sweep(ctx).render(),
+        ablations.profiling_noise_sweep(ctx).render(),
+        ablations.tolerance_sweep(ctx).render(),
+    ]
+    return "\n\n".join(parts)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    ctx = context_from_args(args)
+    runners = {
+        "table1": lambda: table1.run(ctx).render(),
+        "figure1": lambda: figure1.run(ctx).render(),
+        "figure3": lambda: figure3.run(ctx).render(),
+        "figure4": lambda: figure4.run(ctx).render(),
+        "figure5": lambda: figure5.run(ctx).render(),
+        "figure6": lambda: figure6.run(ctx).render(),
+        "ablations": lambda: _run_ablations(ctx),
+    }
+    if args.command == "all":
+        for name in ("table1", "figure1", "figure3", "figure4", "figure5", "figure6"):
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            print(runners[name]())
+        return 0
+    print(runners[args.command]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Shared experiment context and partitioner roster.
+
+The paper's evaluation fixes one machine (ARCHER, 576 cores over 24
+nodes), one tolerance, and three partitioners.  :class:`ExperimentContext`
+bundles the analogous simulated choices so that every figure driver runs
+against the same world; the defaults are laptop-sized (96 simulated cores
+over 4 nodes, instance scale 1.0) and everything scales up or down from
+the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.architecture.bandwidth import BandwidthModel, archer_like_bandwidth
+from repro.architecture.topology import MachineTopology, archer_like_topology
+from repro.bench.runner import ExperimentRunner, JobContext
+from repro.core.base import Partitioner
+from repro.core.config import HyperPRAWConfig
+from repro.core.hyperpraw import HyperPRAW
+from repro.hypergraph.model import Hypergraph
+from repro.hypergraph.suite import benchmark_suite, instance_names
+from repro.partitioning.multilevel import MultilevelRB
+
+__all__ = ["ExperimentContext", "default_partitioners"]
+
+#: Canonical algorithm names used across all figures, in plot order.
+ALGORITHMS = ("multilevel-rb", "hyperpraw-basic", "hyperpraw-aware")
+
+
+def default_partitioners(
+    *, imbalance_tolerance: float = 1.1, max_iterations: int = 100
+) -> "dict[str, Partitioner]":
+    """The paper's three contenders with matched balance tolerances."""
+    cfg = HyperPRAWConfig(
+        imbalance_tolerance=imbalance_tolerance, max_iterations=max_iterations
+    )
+    return {
+        "multilevel-rb": MultilevelRB(imbalance_tolerance=imbalance_tolerance),
+        "hyperpraw-basic": HyperPRAW.basic(cfg),
+        "hyperpraw-aware": HyperPRAW.aware(cfg),
+    }
+
+
+@dataclass
+class ExperimentContext:
+    """Simulated world shared by all experiment drivers.
+
+    Attributes
+    ----------
+    num_nodes:
+        ARCHER-like nodes (24 cores each).  The paper used 24 nodes (576
+        cores); the default 4 (96 cores) keeps full-suite runs in minutes.
+    scale:
+        dataset scale multiplier passed to the suite loader.
+    num_jobs / iterations:
+        the paper's 3 jobs x 2 iterations protocol.
+    seed:
+        master seed; everything derives from it.
+    instances:
+        subset of instance names (default: all ten).
+    message_bytes / timesteps / sim_model:
+        synthetic benchmark parameters.
+    """
+
+    num_nodes: int = 4
+    scale: float = 1.0
+    num_jobs: int = 3
+    iterations: int = 2
+    seed: int = 20190805
+    instances: "list[str] | None" = None
+    message_bytes: int = 1024
+    timesteps: int = 10
+    sim_model: str = "blocking"
+    imbalance_tolerance: float = 1.1
+    max_iterations: int = 100
+
+    # ------------------------------------------------------------------
+    def topology(self) -> MachineTopology:
+        return archer_like_topology(num_nodes=self.num_nodes)
+
+    @property
+    def num_parts(self) -> int:
+        return self.topology().num_units
+
+    def bandwidth_model(self) -> BandwidthModel:
+        return archer_like_bandwidth(self.topology())
+
+    def runner(self, **overrides) -> ExperimentRunner:
+        """Experiment runner bound to this context's world."""
+        kwargs = dict(
+            num_jobs=self.num_jobs,
+            iterations=self.iterations,
+            message_bytes=self.message_bytes,
+            timesteps=self.timesteps,
+            sim_model=self.sim_model,
+            seed=self.seed,
+        )
+        kwargs.update(overrides)
+        return ExperimentRunner(self.bandwidth_model(), **kwargs)
+
+    def load_suite(self) -> "dict[str, Hypergraph]":
+        names = self.instances if self.instances is not None else instance_names()
+        return benchmark_suite(scale=self.scale, names=names)
+
+    def partitioners(self) -> "dict[str, Partitioner]":
+        return default_partitioners(
+            imbalance_tolerance=self.imbalance_tolerance,
+            max_iterations=self.max_iterations,
+        )
+
+    def one_job(self) -> JobContext:
+        """A single profiled job (figures that need just one machine)."""
+        return self.runner(num_jobs=1).make_jobs()[0]

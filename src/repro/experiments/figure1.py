@@ -1,0 +1,89 @@
+"""Figure 1 — the motivating mismatch.
+
+1A: peer-to-peer bandwidth heatmap of a profiled job (ring-protocol
+measurement on the simulated ARCHER-like machine).
+1B: peer-to-peer traffic pattern of a "typical distributed application" —
+the synthetic benchmark on the sparsine hypergraph under a naive
+(architecture-blind, randomly rank-mapped) partition.
+
+The point of the figure is the *discrepancy*: the bandwidth matrix has
+strong nested-block structure, the naive traffic has none.  We quantify
+that with the traffic/bandwidth correlation, which the Figure 6 driver
+reuses for the after picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.synthetic import SyntheticBenchmark
+from repro.experiments.common import ExperimentContext
+from repro.hypergraph.suite import load_instance
+from repro.partitioning.multilevel import MultilevelRB
+from repro.utils.heatmap import ascii_heatmap
+from repro.utils.rng import derive_seed
+
+__all__ = ["Figure1Result", "run"]
+
+
+@dataclass
+class Figure1Result:
+    """Bandwidth matrix (A) and naive traffic matrix (B)."""
+
+    bandwidth_mbs: np.ndarray
+    traffic_bytes: np.ndarray
+    affinity: float
+    instance: str
+
+    def render(self, *, max_size: int = 48) -> str:
+        parts = [
+            ascii_heatmap(
+                self.bandwidth_mbs,
+                title="Figure 1A — profiled peer-to-peer bandwidth (log10 MB/s)",
+                max_size=max_size,
+            ),
+            "",
+            ascii_heatmap(
+                self.traffic_bytes,
+                title=(
+                    f"Figure 1B — naive traffic pattern ({self.instance}, "
+                    "log10 bytes)"
+                ),
+                max_size=max_size,
+            ),
+            "",
+            f"traffic/bandwidth correlation: {self.affinity:+.3f} "
+            "(no alignment between where the machine is fast and where "
+            "the application talks)",
+        ]
+        return "\n".join(parts)
+
+
+def run(ctx: "ExperimentContext | None" = None, *, instance: str = "sparsine") -> Figure1Result:
+    """Profile one job and run the naive benchmark on ``instance``."""
+    ctx = ctx or ExperimentContext()
+    job = ctx.one_job()
+    hg = load_instance(instance, scale=ctx.scale)
+    p = ctx.num_parts
+    result = MultilevelRB(imbalance_tolerance=ctx.imbalance_tolerance).partition(
+        hg, p, seed=derive_seed(ctx.seed, "fig1-partition")
+    )
+    # Naive = architecture-blind: partition numbering carries no placement
+    # information, so rank-map it randomly (see ExperimentRunner).
+    rng = np.random.default_rng(derive_seed(ctx.seed, "fig1-rankmap"))
+    assignment = rng.permutation(p)[result.assignment]
+    bench = SyntheticBenchmark(
+        job.link_model,
+        message_bytes=ctx.message_bytes,
+        timesteps=ctx.timesteps,
+        model=ctx.sim_model,
+    )
+    outcome = bench.run(hg, assignment, p)
+    return Figure1Result(
+        bandwidth_mbs=job.measured_bandwidth,
+        traffic_bytes=outcome.trace.bytes_matrix,
+        affinity=outcome.trace.bandwidth_affinity(job.link_model.bandwidth_mbs),
+        instance=instance,
+    )

@@ -1,0 +1,110 @@
+"""Figure 3 — effect of the refinement phase.
+
+For four hypergraphs the paper plots the partitioning-communication-cost
+history of three stopping strategies:
+
+* **no refinement** — stop at the first pass within imbalance tolerance;
+* **refinement 1.0** — keep streaming with alpha frozen until PC stops
+  improving;
+* **refinement 0.95** — keep streaming with alpha *decayed* by 0.95 per
+  pass (the winning strategy).
+
+The expected shape (paper Section 6.1): both refinement strategies beat
+no-refinement, and 0.95 reaches the lowest final cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import HyperPRAWConfig
+from repro.core.hyperpraw import HyperPRAW
+from repro.experiments.common import ExperimentContext
+from repro.hypergraph.suite import FIGURE3_INSTANCES, load_instance
+from repro.utils.rng import derive_seed
+from repro.utils.tables import format_table
+
+__all__ = ["Figure3Result", "run", "STRATEGIES"]
+
+#: strategy name -> config factory, in the paper's plot order.
+STRATEGIES = {
+    "no-refinement": HyperPRAWConfig.paper_no_refinement,
+    "refinement-1.0": HyperPRAWConfig.paper_refinement_100,
+    "refinement-0.95": HyperPRAWConfig.paper_refinement_095,
+}
+
+
+@dataclass
+class Figure3Result:
+    """Per-instance, per-strategy PC-cost histories.
+
+    ``histories[instance][strategy]`` is a list of ``(iteration,
+    pc_cost)`` pairs; ``final_costs`` collapses each to its last value.
+    """
+
+    histories: dict
+    final_costs: dict
+
+    def strategy_ordering_ok(self, instance: str) -> bool:
+        """True when refinement 0.95 <= refinement 1.0 <= no refinement."""
+        c = self.final_costs[instance]
+        return (
+            c["refinement-0.95"] <= c["refinement-1.0"] + 1e-9
+            and c["refinement-1.0"] <= c["no-refinement"] + 1e-9
+        )
+
+    def render(self) -> str:
+        rows = []
+        for inst, costs in self.final_costs.items():
+            rows.append(
+                [
+                    inst,
+                    round(costs["no-refinement"], 0),
+                    round(costs["refinement-1.0"], 0),
+                    round(costs["refinement-0.95"], 0),
+                    "yes" if self.strategy_ordering_ok(inst) else "NO",
+                ]
+            )
+        table = format_table(
+            ["hypergraph", "no refinement", "refinement 1.0", "refinement 0.95", "paper order?"],
+            rows,
+            title="Figure 3 — final partitioning communication cost by strategy",
+        )
+        series = ["", "histories (iteration:pc_cost, first 12 passes):"]
+        for inst, by_strategy in self.histories.items():
+            for strat, hist in by_strategy.items():
+                pts = " ".join(f"{i}:{c:.3g}" for i, c in hist[:12])
+                series.append(f"  {inst} / {strat}: {pts}")
+        return table + "\n" + "\n".join(series)
+
+
+def run(
+    ctx: "ExperimentContext | None" = None,
+    *,
+    instances: "tuple | None" = None,
+) -> Figure3Result:
+    """Run the three stopping strategies on the Figure 3 instances."""
+    ctx = ctx or ExperimentContext()
+    names = instances if instances is not None else FIGURE3_INSTANCES
+    job = ctx.one_job()
+    histories: dict = {}
+    final_costs: dict = {}
+    for name in names:
+        hg = load_instance(name, scale=ctx.scale)
+        histories[name] = {}
+        final_costs[name] = {}
+        for strat, cfg_factory in STRATEGIES.items():
+            cfg = cfg_factory().with_(
+                imbalance_tolerance=ctx.imbalance_tolerance,
+                max_iterations=ctx.max_iterations,
+            )
+            result = HyperPRAW.aware(cfg).partition(
+                hg,
+                ctx.num_parts,
+                cost_matrix=job.cost_matrix,
+                seed=derive_seed(ctx.seed, "fig3", name, strat),
+            )
+            iters, costs = result.history_series()
+            histories[name][strat] = list(zip(iters, costs))
+            final_costs[name][strat] = result.metadata["final_pc_cost"]
+    return Figure3Result(histories=histories, final_costs=final_costs)

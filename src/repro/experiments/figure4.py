@@ -1,0 +1,105 @@
+"""Figure 4 — static quality of the partitions.
+
+Three panels over the 10 instances and 3 partitioners:
+
+* 4A hyperedge cut, 4B SOED, 4C partitioning communication cost.
+
+The paper's expected shape: cut comparable (Zoltan often best), SOED
+mixed, and PC cost — the architecture-weighted metric — better for both
+HyperPRAW variants on *every* instance, with aware < basic.
+
+Quality is measured on the assignment *as it runs on the machine*: blind
+partitioners get the same random rank mapping the runtime experiment
+uses (their own part numbering carries no placement information), while
+aware's mapping is the identity by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.runner import ExperimentRunner
+from repro.core.metrics import evaluate_partition
+from repro.experiments.common import ExperimentContext
+from repro.utils.tables import format_table
+
+__all__ = ["Figure4Result", "run"]
+
+_METRICS = ("hyperedge_cut", "soed", "pc_cost")
+
+
+@dataclass
+class Figure4Result:
+    """``values[metric][(instance, algorithm)] -> float``."""
+
+    values: dict
+    instances: list
+    algorithms: list
+
+    def panel(self, metric: str) -> list:
+        rows = []
+        for inst in self.instances:
+            rows.append(
+                [inst] + [round(self.values[metric][(inst, a)], 1) for a in self.algorithms]
+            )
+        return rows
+
+    def aware_wins_pc_everywhere(self) -> bool:
+        """Paper claim: both variants beat the baseline on PC cost on all
+        instances, and aware is at least as good as basic overall."""
+        pc = self.values["pc_cost"]
+        return all(
+            pc[(i, "hyperpraw-aware")] <= pc[(i, "multilevel-rb")]
+            for i in self.instances
+        )
+
+    def render(self) -> str:
+        titles = {
+            "hyperedge_cut": "Figure 4A — hyperedge cut",
+            "soed": "Figure 4B — sum of external degrees (SOED)",
+            "pc_cost": "Figure 4C — partitioning communication cost",
+        }
+        blocks = []
+        for metric in _METRICS:
+            blocks.append(
+                format_table(
+                    ["hypergraph"] + list(self.algorithms),
+                    self.panel(metric),
+                    title=titles[metric],
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(ctx: "ExperimentContext | None" = None) -> Figure4Result:
+    """Partition the whole suite with all three algorithms on one job."""
+    ctx = ctx or ExperimentContext()
+    runner = ctx.runner(num_jobs=1)
+    job = runner.make_jobs()[0]
+    suite = ctx.load_suite()
+    partitioners = ctx.partitioners()
+    values: dict = {m: {} for m in _METRICS}
+    for inst, hg in suite.items():
+        for algo, partitioner in partitioners.items():
+            from repro.utils.rng import derive_seed
+
+            result = partitioner.partition(
+                hg,
+                ctx.num_parts,
+                cost_matrix=job.cost_matrix,
+                seed=derive_seed(ctx.seed, "fig4", inst, algo),
+            )
+            assignment = runner._map_to_ranks(result, job.job_id, inst, algo)
+            q = evaluate_partition(
+                hg, assignment, ctx.num_parts, job.cost_matrix, algorithm=algo
+            )
+            values["hyperedge_cut"][(inst, algo)] = q.hyperedge_cut
+            values["soed"][(inst, algo)] = q.soed
+            values["pc_cost"][(inst, algo)] = q.pc_cost
+    return Figure4Result(
+        values=values,
+        instances=list(suite.keys()),
+        algorithms=list(partitioners.keys()),
+    )

@@ -1,0 +1,85 @@
+"""Figure 5 — runtime of the synthetic benchmark.
+
+The headline experiment: simulated benchmark runtime of the 10 instances
+under the three partitioners, following the paper's 3-jobs x 2-iterations
+protocol, with the speedup of HyperPRAW-aware over the multilevel
+baseline annotated per instance (the paper reports 1.3x–14x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.runner import ExperimentRunner, RunRecord
+from repro.experiments.common import ExperimentContext
+from repro.utils.tables import format_table
+
+__all__ = ["Figure5Result", "run"]
+
+
+@dataclass
+class Figure5Result:
+    """Aggregated runtimes and speedups.
+
+    ``runtimes[(instance, algorithm)] = (mean_s, std_s)``;
+    ``speedups[(instance, algorithm)]`` is relative to the baseline.
+    """
+
+    records: "list[RunRecord]"
+    runtimes: dict
+    speedups: dict
+    baseline: str
+    instances: list
+    algorithms: list
+
+    def aware_speedup_range(self) -> tuple:
+        """(min, max) speedup of hyperpraw-aware over the baseline."""
+        vals = [
+            self.speedups[(i, "hyperpraw-aware")]
+            for i in self.instances
+            if (i, "hyperpraw-aware") in self.speedups
+        ]
+        return (min(vals), max(vals)) if vals else (float("nan"), float("nan"))
+
+    def render(self) -> str:
+        rows = []
+        for inst in self.instances:
+            row = [inst]
+            for algo in self.algorithms:
+                mean, std = self.runtimes[(inst, algo)]
+                row.append(round(mean * 1e3, 2))
+            row.append(round(self.speedups[(inst, "hyperpraw-aware")], 2))
+            rows.append(row)
+        lo, hi = self.aware_speedup_range()
+        table = format_table(
+            ["hypergraph"]
+            + [f"{a} (ms)" for a in self.algorithms]
+            + ["aware speedup"],
+            rows,
+            title="Figure 5 — synthetic benchmark runtime (simulated ms, mean of jobs x iterations)",
+        )
+        return (
+            table
+            + f"\n\nhyperpraw-aware speedup over {self.baseline}: "
+            + f"{lo:.2f}x .. {hi:.2f}x (paper reports 1.3x .. 14x on 576 real cores)"
+        )
+
+
+def run(ctx: "ExperimentContext | None" = None) -> Figure5Result:
+    """Run the full paper protocol on the whole suite."""
+    ctx = ctx or ExperimentContext()
+    runner = ctx.runner()
+    suite = ctx.load_suite()
+    partitioners = ctx.partitioners()
+    records = runner.run(suite, partitioners)
+    baseline = "multilevel-rb"
+    return Figure5Result(
+        records=records,
+        runtimes=ExperimentRunner.aggregate_runtimes(records),
+        speedups=ExperimentRunner.speedups(records, baseline=baseline),
+        baseline=baseline,
+        instances=list(suite.keys()),
+        algorithms=list(partitioners.keys()),
+    )

@@ -1,0 +1,66 @@
+"""Table 1 — statistics of the benchmark hypergraphs.
+
+Renders the stand-in suite's statistics next to the paper's reported
+numbers so the calibration (average cardinality, hyperedge/vertex ratio)
+is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext
+from repro.hypergraph.stats import HypergraphStats, compute_stats
+from repro.hypergraph.suite import PAPER_TABLE1
+from repro.utils.tables import format_table
+
+__all__ = ["Table1Result", "run"]
+
+
+@dataclass
+class Table1Result:
+    """Stand-in statistics plus the paper's originals."""
+
+    stats: "list[HypergraphStats]"
+    scale: float
+
+    def rows(self) -> list:
+        out = []
+        for s in self.stats:
+            paper = PAPER_TABLE1.get(s.name)
+            out.append(
+                [
+                    s.name,
+                    s.num_vertices,
+                    s.num_edges,
+                    s.num_pins,
+                    round(s.avg_cardinality, 2),
+                    paper[3] if paper else float("nan"),
+                    round(s.edge_vertex_ratio, 2),
+                    paper[4] if paper else float("nan"),
+                ]
+            )
+        return out
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "hypergraph",
+                "vertices",
+                "hyperedges",
+                "pins",
+                "avg card",
+                "paper card",
+                "he/v",
+                "paper he/v",
+            ],
+            self.rows(),
+            title=f"Table 1 — benchmark suite (scale={self.scale})",
+        )
+
+
+def run(ctx: "ExperimentContext | None" = None) -> Table1Result:
+    """Build the suite and compute every instance's statistics."""
+    ctx = ctx or ExperimentContext()
+    stats = [compute_stats(hg) for hg in ctx.load_suite().values()]
+    return Table1Result(stats=stats, scale=ctx.scale)

@@ -1,0 +1,60 @@
+"""Hypergraph substrate.
+
+A hypergraph ``H = (V, E)`` generalises a graph: each hyperedge is an
+arbitrary subset of the vertex set.  The paper models a parallel application
+as a hypergraph in which each hyperedge is a group of compute elements that
+communicate every timestep; partitioning the hypergraph over ``p`` compute
+units then controls how much of that communication crosses unit boundaries.
+
+This package provides:
+
+* :class:`~repro.hypergraph.model.Hypergraph` — an immutable CSR-backed
+  hypergraph with vertex/hyperedge weights and O(1) access to both
+  incidence directions (hyperedge -> pins, vertex -> incident hyperedges).
+* :mod:`~repro.hypergraph.io` — readers/writers for the hMetis and PaToH
+  text formats plus MatrixMarket sparse matrices interpreted under the
+  row-net / column-net models of Catalyurek & Aykanat (the convention the
+  paper's dataset uses).
+* :mod:`~repro.hypergraph.generators` — synthetic hypergraph families
+  (uniform random, power-law, SAT primal/dual, FEM-mesh row-net, protein
+  contact) used to stand in for the paper's Zenodo dataset.
+* :mod:`~repro.hypergraph.stats` — per-instance statistics reproducing the
+  columns of the paper's Table 1.
+* :mod:`~repro.hypergraph.suite` — the registry of 10 named stand-in
+  instances matching the paper's Table 1 rows.
+"""
+
+from repro.hypergraph.model import Hypergraph
+from repro.hypergraph.stats import HypergraphStats, compute_stats
+from repro.hypergraph.generators import (
+    random_uniform_hypergraph,
+    powerlaw_hypergraph,
+    sat_primal_hypergraph,
+    sat_dual_hypergraph,
+    mesh_matrix_hypergraph,
+    contact_hypergraph,
+)
+from repro.hypergraph.suite import (
+    BenchmarkInstance,
+    benchmark_suite,
+    load_instance,
+    instance_names,
+)
+from repro.hypergraph import io
+
+__all__ = [
+    "Hypergraph",
+    "HypergraphStats",
+    "compute_stats",
+    "random_uniform_hypergraph",
+    "powerlaw_hypergraph",
+    "sat_primal_hypergraph",
+    "sat_dual_hypergraph",
+    "mesh_matrix_hypergraph",
+    "contact_hypergraph",
+    "BenchmarkInstance",
+    "benchmark_suite",
+    "load_instance",
+    "instance_names",
+    "io",
+]

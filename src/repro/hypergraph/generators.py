@@ -1,0 +1,438 @@
+"""Synthetic hypergraph families.
+
+The paper evaluates on 10 instances drawn from the Schlag multilevel-
+partitioning benchmark set (Zenodo record 291466): SAT-competition formulas
+under the primal/dual models, sparse matrices from FEM meshes and protein
+contact maps under the row-net model, and a web crawl.  That dataset is not
+available offline, so :mod:`repro.hypergraph.suite` builds stand-ins from
+the generator families below.  Each family reproduces the *structural
+signature* that drives partitioning behaviour:
+
+========================  =====================================================
+family                    signature
+========================  =====================================================
+:func:`random_uniform_hypergraph`
+                          no locality at all; every hyperedge is a uniform
+                          sample (``sparsine``-like).  Worst case for any
+                          partitioner; cuts are unavoidable.
+:func:`powerlaw_hypergraph`
+                          hub vertices appearing in many small hyperedges
+                          (``webbase``-like crawls).
+:func:`mesh_matrix_hypergraph`
+                          banded row-nets from a stencil on a 1-D ordering of
+                          a physical mesh (``2cubes_sphere``/``ABACUS``/
+                          ``ship_001``-like); strong locality, partitioners
+                          find low cuts.
+:func:`contact_hypergraph`
+                          dense clustered row-nets (``pdb1HYS``-like protein
+                          contact maps); very high cardinality, block
+                          community structure.
+:func:`sat_primal_hypergraph` / :func:`sat_dual_hypergraph`
+                          random SAT formulas with windowed variable
+                          locality; the primal model has many tiny
+                          hyperedges over few vertices (hyperedge/vertex
+                          ratio >> 1), the dual model the reverse.
+========================  =====================================================
+
+All generators are fully vectorised (one RNG draw for all pins) and seed-
+deterministic.  Cardinalities may shrink slightly after in-edge pin
+de-duplication; the suite's tolerance checks account for that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.model import Hypergraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "random_uniform_hypergraph",
+    "powerlaw_hypergraph",
+    "mesh_matrix_hypergraph",
+    "contact_hypergraph",
+    "sat_instance",
+    "sat_primal_hypergraph",
+    "sat_dual_hypergraph",
+    "dual_hypergraph",
+]
+
+
+def _draw_cardinalities(
+    rng: np.random.Generator, num_edges: int, mean: float, minimum: int
+) -> np.ndarray:
+    """Poisson cardinalities with mean ``mean`` clipped below at ``minimum``.
+
+    The clip biases the mean upward slightly for small means; we compensate
+    by solving for the Poisson rate only approximately — dataset tolerances
+    absorb the difference.
+    """
+    check_positive("mean cardinality", mean)
+    lam = max(mean - minimum, 0.05)
+    cards = rng.poisson(lam=lam, size=num_edges) + minimum
+    return cards.astype(np.int64)
+
+
+def _oversample_for_window(target_distinct: float, window: float) -> float:
+    """Number of with-replacement draws needed from a ``window``-sized pool
+    so that the *expected* number of distinct samples is ``target_distinct``.
+
+    Inverts ``E[distinct] = W * (1 - (1 - 1/W)^k)``, i.e.
+    ``k = -W * ln(1 - d/W)``.  Dense generators use this so that in-edge pin
+    de-duplication does not shrink cardinalities below their Table 1 target.
+    """
+    if window <= 1:
+        return target_distinct
+    frac = min(target_distinct / window, 0.97)
+    return float(-window * np.log1p(-frac))
+
+
+def _assemble(num_vertices: int, row_ids: np.ndarray, pins: np.ndarray, name: str,
+              cards: np.ndarray) -> Hypergraph:
+    """Build a hypergraph from flat (edge id, pin) draws via CSR arrays."""
+    ptr = np.zeros(cards.size + 1, dtype=np.int64)
+    np.cumsum(cards, out=ptr[1:])
+    assert ptr[-1] == pins.size
+    return Hypergraph.from_csr_arrays(num_vertices, ptr, pins, name=name)
+
+
+# ----------------------------------------------------------------------
+# unstructured families
+# ----------------------------------------------------------------------
+def random_uniform_hypergraph(
+    num_vertices: int,
+    num_edges: int,
+    mean_cardinality: float,
+    *,
+    seed=None,
+    name: str = "random-uniform",
+) -> Hypergraph:
+    """Uniformly random hypergraph: every pin i.i.d. uniform over vertices.
+
+    Models the ``sparsine`` instance: a random sparse matrix with ~31
+    non-zeros per row and no usable locality.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("num_edges", num_edges)
+    rng = as_generator(seed)
+    cards = _draw_cardinalities(rng, num_edges, mean_cardinality, minimum=2)
+    pins = rng.integers(0, num_vertices, size=int(cards.sum()), dtype=np.int64)
+    return _assemble(num_vertices, None, pins, name, cards)
+
+
+def powerlaw_hypergraph(
+    num_vertices: int,
+    num_edges: int,
+    mean_cardinality: float,
+    *,
+    exponent: float = 1.6,
+    hub_offset: float = 100.0,
+    seed=None,
+    name: str = "powerlaw",
+) -> Hypergraph:
+    """Hypergraph with power-law vertex popularity (webbase-like).
+
+    Vertex ``v`` is drawn with probability proportional to
+    ``(v + hub_offset)^-exponent``; low-index vertices act as hubs,
+    mimicking the in-link skew of web crawls.  Hyperedges are small (the
+    paper's webbase-1M has average cardinality 3.11).
+
+    ``hub_offset`` caps the heaviest hub's pin share.  At reduced stand-in
+    scale a pure Zipf law concentrates far more of the total traffic in
+    one vertex than the real 1M-page crawl does (the top page holds ~0.1%
+    of webbase-1M's non-zeros); the default keeps the top vertex near
+    that share instead of the ~5% a small offset would give.
+    """
+    check_positive("exponent", exponent)
+    check_positive("hub_offset", hub_offset)
+    rng = as_generator(seed)
+    cards = _draw_cardinalities(rng, num_edges, mean_cardinality, minimum=2)
+    weights = (np.arange(num_vertices, dtype=np.float64) + hub_offset) ** (-exponent)
+    weights /= weights.sum()
+    # Inverse-CDF sampling is much faster than rng.choice(p=...) for large
+    # draws: one searchsorted over the cumulative weights.
+    cdf = np.cumsum(weights)
+    cdf[-1] = 1.0
+    u = rng.random(int(cards.sum()))
+    pins = np.searchsorted(cdf, u, side="right").astype(np.int64)
+    np.clip(pins, 0, num_vertices - 1, out=pins)
+    return _assemble(num_vertices, None, pins, name, cards)
+
+
+# ----------------------------------------------------------------------
+# matrix-derived families (row-net model, V == E)
+# ----------------------------------------------------------------------
+def mesh_matrix_hypergraph(
+    num_vertices: int,
+    mean_cardinality: float,
+    *,
+    dims: int = 3,
+    spread: float = 1.0,
+    long_range_fraction: float = 0.02,
+    seed=None,
+    name: str = "mesh-matrix",
+) -> Hypergraph:
+    """Row-net hypergraph of a FEM-style sparse matrix on a ``dims``-D mesh.
+
+    Vertices are laid out on a ``dims``-dimensional grid in row-major
+    order (the natural ordering FEM assembly produces).  Row ``i``
+    contains the diagonal pin ``i`` plus pins sampled from a discrete
+    Gaussian stencil *ball* around ``i``'s grid point (sigma scales with
+    ``spread`` and the target cardinality), plus a small
+    ``long_range_fraction`` of uniform pins (fill-in / multi-physics
+    coupling).
+
+    The multi-dimensional structure matters: a 1-D band would make every
+    partition talk only to its two id-neighbours, gifting architecture-
+    blind recursive bisection a near-optimal rank placement by pure
+    numbering luck.  On a real 3-D FEM matrix (``2cubes_sphere``,
+    ``ship_001``) or a 2-D shell (``ABACUS_shell_hd``) each sub-domain has
+    many neighbours, so *which* partition lands on *which* physical core
+    is a genuine optimisation problem — the one HyperPRAW-aware solves.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("dims", dims)
+    check_probability("long_range_fraction", long_range_fraction)
+    rng = as_generator(seed)
+    num_edges = num_vertices
+    side = int(np.ceil(num_vertices ** (1.0 / dims)))
+    shape = np.full(dims, side, dtype=np.int64)
+
+    # Stencil sigma per axis: a Gaussian ball holding ~mean_cardinality
+    # points has radius ~ (card)^(1/dims); sigma of half that radius keeps
+    # most mass inside.
+    sigma = max(0.6, spread * (mean_cardinality ** (1.0 / dims)) / 2.0)
+    # Effective window for the de-dup oversampling correction: the ball's
+    # per-axis extent (~4 sigma) capped by the grid side.
+    extent = min(float(side), 4.0 * sigma + 1.0)
+    window = extent**dims
+    drawn_mean = _oversample_for_window(mean_cardinality - 1, window)
+    cards = _draw_cardinalities(rng, num_edges, drawn_mean, minimum=1)
+    total = int(cards.sum())
+
+    centers = np.repeat(np.arange(num_edges, dtype=np.int64), cards)
+    # Decompose flat centre ids into grid coordinates, jitter per axis,
+    # reflect at the grid boundary, and re-flatten.
+    flat = np.zeros(total, dtype=np.int64)
+    stride = 1
+    for d in range(dims):
+        coord = (centers // stride) % side
+        offs = np.rint(rng.normal(0.0, sigma, size=total)).astype(np.int64)
+        c = coord + offs
+        c = np.abs(c)
+        over = c > side - 1
+        c[over] = 2 * (side - 1) - c[over]
+        np.clip(c, 0, side - 1, out=c)
+        flat += c * stride
+        stride *= side
+    pins = flat
+    # The grid may be slightly larger than V; fold overflow back in.
+    pins = np.mod(pins, num_vertices)
+    far = rng.random(total) < long_range_fraction
+    pins[far] = rng.integers(0, num_vertices, size=int(far.sum()), dtype=np.int64)
+
+    # Prepend the diagonal entry of every row.
+    diag = np.arange(num_edges, dtype=np.int64)
+    all_cards = cards + 1
+    ptr = np.zeros(num_edges + 1, dtype=np.int64)
+    np.cumsum(all_cards, out=ptr[1:])
+    merged = np.empty(int(all_cards.sum()), dtype=np.int64)
+    merged[ptr[:-1]] = diag
+    body_mask = np.ones(merged.size, dtype=bool)
+    body_mask[ptr[:-1]] = False
+    merged[body_mask] = pins
+    return Hypergraph.from_csr_arrays(num_vertices, ptr, merged, name=name)
+
+
+def contact_hypergraph(
+    num_vertices: int,
+    mean_cardinality: float,
+    *,
+    cluster_size: int | None = None,
+    intra_cluster_prob: float = 0.9,
+    seed=None,
+    name: str = "contact",
+) -> Hypergraph:
+    """Row-net hypergraph of a clustered, very dense contact map.
+
+    Vertices are grouped into contiguous clusters (protein domains); row
+    ``i`` draws most pins from its own cluster and a few from anywhere.
+    Reproduces ``pdb1HYS``: enormous average cardinality (119 pins/row)
+    with block community structure.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_probability("intra_cluster_prob", intra_cluster_prob)
+    rng = as_generator(seed)
+    if cluster_size is None:
+        cluster_size = max(4, int(mean_cardinality * 1.5))
+    cluster_size = min(cluster_size, num_vertices)
+    num_edges = num_vertices
+    # Correct for in-cluster pin collisions so the realised mean
+    # cardinality matches the target (see _oversample_for_window).
+    intra_target = intra_cluster_prob * mean_cardinality
+    factor = (
+        _oversample_for_window(intra_target, cluster_size) / intra_target
+        if intra_target > 0
+        else 1.0
+    )
+    cards = _draw_cardinalities(rng, num_edges, mean_cardinality * factor, minimum=2)
+    total = int(cards.sum())
+    rows = np.repeat(np.arange(num_edges, dtype=np.int64), cards)
+    cluster_of = rows // cluster_size
+    cluster_start = cluster_of * cluster_size
+    cluster_end = np.minimum(cluster_start + cluster_size, num_vertices)
+    local = rng.random(total) < intra_cluster_prob
+    span = cluster_end - cluster_start
+    pins = np.where(
+        local,
+        cluster_start + (rng.random(total) * span).astype(np.int64),
+        rng.integers(0, num_vertices, size=total, dtype=np.int64),
+    )
+    np.clip(pins, 0, num_vertices - 1, out=pins)
+    return _assemble(num_vertices, None, pins, name, cards)
+
+
+# ----------------------------------------------------------------------
+# SAT families
+# ----------------------------------------------------------------------
+def sat_instance(
+    num_variables: int,
+    num_clauses: int,
+    mean_clause_size: float,
+    *,
+    locality_window: float = 0.05,
+    cross_community_prob: float = 0.25,
+    community_degree: int = 4,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a random SAT formula with *community* variable locality.
+
+    Returns CSR arrays ``(clause_ptr, clause_vars)``.  Variables are
+    grouped into contiguous communities of ``locality_window *
+    num_variables`` variables (circuit modules).  Each clause belongs to a
+    random community and draws each literal from its own community with
+    probability ``1 - cross_community_prob``, otherwise from one of the
+    community's ``community_degree`` *partner* communities, chosen
+    uniformly at random per instance.
+
+    The partner graph is a random graph, **not** a chain: real SAT
+    competition formulas couple modules through shared signals that have
+    no linear layout.  (A sliding-window generator would arrange
+    communities on a line — a structure so easy to embed that any
+    recursive-bisection partitioner's sequential part numbering would
+    accidentally yield a near-optimal physical placement, hiding exactly
+    the effect the paper measures.)
+    """
+    check_positive("num_variables", num_variables)
+    check_positive("num_clauses", num_clauses)
+    check_probability("locality_window", locality_window)
+    check_probability("cross_community_prob", cross_community_prob)
+    check_positive("community_degree", community_degree)
+    rng = as_generator(seed)
+    sizes = _draw_cardinalities(rng, num_clauses, mean_clause_size, minimum=2)
+    total = int(sizes.sum())
+
+    comm_size = max(2, int(locality_window * num_variables))
+    n_comm = max(1, -(-num_variables // comm_size))
+    # Random partner graph over communities (fixed per instance).
+    partners = rng.integers(0, n_comm, size=(n_comm, community_degree))
+
+    clause_comm = rng.integers(0, n_comm, size=num_clauses, dtype=np.int64)
+    comm_rep = np.repeat(clause_comm, sizes)
+    # Per literal: stay in the clause's community, or hop to a partner.
+    hop = rng.random(total) < cross_community_prob
+    partner_pick = rng.integers(0, community_degree, size=total)
+    lit_comm = np.where(hop, partners[comm_rep, partner_pick], comm_rep)
+    # Uniform variable within the chosen community (clipped at the tail).
+    start = lit_comm * comm_size
+    span = np.minimum(start + comm_size, num_variables) - start
+    vars_ = start + (rng.random(total) * span).astype(np.int64)
+    np.clip(vars_, 0, num_variables - 1, out=vars_)
+    ptr = np.zeros(num_clauses + 1, dtype=np.int64)
+    np.cumsum(sizes, out=ptr[1:])
+    return ptr, vars_
+
+
+def sat_primal_hypergraph(
+    num_variables: int,
+    num_clauses: int,
+    mean_clause_size: float,
+    *,
+    locality_window: float = 0.05,
+    cross_community_prob: float = 0.25,
+    community_degree: int = 4,
+    seed=None,
+    name: str = "sat-primal",
+) -> Hypergraph:
+    """Primal SAT hypergraph: vertices are variables, hyperedges are clauses.
+
+    SAT-competition primal instances have hyperedge/vertex ratios far above
+    one (e.g. the paper's ``sat14_10pipe_q0_k primal``: 26.8 hyperedges per
+    vertex) with tiny cardinalities.
+    """
+    ptr, vars_ = sat_instance(
+        num_variables,
+        num_clauses,
+        mean_clause_size,
+        locality_window=locality_window,
+        cross_community_prob=cross_community_prob,
+        community_degree=community_degree,
+        seed=seed,
+    )
+    return Hypergraph.from_csr_arrays(num_variables, ptr, vars_, name=name)
+
+
+def sat_dual_hypergraph(
+    num_variables: int,
+    num_clauses: int,
+    mean_clause_size: float,
+    *,
+    locality_window: float = 0.05,
+    cross_community_prob: float = 0.25,
+    community_degree: int = 4,
+    seed=None,
+    name: str = "sat-dual",
+) -> Hypergraph:
+    """Dual SAT hypergraph: vertices are clauses, hyperedges are variables.
+
+    A variable's hyperedge pins every clause it occurs in.  Dual instances
+    have hyperedge/vertex ratios below one (paper: 0.34 and 0.11) with
+    moderate-to-large cardinalities.
+    """
+    primal = sat_primal_hypergraph(
+        num_variables,
+        num_clauses,
+        mean_clause_size,
+        locality_window=locality_window,
+        cross_community_prob=cross_community_prob,
+        community_degree=community_degree,
+        seed=seed,
+        name="tmp-primal",
+    )
+    return dual_hypergraph(primal, name=name)
+
+
+def dual_hypergraph(hg: Hypergraph, *, name: str | None = None) -> Hypergraph:
+    """Swap the roles of vertices and hyperedges.
+
+    The dual's hyperedge for vertex ``v`` pins all hyperedges of ``hg``
+    incident to ``v``.  Vertices of ``hg`` that occur in no hyperedge would
+    produce empty dual hyperedges and are dropped.
+    """
+    degrees = np.diff(hg.vertex_ptr)
+    keep = degrees > 0
+    if keep.all():
+        ptr, pins = hg.vertex_ptr, hg.vertex_edges
+    else:
+        lengths = degrees[keep]
+        ptr = np.zeros(int(keep.sum()) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=ptr[1:])
+        starts = hg.vertex_ptr[:-1][keep]
+        idx = np.concatenate(
+            [np.arange(s, s + l) for s, l in zip(starts, lengths)]
+        ) if lengths.size else np.empty(0, dtype=np.int64)
+        pins = hg.vertex_edges[idx]
+    return Hypergraph.from_csr_arrays(
+        hg.num_edges, ptr, pins, name=name or f"{hg.name}-dual"
+    )

@@ -1,0 +1,31 @@
+"""Baseline partitioners.
+
+The paper benchmarks HyperPRAW against Zoltan's multilevel recursive
+bisection; we re-implement that family from scratch plus two cheaper
+baselines used in tests and ablations:
+
+* :class:`~repro.partitioning.multilevel.MultilevelRB` — multilevel
+  recursive bisection: heavy-connectivity coarsening, greedy hypergraph
+  growing initial bisection, Fiduccia–Mattheyses boundary refinement at
+  every level (the Zoltan/PaToH/hMetis algorithm family).
+* :class:`~repro.partitioning.fennel.FennelStreaming` — single-pass
+  FENNEL-style streaming baseline generalised to hypergraphs.
+* :mod:`~repro.partitioning.simple` — random, round-robin and contiguous-
+  chunk assignments (controls and worst/best-case references).
+"""
+
+from repro.partitioning.multilevel import MultilevelRB
+from repro.partitioning.fennel import FennelStreaming
+from repro.partitioning.simple import (
+    RandomPartitioner,
+    RoundRobinPartitioner,
+    ContiguousPartitioner,
+)
+
+__all__ = [
+    "MultilevelRB",
+    "FennelStreaming",
+    "RandomPartitioner",
+    "RoundRobinPartitioner",
+    "ContiguousPartitioner",
+]

@@ -1,0 +1,29 @@
+"""Multilevel recursive-bisection hypergraph partitioner (Zoltan stand-in).
+
+The paper benchmarks against "a state-of-the-art multilevel recursive
+bisection partitioning algorithm (Zoltan implementation)".  Zoltan itself
+is a C library; this subpackage re-implements the same algorithm family
+from scratch:
+
+1. **Coarsening** (:mod:`~repro.partitioning.multilevel.coarsen`) —
+   heavy-connectivity vertex matching: pairs of vertices sharing many
+   small hyperedges are merged, identical nets are collapsed, singleton
+   nets dropped, until the hypergraph is small.
+2. **Initial bisection**
+   (:mod:`~repro.partitioning.multilevel.initial`) — greedy hypergraph
+   growing from random seeds, best of several trials.
+3. **Refinement** (:mod:`~repro.partitioning.multilevel.fm`) —
+   Fiduccia–Mattheyses single-vertex moves with a lazy priority queue,
+   per-pass rollback to the best prefix, at every uncoarsening level.
+4. **Recursive bisection**
+   (:mod:`~repro.partitioning.multilevel.driver`) — split into
+   ``ceil(k/2)`` / ``floor(k/2)`` with proportional target weights, then
+   recurse on induced sub-hypergraphs.
+
+Like Zoltan in the paper, the partitioner is architecture-blind: it
+minimises (uniform-cost) hyperedge cut and ignores ``cost_matrix``.
+"""
+
+from repro.partitioning.multilevel.driver import MultilevelRB
+
+__all__ = ["MultilevelRB"]

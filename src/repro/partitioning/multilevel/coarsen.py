@@ -1,0 +1,176 @@
+"""Coarsening: heavy-connectivity matching and contraction.
+
+Matching pairs vertices that communicate heavily.  The score of matching
+``v`` with ``u`` is the standard heavy-connectivity weight
+
+.. math:: \\sum_{e \\ni v, u} \\frac{w_e}{|e| - 1}
+
+(each shared hyperedge contributes its weight spread over its pins), so
+small nets — the ones a bisection can actually save — dominate the choice.
+Very large nets are skipped during scoring (``max_scored_cardinality``):
+they are cheap to cut per pin and scoring them costs O(|e|) per vertex.
+
+Contraction merges matched pairs, sums vertex weights, re-maps every net,
+de-duplicates pins, drops nets reduced to a single pin and collapses
+parallel (identical) nets into one with summed weight — all standard
+multilevel hygiene (hMetis, PaToH and Zoltan do the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hypergraph.model import Hypergraph
+from repro.utils.rng import as_generator
+
+__all__ = ["CoarseLevel", "heavy_connectivity_matching", "contract", "coarsen_hierarchy"]
+
+
+@dataclass(frozen=True)
+class CoarseLevel:
+    """One level of the coarsening hierarchy.
+
+    ``vertex_map[v_fine] -> v_coarse`` projects assignments back up during
+    uncoarsening.
+    """
+
+    hypergraph: Hypergraph
+    vertex_map: np.ndarray
+
+
+def heavy_connectivity_matching(
+    hg: Hypergraph,
+    *,
+    seed=None,
+    max_scored_cardinality: int = 300,
+) -> np.ndarray:
+    """Greedy heavy-connectivity matching.
+
+    Returns ``match`` with ``match[v] == u`` for matched pairs (symmetric)
+    and ``match[v] == v`` for unmatched vertices.  Vertices are visited in
+    a random order; each unmatched vertex greedily grabs the unmatched
+    neighbour with the highest connectivity score.
+    """
+    n = hg.num_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    rng = as_generator(seed)
+    order = rng.permutation(n)
+    cards = hg.cardinalities()
+    # Per-pin score contribution of each hyperedge: w_e / (|e| - 1).
+    contrib = np.where(cards > 1, hg.edge_weights / np.maximum(cards - 1, 1), 0.0)
+    scoreable = cards <= max_scored_cardinality
+
+    for v in order:
+        if match[v] != -1:
+            continue
+        rows = hg.edges_of(v)
+        rows = rows[scoreable[rows]]
+        best_u = -1
+        if rows.size:
+            # Gather all co-pins of v's (scoreable) hyperedges with their
+            # per-edge contribution, then accumulate per candidate.
+            starts = hg.edge_ptr[rows]
+            ends = hg.edge_ptr[rows + 1]
+            lengths = ends - starts
+            pin_idx = np.concatenate(
+                [np.arange(s, e) for s, e in zip(starts, ends)]
+            )
+            cands = hg.edge_pins[pin_idx]
+            weights = np.repeat(contrib[rows], lengths)
+            valid = (cands != v) & (match[cands] == -1)
+            cands = cands[valid]
+            if cands.size:
+                weights = weights[valid]
+                scores = np.bincount(cands, weights=weights)
+                best_u = int(np.argmax(scores))
+                if scores[best_u] <= 0:
+                    best_u = -1
+        if best_u >= 0:
+            match[v] = best_u
+            match[best_u] = v
+        else:
+            match[v] = v
+    return match
+
+
+def contract(hg: Hypergraph, match: np.ndarray) -> CoarseLevel:
+    """Contract matched pairs into a coarser hypergraph."""
+    match = np.asarray(match, dtype=np.int64)
+    if match.shape != (hg.num_vertices,):
+        raise ValueError(
+            f"match must have shape ({hg.num_vertices},), got {match.shape}"
+        )
+    # Representative of each pair = smaller id; unique -> coarse ids.
+    rep = np.minimum(match, np.arange(hg.num_vertices, dtype=np.int64))
+    unique_reps, vertex_map = np.unique(rep, return_inverse=True)
+    n_coarse = unique_reps.size
+    coarse_vw = np.bincount(
+        vertex_map, weights=hg.vertex_weights, minlength=n_coarse
+    )
+
+    # Re-map nets, de-duplicate pins per net, drop singletons, merge
+    # parallel nets (dict keyed on the sorted pin tuple).
+    mapped = vertex_map[hg.edge_pins]
+    merged: dict[tuple, float] = {}
+    for e in range(hg.num_edges):
+        pins = np.unique(mapped[hg.edge_ptr[e] : hg.edge_ptr[e + 1]])
+        if pins.size < 2:
+            continue
+        key = tuple(pins.tolist())
+        merged[key] = merged.get(key, 0.0) + float(hg.edge_weights[e])
+
+    if merged:
+        keys = list(merged.keys())
+        lengths = np.fromiter((len(k) for k in keys), dtype=np.int64, count=len(keys))
+        ptr = np.zeros(len(keys) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=ptr[1:])
+        pins_flat = np.fromiter(
+            (p for k in keys for p in k), dtype=np.int64, count=int(ptr[-1])
+        )
+        ew = np.fromiter((merged[k] for k in keys), dtype=np.float64, count=len(keys))
+    else:
+        ptr = np.zeros(1, dtype=np.int64)
+        pins_flat = np.empty(0, dtype=np.int64)
+        ew = np.empty(0, dtype=np.float64)
+
+    coarse = Hypergraph.from_csr_arrays(
+        n_coarse,
+        ptr,
+        pins_flat,
+        vertex_weights=coarse_vw,
+        edge_weights=ew if ew.size else None,
+        name=f"{hg.name}-coarse",
+    )
+    return CoarseLevel(hypergraph=coarse, vertex_map=vertex_map)
+
+
+def coarsen_hierarchy(
+    hg: Hypergraph,
+    *,
+    min_vertices: int = 60,
+    max_levels: int = 25,
+    stall_ratio: float = 0.95,
+    seed=None,
+) -> list[CoarseLevel]:
+    """Build the full coarsening hierarchy.
+
+    Level ``i``'s ``vertex_map`` maps level ``i-1`` vertices (level 0 maps
+    the input hypergraph) to level ``i`` vertices.  Stops when the coarse
+    hypergraph has at most ``min_vertices`` vertices, the reduction stalls
+    (coarse/fine vertex ratio above ``stall_ratio``), or no nets remain.
+    """
+    rng = as_generator(seed)
+    levels: list[CoarseLevel] = []
+    current = hg
+    for _ in range(max_levels):
+        if current.num_vertices <= min_vertices or current.num_edges == 0:
+            break
+        match = heavy_connectivity_matching(current, seed=rng)
+        level = contract(current, match)
+        if level.hypergraph.num_vertices >= stall_ratio * current.num_vertices:
+            break
+        levels.append(level)
+        current = level.hypergraph
+    return levels

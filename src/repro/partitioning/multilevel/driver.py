@@ -1,0 +1,207 @@
+"""Multilevel recursive bisection driver (the public Zoltan stand-in).
+
+One **bisection** is the full multilevel pipeline: coarsen the hypergraph
+to ~60 vertices, bisect the coarsest level with greedy hypergraph growing,
+then project the bisection back up level by level, running FM refinement
+at each level.  **k-way** partitioning recursively bisects with
+proportional target weights (``ceil(k/2) : floor(k/2)``), extracting the
+induced sub-hypergraph on each side (pins outside the side are dropped,
+and nets with fewer than two remaining pins vanish — they can no longer
+be cut inside the sub-problem).
+
+Per-bisection balance slack is the k-way tolerance amortised over the
+recursion depth, so the final k-way imbalance stays near the requested
+tolerance — the same scheme hMetis uses.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.base import Partitioner
+from repro.core.result import PartitionResult
+from repro.hypergraph.model import Hypergraph
+from repro.partitioning.multilevel.coarsen import coarsen_hierarchy
+from repro.partitioning.multilevel.fm import fm_refine
+from repro.partitioning.multilevel.initial import greedy_growing_bisection
+from repro.utils.rng import as_generator
+
+__all__ = ["MultilevelRB", "induced_subhypergraph"]
+
+
+def induced_subhypergraph(
+    hg: Hypergraph, vertex_mask: np.ndarray
+) -> tuple[Hypergraph, np.ndarray]:
+    """Extract the sub-hypergraph induced by ``vertex_mask``.
+
+    Pins outside the mask are removed from every net; nets left with
+    fewer than two pins are dropped.  Returns ``(sub_hg, global_ids)``
+    where ``global_ids[i]`` is the original id of sub-vertex ``i``.
+    """
+    vertex_mask = np.asarray(vertex_mask, dtype=bool)
+    if vertex_mask.shape != (hg.num_vertices,):
+        raise ValueError(
+            f"vertex_mask must have shape ({hg.num_vertices},), got {vertex_mask.shape}"
+        )
+    global_ids = np.flatnonzero(vertex_mask)
+    new_id = np.full(hg.num_vertices, -1, dtype=np.int64)
+    new_id[global_ids] = np.arange(global_ids.size)
+
+    pin_keep = vertex_mask[hg.edge_pins]
+    if hg.num_edges:
+        kept_per_edge = np.add.reduceat(
+            pin_keep.astype(np.int64), hg.edge_ptr[:-1]
+        )
+        kept_per_edge[np.diff(hg.edge_ptr) == 0] = 0
+    else:
+        kept_per_edge = np.zeros(0, dtype=np.int64)
+    keep_edges = kept_per_edge >= 2
+    kept_ids = np.flatnonzero(keep_edges)
+    lengths = kept_per_edge[kept_ids]
+    ptr = np.zeros(kept_ids.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=ptr[1:])
+    # Flat gather of the kept pins of the kept edges, in order.
+    edge_ids = np.repeat(np.arange(hg.num_edges, dtype=np.int64), np.diff(hg.edge_ptr))
+    take = pin_keep & keep_edges[edge_ids]
+    pins = new_id[hg.edge_pins[take]]
+    sub = Hypergraph.from_csr_arrays(
+        global_ids.size if global_ids.size else 1,
+        ptr,
+        pins,
+        vertex_weights=hg.vertex_weights[global_ids] if global_ids.size else None,
+        edge_weights=hg.edge_weights[kept_ids] if kept_ids.size else None,
+        name=f"{hg.name}-sub",
+    )
+    return sub, global_ids
+
+
+class MultilevelRB(Partitioner):
+    """Multilevel recursive-bisection partitioner.
+
+    Parameters
+    ----------
+    imbalance_tolerance:
+        final k-way max/mean load target (matches HyperPRAW's tolerance so
+        the Figure 4/5 comparison is balanced-for-balanced).
+    min_coarse_vertices:
+        coarsening stops below this size.
+    initial_trials:
+        greedy-growing restarts at the coarsest level.
+    fm_passes:
+        FM passes per uncoarsening level.
+    """
+
+    name = "multilevel-rb"
+
+    def __init__(
+        self,
+        *,
+        imbalance_tolerance: float = 1.1,
+        min_coarse_vertices: int = 60,
+        initial_trials: int = 4,
+        fm_passes: int = 3,
+    ):
+        if imbalance_tolerance < 1.0:
+            raise ValueError(
+                f"imbalance_tolerance must be >= 1, got {imbalance_tolerance}"
+            )
+        self.imbalance_tolerance = float(imbalance_tolerance)
+        self.min_coarse_vertices = int(min_coarse_vertices)
+        self.initial_trials = int(initial_trials)
+        self.fm_passes = int(fm_passes)
+
+    # ------------------------------------------------------------------
+    def partition(self, hg, num_parts, *, cost_matrix=None, seed=None) -> PartitionResult:
+        """Partition ``hg``; ``cost_matrix`` is ignored (architecture-blind)."""
+        self._check_args(hg, num_parts)
+        rng = as_generator(seed)
+        t0 = time.perf_counter()
+        assignment = np.zeros(hg.num_vertices, dtype=np.int64)
+        depth = max(1, math.ceil(math.log2(num_parts))) if num_parts > 1 else 1
+        # Amortise the k-way tolerance over the bisection depth.
+        slack = self.imbalance_tolerance ** (1.0 / depth)
+        slack = max(slack, 1.02)  # numeric floor so FM has room to move
+        self._recurse(hg, np.arange(hg.num_vertices), num_parts, 0, assignment, rng, slack)
+        return PartitionResult(
+            assignment=assignment,
+            num_parts=num_parts,
+            algorithm=self.name,
+            metadata={
+                "imbalance_tolerance": self.imbalance_tolerance,
+                "bisection_slack": slack,
+                "wall_time_s": time.perf_counter() - t0,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _recurse(
+        self,
+        sub: Hypergraph,
+        global_ids: np.ndarray,
+        k: int,
+        part_offset: int,
+        assignment: np.ndarray,
+        rng: np.random.Generator,
+        slack: float,
+    ) -> None:
+        if k == 1 or sub.num_vertices == 0:
+            assignment[global_ids] = part_offset
+            return
+        k0 = (k + 1) // 2
+        k1 = k - k0
+        total_w = sub.total_vertex_weight()
+        target0 = total_w * (k0 / k)
+        side = self._bisect(sub, target0, (target0, total_w - target0), rng, slack)
+        mask0 = side == 0
+        if mask0.all() or (~mask0).all():
+            # Degenerate bisection (tiny sub-problem): force a weight split.
+            order = np.argsort(-sub.vertex_weights, kind="stable")
+            mask0 = np.zeros(sub.num_vertices, dtype=bool)
+            acc = 0.0
+            for v in order:
+                if acc < target0:
+                    mask0[v] = True
+                    acc += sub.vertex_weights[v]
+            if mask0.all():
+                mask0[order[-1]] = False
+        sub0, ids0 = induced_subhypergraph(sub, mask0)
+        sub1, ids1 = induced_subhypergraph(sub, ~mask0)
+        self._recurse(sub0, global_ids[ids0], k0, part_offset, assignment, rng, slack)
+        self._recurse(sub1, global_ids[ids1], k1, part_offset + k0, assignment, rng, slack)
+
+    def _bisect(
+        self,
+        sub: Hypergraph,
+        target0: float,
+        targets: tuple,
+        rng: np.random.Generator,
+        slack: float,
+    ) -> np.ndarray:
+        """Full multilevel bisection of ``sub``; returns a 0/1 side vector."""
+        levels = coarsen_hierarchy(
+            sub, min_vertices=self.min_coarse_vertices, seed=rng
+        )
+        coarsest = levels[-1].hypergraph if levels else sub
+        # Coarse target weights scale with the *sub*-problem totals: the
+        # coarsening preserves total vertex weight exactly.
+        side = greedy_growing_bisection(
+            coarsest, target0, trials=self.initial_trials, seed=rng
+        )
+        side, _ = fm_refine(
+            coarsest, side, targets, slack=slack, max_passes=self.fm_passes
+        )
+        # Uncoarsen: project through each level's vertex_map and refine.
+        for level in reversed(levels):
+            side = side[level.vertex_map]
+            fine = (
+                sub
+                if level is levels[0]
+                else levels[levels.index(level) - 1].hypergraph
+            )
+            side, _ = fm_refine(
+                fine, side, targets, slack=slack, max_passes=self.fm_passes
+            )
+        return np.asarray(side, dtype=np.int8)

@@ -1,0 +1,180 @@
+"""Fiduccia–Mattheyses bisection refinement.
+
+Classic FM with a lazy-invalidation priority queue: repeatedly move the
+highest-gain unlocked vertex to the other side (respecting the balance
+caps), lock it, update the gains of pins on *critical* nets, and at the
+end of the pass roll back to the best prefix seen.  Passes repeat until a
+pass yields no improvement.
+
+Gain bookkeeping uses per-net side counts ``counts[e] = (pins in 0, pins
+in 1)``: moving ``v`` from side ``s`` gains ``w_e`` for every net where
+``v`` is the last ``s``-side pin (the net becomes uncut) and loses ``w_e``
+for every net that had no pin on the other side (the net becomes cut).
+Only nets whose counts pass near 0/1/2 can change other pins' gains, so
+updates touch a small neighbourhood per move.
+
+Balance: a move is feasible when the receiving side stays under its cap,
+or when it strictly reduces the total overload (so FM can also *repair*
+an unbalanced initial partition).  Best-prefix selection prefers balanced
+prefixes, then lower cut.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.hypergraph.model import Hypergraph
+from repro.partitioning.multilevel.initial import bisection_cut
+
+__all__ = ["fm_refine", "initial_gains"]
+
+
+def initial_gains(hg: Hypergraph, side: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Vectorised FM gains for every vertex (one pass over all pins)."""
+    if hg.num_edges == 0:
+        return np.zeros(hg.num_vertices)
+    edge_ids = np.repeat(
+        np.arange(hg.num_edges, dtype=np.int64), np.diff(hg.edge_ptr)
+    )
+    pin_sides = side[hg.edge_pins].astype(np.int64)
+    own = counts[edge_ids, pin_sides]
+    other = counts[edge_ids, 1 - pin_sides]
+    contrib = hg.edge_weights[edge_ids] * (
+        (own == 1).astype(np.float64) - (other == 0).astype(np.float64)
+    )
+    return np.bincount(hg.edge_pins, weights=contrib, minlength=hg.num_vertices)
+
+
+def _side_counts(hg: Hypergraph, side: np.ndarray) -> np.ndarray:
+    counts = np.zeros((hg.num_edges, 2), dtype=np.int64)
+    if hg.num_edges:
+        edge_ids = np.repeat(
+            np.arange(hg.num_edges, dtype=np.int64), np.diff(hg.edge_ptr)
+        )
+        keys = edge_ids * 2 + side[hg.edge_pins]
+        counts[:] = np.bincount(keys, minlength=hg.num_edges * 2).reshape(-1, 2)
+    return counts
+
+
+def _recompute_gain(hg: Hypergraph, counts: np.ndarray, side: np.ndarray, u: int) -> float:
+    rows = hg.edges_of(u)
+    if rows.size == 0:
+        return 0.0
+    s = int(side[u])
+    own = counts[rows, s]
+    other = counts[rows, 1 - s]
+    return float(
+        (
+            hg.edge_weights[rows]
+            * ((own == 1).astype(np.float64) - (other == 0).astype(np.float64))
+        ).sum()
+    )
+
+
+def fm_refine(
+    hg: Hypergraph,
+    side: np.ndarray,
+    target_weights: tuple,
+    *,
+    slack: float = 1.05,
+    max_passes: int = 4,
+) -> tuple[np.ndarray, float]:
+    """Refine a bisection in place; returns ``(side, cut)``.
+
+    Parameters
+    ----------
+    hg:
+        hypergraph being bisected.
+    side:
+        0/1 assignment; modified and also returned.
+    target_weights:
+        desired vertex-weight totals ``(w0, w1)``; caps are
+        ``target * slack``.
+    slack:
+        per-bisection balance slack multiplier (> 1).
+    max_passes:
+        maximum FM passes; each pass ends on queue exhaustion and rolls
+        back to its best prefix.
+    """
+    side = np.asarray(side, dtype=np.int8).copy()
+    if slack <= 1.0:
+        raise ValueError(f"slack must be > 1, got {slack}")
+    w0, w1 = float(target_weights[0]), float(target_weights[1])
+    caps = np.array([w0 * slack, w1 * slack])
+    counts = _side_counts(hg, side)
+    loads = np.array(
+        [
+            float(hg.vertex_weights[side == 0].sum()),
+            float(hg.vertex_weights[side == 1].sum()),
+        ]
+    )
+    cut = bisection_cut(hg, side)
+    vw = hg.vertex_weights
+
+    def overload(l) -> float:
+        return max(0.0, l[0] - caps[0]) + max(0.0, l[1] - caps[1])
+
+    for _ in range(max_passes):
+        gains = initial_gains(hg, side, counts)
+        locked = np.zeros(hg.num_vertices, dtype=bool)
+        heap = [(-gains[v], v) for v in range(hg.num_vertices)]
+        heapq.heapify(heap)
+        moves: list[int] = []
+        start_cut = cut
+        start_overload = overload(loads)
+        # Best prefix: (unbalanced?, cut, prefix length); prefix 0 = no move.
+        best = (start_overload > 1e-9, start_cut, 0)
+        while heap:
+            neg_g, v = heapq.heappop(heap)
+            if locked[v] or -neg_g != gains[v]:
+                continue  # stale entry
+            s = int(side[v])
+            t = 1 - s
+            new_loads = loads.copy()
+            new_loads[s] -= vw[v]
+            new_loads[t] += vw[v]
+            feasible = new_loads[t] <= caps[t] or overload(new_loads) < overload(loads) - 1e-12
+            if not feasible:
+                locked[v] = True  # skip for the rest of this pass
+                continue
+            # apply the move
+            rows = hg.edges_of(v)
+            pre = counts[rows].copy()
+            counts[rows, s] -= 1
+            counts[rows, t] += 1
+            loads[:] = new_loads
+            side[v] = t
+            cut -= gains[v]
+            locked[v] = True
+            moves.append(v)
+            key = (overload(loads) > 1e-9, cut, len(moves))
+            if key[:2] < best[:2]:
+                best = key
+            # update gains on critical nets
+            for idx in range(rows.size):
+                cs, ct = int(pre[idx, s]), int(pre[idx, t])
+                if cs <= 2 or ct <= 1:
+                    e = rows[idx]
+                    for u in hg.edge(e):
+                        if not locked[u]:
+                            g = _recompute_gain(hg, counts, side, u)
+                            if g != gains[u]:
+                                gains[u] = g
+                                heapq.heappush(heap, (-g, int(u)))
+        # roll back to the best prefix
+        for v in reversed(moves[best[2] :]):
+            t = int(side[v])
+            s = 1 - t
+            rows = hg.edges_of(v)
+            counts[rows, t] -= 1
+            counts[rows, s] += 1
+            loads[t] -= vw[v]
+            loads[s] += vw[v]
+            side[v] = s
+        cut = best[1]
+        improved = (cut < start_cut - 1e-12) or (overload(loads) < start_overload - 1e-12)
+        if not improved:
+            break
+    return side, float(cut)

@@ -1,0 +1,109 @@
+"""Initial bisection of the coarsest hypergraph.
+
+Greedy hypergraph growing (GHG, as in PaToH): seed part 0 with a random
+vertex and repeatedly absorb the unassigned vertex most connected to part
+0 until it reaches its target weight; everything else is part 1.  Several
+trials from different seeds are scored by (cut, balance violation) and the
+best kept.  A weight-aware random bisection is used as fallback when the
+coarsest hypergraph has no nets at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.model import Hypergraph
+from repro.utils.rng import as_generator
+
+__all__ = ["greedy_growing_bisection", "random_bisection", "bisection_cut"]
+
+
+def bisection_cut(hg: Hypergraph, side: np.ndarray) -> float:
+    """Weighted cut of a two-way assignment (0/1 vector)."""
+    side = np.asarray(side)
+    pin_sides = side[hg.edge_pins]
+    # A net is cut iff its pins' sides are not all equal: detect via
+    # per-net min != max using reduceat over the CSR layout.
+    if hg.num_edges == 0:
+        return 0.0
+    mins = np.minimum.reduceat(pin_sides, hg.edge_ptr[:-1])
+    maxs = np.maximum.reduceat(pin_sides, hg.edge_ptr[:-1])
+    return float(hg.edge_weights[mins != maxs].sum())
+
+
+def random_bisection(hg: Hypergraph, target_w0: float, *, seed=None) -> np.ndarray:
+    """Weight-aware random split: shuffle, then fill part 0 to its target."""
+    rng = as_generator(seed)
+    order = rng.permutation(hg.num_vertices)
+    side = np.ones(hg.num_vertices, dtype=np.int8)
+    acc = 0.0
+    for v in order:
+        if acc >= target_w0:
+            break
+        side[v] = 0
+        acc += hg.vertex_weights[v]
+    return side
+
+
+def greedy_growing_bisection(
+    hg: Hypergraph,
+    target_w0: float,
+    *,
+    trials: int = 4,
+    seed=None,
+) -> np.ndarray:
+    """Best-of-``trials`` greedy hypergraph growing bisection.
+
+    Returns a 0/1 side vector.  Balance is primary (GHG stops exactly at
+    the target weight), cut is the tie-breaker across trials.
+    """
+    if hg.num_vertices < 2:
+        return np.zeros(hg.num_vertices, dtype=np.int8)
+    rng = as_generator(seed)
+    if hg.num_edges == 0:
+        return random_bisection(hg, target_w0, seed=rng)
+
+    cards = hg.cardinalities()
+    contrib = np.where(cards > 1, hg.edge_weights / np.maximum(cards - 1, 1), 0.0)
+    best_side: np.ndarray | None = None
+    best_key: tuple | None = None
+
+    for _ in range(max(1, trials)):
+        side = np.ones(hg.num_vertices, dtype=np.int8)
+        in_part0 = np.zeros(hg.num_vertices, dtype=bool)
+        gain = np.zeros(hg.num_vertices, dtype=np.float64)
+        seed_v = int(rng.integers(hg.num_vertices))
+        frontier_seeded = False
+        acc = 0.0
+        while acc < target_w0:
+            if not frontier_seeded:
+                v = seed_v
+                frontier_seeded = True
+            else:
+                masked = np.where(in_part0, -np.inf, gain)
+                v = int(np.argmax(masked))
+                if not np.isfinite(masked[v]):
+                    break
+                if masked[v] <= 0:
+                    # Disconnected frontier: jump to a fresh random seed.
+                    unassigned = np.flatnonzero(~in_part0)
+                    if unassigned.size == 0:
+                        break
+                    v = int(rng.choice(unassigned))
+            if in_part0[v]:
+                break
+            in_part0[v] = True
+            side[v] = 0
+            acc += hg.vertex_weights[v]
+            # Raise connectivity scores of co-pins.
+            for e in hg.edges_of(v):
+                pins = hg.edge(e)
+                gain[pins] += contrib[e]
+        cut = bisection_cut(hg, side)
+        balance_err = abs(acc - target_w0)
+        key = (cut, balance_err)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_side = side
+    assert best_side is not None
+    return best_side

@@ -1,0 +1,75 @@
+"""Trivial baseline partitioners.
+
+These are controls, not contenders: random assignment bounds the worst
+case, round-robin is HyperPRAW's own initialisation (so comparing against
+it isolates what the streaming passes add), and contiguous chunking is
+near-optimal for banded mesh instances (their natural ordering is already
+a good partition) — a useful sanity reference for the mesh stand-ins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Partitioner
+from repro.core.result import PartitionResult
+from repro.hypergraph.model import Hypergraph
+from repro.utils.rng import as_generator
+
+__all__ = ["RandomPartitioner", "RoundRobinPartitioner", "ContiguousPartitioner"]
+
+
+class RandomPartitioner(Partitioner):
+    """Uniform random assignment (seeded)."""
+
+    name = "random"
+
+    def partition(self, hg, num_parts, *, cost_matrix=None, seed=None) -> PartitionResult:
+        self._check_args(hg, num_parts)
+        rng = as_generator(seed)
+        assignment = rng.integers(0, num_parts, size=hg.num_vertices, dtype=np.int64)
+        return PartitionResult(
+            assignment=assignment,
+            num_parts=num_parts,
+            algorithm=self.name,
+            metadata={"seed": None if seed is None else int(seed) if isinstance(seed, (int, np.integer)) else "generator"},
+        )
+
+
+class RoundRobinPartitioner(Partitioner):
+    """``v -> v mod p`` — HyperPRAW's initial state (Algorithm 1, line 1)."""
+
+    name = "round-robin"
+
+    def partition(self, hg, num_parts, *, cost_matrix=None, seed=None) -> PartitionResult:
+        self._check_args(hg, num_parts)
+        assignment = np.arange(hg.num_vertices, dtype=np.int64) % num_parts
+        return PartitionResult(
+            assignment=assignment, num_parts=num_parts, algorithm=self.name
+        )
+
+
+class ContiguousPartitioner(Partitioner):
+    """Split the vertex id range into ``p`` weight-balanced contiguous chunks.
+
+    For row-net matrices with banded structure this is the classic 1-D
+    block distribution; it serves as a locality-preserving reference.
+    """
+
+    name = "contiguous"
+
+    def partition(self, hg, num_parts, *, cost_matrix=None, seed=None) -> PartitionResult:
+        self._check_args(hg, num_parts)
+        cumw = np.cumsum(hg.vertex_weights)
+        total = cumw[-1]
+        # Chunk k ends at the first vertex whose cumulative weight reaches
+        # k/p of the total (that vertex included); searchsorted gives
+        # balanced contiguous blocks even with heterogeneous weights.
+        targets = total * (np.arange(1, num_parts, dtype=np.float64) / num_parts)
+        boundaries = np.searchsorted(cumw, targets, side="left") + 1
+        assignment = np.zeros(hg.num_vertices, dtype=np.int64)
+        for k, b in enumerate(boundaries, start=1):
+            assignment[b:] = k
+        return PartitionResult(
+            assignment=assignment, num_parts=num_parts, algorithm=self.name
+        )

@@ -1,0 +1,43 @@
+"""Simulated message-passing substrate.
+
+The paper runs its profiler and its synthetic benchmark as real MPI jobs on
+ARCHER.  Offline we replace the MPI runtime with a simulator that charges
+each message the classic latency/bandwidth cost
+
+.. math:: t(i, j, s) = \\lambda_{ij} + s / \\beta_{ij}
+
+over the ground-truth matrices from :mod:`repro.architecture`, and models
+endpoint contention: a rank's NIC serialises its sends, and independently
+serialises its receives (single-port full-duplex model, standard in LogGP-
+style analyses).  Everything the paper measures — per-pair bandwidth during
+profiling, per-pair traffic patterns, total exchange runtime — is exposed:
+
+* :class:`~repro.simcomm.message.Flow` — an aggregated message stream
+  between two ranks;
+* :class:`~repro.simcomm.network.LinkModel` — the latency/bandwidth cost
+  surface;
+* :class:`~repro.simcomm.simulator.ClusterSimulator` — runs a set of flows
+  to completion and reports the simulated makespan plus per-rank busy
+  times (two models: event-driven endpoint serialisation, and a cheap
+  analytic bottleneck bound);
+* :class:`~repro.simcomm.trace.TrafficTrace` — accumulates the bytes-sent
+  matrix plotted in Figures 1B and 6B–D;
+* :mod:`~repro.simcomm.collectives` — closed-form estimates for
+  barrier/allreduce used by the benchmark's per-timestep synchronisation.
+"""
+
+from repro.simcomm.message import Flow
+from repro.simcomm.network import LinkModel
+from repro.simcomm.simulator import ClusterSimulator, ExchangeResult
+from repro.simcomm.trace import TrafficTrace
+from repro.simcomm.collectives import barrier_time, allreduce_time
+
+__all__ = [
+    "Flow",
+    "LinkModel",
+    "ClusterSimulator",
+    "ExchangeResult",
+    "TrafficTrace",
+    "barrier_time",
+    "allreduce_time",
+]

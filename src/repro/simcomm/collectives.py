@@ -1,0 +1,54 @@
+"""Closed-form collective-operation timing estimates.
+
+The synthetic benchmark synchronises all ranks once per timestep (the
+paper's null-compute loop is a bulk-synchronous exchange).  We charge a
+standard binomial-tree estimate over the *worst* link in the job: for
+``p`` ranks, ``ceil(log2 p)`` rounds of one small message each.
+
+These are deliberately coarse — collectives contribute a constant per-step
+overhead that is identical across partitioners, so they never change the
+paper's comparisons; they exist so absolute simulated runtimes include the
+synchronisation floor a real bulk-synchronous code pays.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.simcomm.network import LinkModel
+
+__all__ = ["barrier_time", "allreduce_time", "tree_rounds"]
+
+
+def tree_rounds(num_ranks: int) -> int:
+    """Rounds of a binomial-tree collective over ``num_ranks`` ranks."""
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+    return int(math.ceil(math.log2(num_ranks))) if num_ranks > 1 else 0
+
+
+def _worst_small_message(link: LinkModel, payload_bytes: float) -> float:
+    n = link.num_ranks
+    if n == 1:
+        return 0.0
+    off = ~np.eye(n, dtype=bool)
+    lat = link.latency_s[off].max()
+    bw = link.bandwidth_mbs[off].min() * 1e6
+    return float(lat + payload_bytes / bw)
+
+
+def barrier_time(link: LinkModel) -> float:
+    """Estimated seconds for a barrier (8-byte token messages)."""
+    return tree_rounds(link.num_ranks) * _worst_small_message(link, 8.0)
+
+
+def allreduce_time(link: LinkModel, payload_bytes: float = 8.0) -> float:
+    """Estimated seconds for an allreduce of ``payload_bytes``.
+
+    Reduce + broadcast over a binomial tree: twice the tree depth.
+    """
+    if payload_bytes < 0:
+        raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    return 2 * tree_rounds(link.num_ranks) * _worst_small_message(link, payload_bytes)

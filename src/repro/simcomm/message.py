@@ -1,0 +1,61 @@
+"""Message primitives for the cluster simulator.
+
+The synthetic benchmark generates an enormous number of *logical* messages
+(one per pair of cut pins per hyperedge per timestep).  Simulating each
+individually would be pointless detail: what determines time is, per
+(source, destination) pair, **how many** messages were sent (latency term)
+and **how many bytes** in total (bandwidth term).  A :class:`Flow`
+aggregates exactly that, so the simulator's event count is bounded by
+``p^2`` rather than the number of logical messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Flow"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """An aggregated unidirectional message stream ``src -> dst``.
+
+    Attributes
+    ----------
+    src, dst:
+        endpoint ranks; must differ (self-messages are free and never
+        enter the simulator).
+    total_bytes:
+        sum of payload sizes over all aggregated messages.
+    num_messages:
+        number of logical messages aggregated (each pays the link latency).
+    """
+
+    src: int
+    dst: int
+    total_bytes: float
+    num_messages: int = 1
+
+    def __post_init__(self):
+        if self.src == self.dst:
+            raise ValueError(f"flow endpoints must differ, got src == dst == {self.src}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"ranks must be non-negative, got ({self.src}, {self.dst})")
+        if self.total_bytes < 0:
+            raise ValueError(f"total_bytes must be >= 0, got {self.total_bytes}")
+        if self.num_messages < 1:
+            raise ValueError(f"num_messages must be >= 1, got {self.num_messages}")
+
+    def merged_with(self, other: "Flow") -> "Flow":
+        """Combine two flows over the same link."""
+        if (self.src, self.dst) != (other.src, other.dst):
+            raise ValueError(
+                f"cannot merge flows over different links: "
+                f"({self.src},{self.dst}) vs ({other.src},{other.dst})"
+            )
+        return Flow(
+            self.src,
+            self.dst,
+            self.total_bytes + other.total_bytes,
+            self.num_messages + other.num_messages,
+        )

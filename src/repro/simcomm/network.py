@@ -1,0 +1,97 @@
+"""Link cost model: latency + size/bandwidth.
+
+This is the single place where simulated time comes from.  Both the ring
+profiler and the synthetic benchmark charge a flow of ``m`` messages
+totalling ``s`` bytes between ranks ``i`` and ``j``:
+
+.. math:: t = m \\cdot \\lambda_{ij} + s / \\beta_{ij}
+
+with :math:`\\lambda` in seconds and :math:`\\beta` in bytes/second
+(converted from the MB/s matrices of :mod:`repro.architecture.bandwidth`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simcomm.message import Flow
+from repro.utils.validation import check_square_matrix
+
+__all__ = ["LinkModel"]
+
+_MB = 1e6  # the paper's profiler reports MB/s; we use decimal megabytes
+
+
+class LinkModel:
+    """Latency/bandwidth cost surface over a set of ranks.
+
+    Parameters
+    ----------
+    bandwidth_mbs:
+        square matrix, peer-to-peer bandwidth in MB/s (diagonal ignored).
+    latency_s:
+        optional square matrix of one-way latencies in seconds; defaults
+        to zero latency (pure bandwidth model).
+    """
+
+    def __init__(self, bandwidth_mbs: np.ndarray, latency_s: "np.ndarray | None" = None):
+        self.bandwidth_mbs = check_square_matrix("bandwidth_mbs", bandwidth_mbs)
+        off = ~np.eye(self.num_ranks, dtype=bool)
+        if self.num_ranks > 1 and (self.bandwidth_mbs[off] <= 0).any():
+            raise ValueError("off-diagonal bandwidths must be positive")
+        if latency_s is None:
+            latency_s = np.zeros_like(self.bandwidth_mbs)
+        self.latency_s = check_square_matrix("latency_s", latency_s, self.num_ranks)
+        if (self.latency_s < 0).any():
+            raise ValueError("latencies must be non-negative")
+        self._bytes_per_s = self.bandwidth_mbs * _MB
+
+    @property
+    def num_ranks(self) -> int:
+        return self.bandwidth_mbs.shape[0]
+
+    # ------------------------------------------------------------------
+    def transfer_time(self, src: int, dst: int, nbytes: float, *, num_messages: int = 1) -> float:
+        """Simulated seconds to move ``nbytes`` as ``num_messages`` messages."""
+        if src == dst:
+            return 0.0
+        return (
+            num_messages * float(self.latency_s[src, dst])
+            + float(nbytes) / float(self._bytes_per_s[src, dst])
+        )
+
+    def flow_time(self, flow: Flow) -> float:
+        """Transfer time of an aggregated :class:`Flow`."""
+        return self.transfer_time(
+            flow.src, flow.dst, flow.total_bytes, num_messages=flow.num_messages
+        )
+
+    def flow_times(
+        self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray, num_messages: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`transfer_time` over parallel arrays."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        t = np.asarray(num_messages, dtype=np.float64) * self.latency_s[src, dst]
+        t += np.asarray(nbytes, dtype=np.float64) / self._bytes_per_s[src, dst]
+        return t
+
+    def effective_bandwidth_mbs(self, src: int, dst: int, nbytes: float) -> float:
+        """Observed MB/s for a single message of ``nbytes`` (what a
+        profiler measures: payload over end-to-end time, latency included)."""
+        t = self.transfer_time(src, dst, nbytes)
+        if t <= 0:
+            return float("inf")
+        return float(nbytes) / _MB / t
+
+    def __repr__(self) -> str:
+        off = ~np.eye(self.num_ranks, dtype=bool)
+        if self.num_ranks > 1:
+            lo = self.bandwidth_mbs[off].min()
+            hi = self.bandwidth_mbs[off].max()
+        else:
+            lo = hi = float("nan")
+        return (
+            f"LinkModel(ranks={self.num_ranks}, "
+            f"bw=[{lo:.0f}, {hi:.0f}] MB/s)"
+        )

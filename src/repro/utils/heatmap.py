@@ -1,0 +1,108 @@
+"""ASCII heatmap rendering for bandwidth / traffic matrices.
+
+Figures 1 and 6 of the paper are log-scaled process-by-process heatmaps.
+Offline we render them as character grids: the matrix is downsampled to a
+terminal-sized block grid, log-scaled, and mapped onto a density ramp.  This
+is enough to *see* the block-diagonal structure that the paper's argument
+rests on (fast intra-node links vs slow inter-node links) and to eyeball
+whether HyperPRAW-aware concentrates traffic on the diagonal blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "downsample_matrix", "log_scale"]
+
+# Dark -> bright density ramp (space means "no data / minimum").
+_RAMP = " .:-=+*#%@"
+
+
+def downsample_matrix(matrix: np.ndarray, max_size: int = 64) -> np.ndarray:
+    """Reduce an ``n x n`` matrix to at most ``max_size x max_size`` by block
+    averaging.
+
+    Block boundaries follow ``numpy.array_split`` semantics so any ``n`` is
+    supported; the result preserves coarse structure (node-diagonal blocks)
+    while fitting in a terminal.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    n = matrix.shape[0]
+    if n <= max_size:
+        return matrix.copy()
+    row_blocks = np.array_split(np.arange(n), max_size)
+    out = np.empty((max_size, max_size), dtype=np.float64)
+    # Two-pass block mean: rows first, then columns, so cost is O(n^2).
+    row_avg = np.empty((max_size, n))
+    for i, rb in enumerate(row_blocks):
+        row_avg[i] = matrix[rb].mean(axis=0)
+    for j, cb in enumerate(row_blocks):
+        out[:, j] = row_avg[:, cb].mean(axis=1)
+    return out
+
+
+def log_scale(matrix: np.ndarray, *, floor: float | None = None) -> np.ndarray:
+    """Log10-scale a non-negative matrix, mapping zeros to the observed floor.
+
+    ``floor`` overrides the smallest positive value used for zeros, which the
+    paper's plots implicitly do by plotting ``log(bytes sent)`` with empty
+    cells left blank.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if (matrix < 0).any():
+        raise ValueError("log_scale expects a non-negative matrix")
+    positive = matrix[matrix > 0]
+    if positive.size == 0:
+        return np.zeros_like(matrix)
+    lo = floor if floor is not None else float(positive.min())
+    clipped = np.maximum(matrix, lo)
+    return np.log10(clipped)
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    *,
+    max_size: int = 48,
+    log: bool = True,
+    title: str | None = None,
+    legend: bool = True,
+) -> str:
+    """Render a square matrix as an ASCII heatmap string.
+
+    Parameters
+    ----------
+    matrix:
+        square non-negative matrix (bandwidth in MB/s, bytes sent, ...).
+    max_size:
+        maximum rendered grid edge; larger matrices are block-averaged.
+    log:
+        apply log10 scaling first (as in the paper's figures).
+    title:
+        optional heading.
+    legend:
+        append the value range mapped to the ramp.
+    """
+    data = downsample_matrix(matrix, max_size=max_size)
+    raw_min, raw_max = float(np.min(matrix)), float(np.max(matrix))
+    if log:
+        data = log_scale(data)
+    lo, hi = float(data.min()), float(data.max())
+    span = hi - lo
+    if span <= 0:
+        idx = np.zeros(data.shape, dtype=int)
+    else:
+        idx = np.clip(((data - lo) / span) * (len(_RAMP) - 1), 0, len(_RAMP) - 1)
+        idx = idx.astype(int)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in idx:
+        lines.append("".join(_RAMP[i] for i in row))
+    if legend:
+        scale = "log10 " if log else ""
+        lines.append(
+            f"[{scale}ramp '{_RAMP.strip()}' spans {raw_min:.3g} .. {raw_max:.3g}]"
+        )
+    return "\n".join(lines)

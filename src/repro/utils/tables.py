@@ -1,0 +1,115 @@
+"""Fixed-width ASCII table rendering.
+
+The paper reports its evaluation in one table and five figures.  We have no
+plotting dependency offline, so every experiment driver renders its output as
+text: tables via :func:`format_table`, matrices via
+:mod:`repro.utils.heatmap`.  The format is intentionally close to what
+``tabulate`` would produce so output diffs are stable and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_kv", "format_number"]
+
+
+def format_number(value, *, precision: int = 3) -> str:
+    """Render a number compactly: ints verbatim, floats with ``precision``.
+
+    Large floats fall back to scientific notation so columns stay narrow.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _stringify(row: Sequence, precision: int) -> list[str]:
+    return [format_number(cell, precision=precision) for cell in row]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+    align_first_left: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        column names.
+    rows:
+        iterable of row sequences; cells are formatted with
+        :func:`format_number`.
+    title:
+        optional title printed above the table.
+    precision:
+        float precision for cells.
+    align_first_left:
+        left-align the first column (typically a name), right-align the rest
+        (typically numbers).
+
+    Returns
+    -------
+    str
+        the rendered table, ending without a trailing newline.
+    """
+    str_rows = [_stringify(r, precision) for r in rows]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(
+                f"row has {len(r)} cells but table has {ncols} columns: {r!r}"
+            )
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0 and align_first_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict, *, title: str | None = None, precision: int = 3) -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    if not pairs:
+        return title or ""
+    keys = [str(k) for k in pairs]
+    width = max(len(k) for k in keys)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for k, v in pairs.items():
+        lines.append(f"{str(k).ljust(width)} : {format_number(v, precision=precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Tiny wall-clock stopwatch used by the benchmark harnesses.
+
+The *simulated* clock of :mod:`repro.simcomm` is entirely separate — this
+module only measures how long the reproduction code itself takes to run,
+which the benchmark suite reports alongside simulated runtimes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("partition"):
+    ...     _ = sum(range(1000))
+    >>> sw.total("partition") >= 0.0
+    True
+    """
+
+    laps: dict = field(default_factory=dict)
+
+    def measure(self, name: str):
+        """Context manager accumulating elapsed seconds under ``name``."""
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.laps[name] = self.laps.get(name, 0.0) + float(seconds)
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 if never measured)."""
+        return self.laps.get(name, 0.0)
+
+    def summary(self) -> dict:
+        """Copy of all accumulated laps."""
+        return dict(self.laps)
+
+
+class _Lap:
+    def __init__(self, watch: Stopwatch, name: str):
+        self._watch = watch
+        self._name = name
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._watch.add(self._name, time.perf_counter() - self._start)
+        return False

@@ -1,0 +1,76 @@
+"""Argument-checking helpers shared by public constructors.
+
+Raising early with a precise message is cheaper than debugging a silent
+mis-shape three layers down a streaming pass.  All helpers return the checked
+value so they compose in assignments::
+
+    self.p = check_positive("num_partitions", num_partitions)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_array_shape",
+    "check_probability",
+    "check_square_matrix",
+]
+
+
+def check_positive(name: str, value, *, strict: bool = True):
+    """Validate ``value > 0`` (or ``>= 0`` when ``strict=False``)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value):
+    """Validate ``value >= 0``."""
+    return check_positive(name, value, strict=False)
+
+
+def check_probability(name: str, value):
+    """Validate ``0 <= value <= 1``."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value, lo, hi, *, inclusive: bool = True):
+    """Validate ``lo <= value <= hi`` (or strict inequalities)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        brackets = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {brackets[0]}{lo}, {hi}{brackets[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_array_shape(name: str, arr: np.ndarray, shape: tuple):
+    """Validate ``arr.shape == shape``; ``-1`` entries match any extent."""
+    arr = np.asarray(arr)
+    if len(arr.shape) != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {arr.shape}"
+        )
+    for got, want in zip(arr.shape, shape):
+        if want != -1 and got != want:
+            raise ValueError(f"{name} must have shape {shape}, got {arr.shape}")
+    return arr
+
+
+def check_square_matrix(name: str, arr: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Validate that ``arr`` is a square 2-D float array (optionally ``n x n``)."""
+    arr = np.asarray(arr, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"{name} must be {n}x{n}, got {arr.shape[0]}x{arr.shape[1]}")
+    return arr

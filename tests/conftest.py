@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+Conventions
+-----------
+* ``tiny_*`` fixtures are hand-checkable objects (a 6-vertex hypergraph,
+  a 4-rank machine) used by unit tests that assert exact values.
+* ``small_*`` fixtures are generated instances at reduced scale, used by
+  behavioural/integration tests.
+* Every stochastic fixture is seeded; the suite is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.architecture.bandwidth import archer_like_bandwidth
+from repro.architecture.cost import cost_matrix_from_bandwidth
+from repro.architecture.topology import archer_like_topology, flat_topology
+from repro.hypergraph.model import Hypergraph
+from repro.hypergraph.suite import load_instance
+from repro.simcomm.network import LinkModel
+
+
+@pytest.fixture
+def tiny_hypergraph() -> Hypergraph:
+    """6 vertices, 4 hyperedges — small enough to verify by hand.
+
+    Edges: {0,1,2}, {2,3}, {3,4,5}, {0,5}.
+    """
+    return Hypergraph(6, [[0, 1, 2], [2, 3], [3, 4, 5], [0, 5]], name="tiny")
+
+
+@pytest.fixture
+def two_cluster_hypergraph() -> Hypergraph:
+    """Two dense 5-vertex clusters joined by a single bridge hyperedge.
+
+    A structured instance with an obvious optimal bisection; used to
+    check that partitioners actually find structure.
+    """
+    cluster_a = [[0, 1, 2], [1, 2, 3], [2, 3, 4], [0, 3, 4], [0, 1, 4]]
+    cluster_b = [[5, 6, 7], [6, 7, 8], [7, 8, 9], [5, 8, 9], [5, 6, 9]]
+    bridge = [[4, 5]]
+    return Hypergraph(10, cluster_a + cluster_b + bridge, name="two-cluster")
+
+
+@pytest.fixture
+def small_mesh() -> Hypergraph:
+    """A small 3-D mesh-matrix instance (strong locality)."""
+    return load_instance("2cubes_sphere", scale=0.15)
+
+
+@pytest.fixture
+def small_random() -> Hypergraph:
+    """A small unstructured instance (sparsine stand-in)."""
+    return load_instance("sparsine", scale=0.15)
+
+
+@pytest.fixture
+def tiny_machine() -> LinkModel:
+    """4 ranks: ranks (0,1) fast pair, (2,3) fast pair, cross pairs slow."""
+    bw = np.array(
+        [
+            [1000.0, 1000.0, 100.0, 100.0],
+            [1000.0, 1000.0, 100.0, 100.0],
+            [100.0, 100.0, 1000.0, 1000.0],
+            [100.0, 100.0, 1000.0, 1000.0],
+        ]
+    )
+    lat = np.full((4, 4), 1e-6)
+    np.fill_diagonal(lat, 0.0)
+    return LinkModel(bw, lat)
+
+
+@pytest.fixture
+def archer_machine_24():
+    """One ARCHER-like node (24 cores) with its cost matrix."""
+    topo = archer_like_topology(num_nodes=1)
+    bw, lat = archer_like_bandwidth(topo).matrices(seed=42)
+    link = LinkModel(bw, lat)
+    return topo, link, cost_matrix_from_bandwidth(bw)
+
+
+@pytest.fixture
+def flat_machine_8():
+    """Perfectly homogeneous 8-rank machine (aware == basic control).
+
+    Noise is disabled: with identical link bandwidths the normalised cost
+    matrix is exactly uniform, so the aware variant must reduce to basic.
+    """
+    topo = flat_topology(8)
+    bw, lat = archer_like_bandwidth(topo, noise_sigma=0.0).matrices(seed=7)
+    return topo, LinkModel(bw, lat), cost_matrix_from_bandwidth(bw)

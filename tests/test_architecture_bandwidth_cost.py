@@ -1,0 +1,166 @@
+"""Tests for bandwidth synthesis and cost-matrix normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.architecture.bandwidth import (
+    BandwidthModel,
+    LevelLinkSpec,
+    archer_like_bandwidth,
+)
+from repro.architecture.cost import (
+    cost_matrix_from_bandwidth,
+    uniform_cost_matrix,
+    validate_cost_matrix,
+)
+from repro.architecture.topology import archer_like_topology, flat_topology
+
+
+class TestLevelLinkSpec:
+    def test_validation(self):
+        LevelLinkSpec(100.0, 1.0)
+        with pytest.raises(ValueError):
+            LevelLinkSpec(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LevelLinkSpec(100.0, -1.0)
+
+
+class TestBandwidthModel:
+    def test_requires_one_spec_per_class(self):
+        topo = flat_topology(4)
+        with pytest.raises(ValueError, match="class specs"):
+            BandwidthModel(topo, [LevelLinkSpec(100, 1), LevelLinkSpec(50, 2)])
+
+    def test_rejects_increasing_bandwidth_with_distance(self):
+        from repro.architecture.topology import MachineTopology
+
+        topo = MachineTopology(("proc", "node"), (4, 2))
+        specs = [LevelLinkSpec(100, 1), LevelLinkSpec(500, 1)]
+        with pytest.raises(ValueError, match="non-increasing"):
+            BandwidthModel(topo, specs)
+
+    def test_matrix_structure_noise_free(self):
+        from repro.architecture.topology import MachineTopology
+
+        topo = MachineTopology(("proc", "node"), (12, 2))  # 24 cores
+        model = BandwidthModel(
+            topo, [LevelLinkSpec(3000, 1), LevelLinkSpec(1800, 2)], noise_sigma=0
+        )
+        bw = model.bandwidth_matrix()
+        assert bw[0, 1] == 3000.0  # same processor
+        assert bw[0, 12] == 1800.0  # across processors
+        assert np.array_equal(bw, bw.T)
+
+    def test_noise_is_symmetric_and_seeded(self):
+        model = archer_like_bandwidth(archer_like_topology(num_nodes=2))
+        a = model.bandwidth_matrix(seed=5)
+        b = model.bandwidth_matrix(seed=5)
+        c = model.bandwidth_matrix(seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert np.allclose(a, a.T)
+
+    def test_latency_matrix(self):
+        model = archer_like_bandwidth(archer_like_topology(num_nodes=2))
+        lat = model.latency_matrix(seed=1)
+        assert np.all(np.diag(lat) == 0)
+        assert (lat >= 0).all()
+        # farther pairs have higher nominal latency
+        assert lat[0, 24].mean() > lat[0, 1]
+
+    def test_heterogeneity_ratio(self):
+        """The ARCHER preset has the ~13x fast/slow ratio of Figure 1A."""
+        model = archer_like_bandwidth(archer_like_topology(num_nodes=8), noise_sigma=0)
+        bw = model.bandwidth_matrix()
+        off = ~np.eye(bw.shape[0], dtype=bool)
+        ratio = bw[off].max() / bw[off].min()
+        assert 10 <= ratio <= 16
+
+
+class TestCostMatrix:
+    def test_normalisation_bounds(self):
+        bw = np.array([[0, 100, 200], [100, 0, 300], [200, 300, 0]], dtype=float)
+        np.fill_diagonal(bw, 500)
+        cost = cost_matrix_from_bandwidth(bw)
+        off = ~np.eye(3, dtype=bool)
+        assert cost[off].min() == pytest.approx(1.0)
+        assert cost[off].max() == pytest.approx(2.0)
+        assert np.all(np.diag(cost) == 0)
+
+    def test_fastest_is_one_slowest_is_two(self):
+        bw = np.full((3, 3), 100.0)
+        bw[0, 1] = bw[1, 0] = 1000.0
+        cost = cost_matrix_from_bandwidth(bw)
+        assert cost[0, 1] == pytest.approx(1.0)
+        assert cost[0, 2] == pytest.approx(2.0)
+
+    def test_homogeneous_gives_all_ones(self):
+        cost = cost_matrix_from_bandwidth(np.full((4, 4), 250.0))
+        off = ~np.eye(4, dtype=bool)
+        assert np.allclose(cost[off], 1.0)
+
+    def test_single_unit(self):
+        assert cost_matrix_from_bandwidth(np.array([[5.0]])).tolist() == [[0.0]]
+
+    def test_rejects_nonpositive(self):
+        bw = np.full((3, 3), 10.0)
+        bw[0, 1] = 0.0
+        with pytest.raises(ValueError):
+            cost_matrix_from_bandwidth(bw)
+
+    def test_magnitude_invariance(self):
+        """The paper's rationale: the cost matrix must not depend on the
+        absolute bandwidth magnitude."""
+        bw = np.abs(np.random.default_rng(0).normal(500, 100, (5, 5))) + 10
+        bw = 0.5 * (bw + bw.T)
+        assert np.allclose(
+            cost_matrix_from_bandwidth(bw), cost_matrix_from_bandwidth(bw * 1000)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=2**31))
+    def test_property_bounds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        bw = rng.uniform(1.0, 1000.0, (n, n))
+        bw = 0.5 * (bw + bw.T)
+        cost = cost_matrix_from_bandwidth(bw)
+        validate_cost_matrix(cost, num_units=n)
+        off = ~np.eye(n, dtype=bool)
+        assert (cost[off] >= 1.0 - 1e-12).all()
+        assert (cost[off] <= 2.0 + 1e-12).all()
+        # monotone: faster link => lower cost
+        flat_bw = bw[off]
+        flat_c = cost[off]
+        order = np.argsort(flat_bw)
+        assert (np.diff(flat_c[order]) <= 1e-12).all()
+
+
+class TestUniformCost:
+    def test_structure(self):
+        u = uniform_cost_matrix(5)
+        assert np.all(np.diag(u) == 0)
+        off = ~np.eye(5, dtype=bool)
+        assert np.all(u[off] == 1.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            uniform_cost_matrix(0)
+
+
+class TestValidateCostMatrix:
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            validate_cost_matrix(np.ones((3, 3)))
+
+    def test_rejects_asymmetric(self):
+        c = uniform_cost_matrix(3)
+        c[0, 1] = 1.5
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_cost_matrix(c)
+
+    def test_rejects_negative(self):
+        c = uniform_cost_matrix(3)
+        c[0, 1] = c[1, 0] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_cost_matrix(c)

@@ -1,0 +1,83 @@
+"""Tests for the simulated ring profiler (mpiGraph stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.architecture.bandwidth import archer_like_bandwidth
+from repro.architecture.profiling import RingProfiler
+from repro.architecture.topology import archer_like_topology
+from repro.simcomm.network import LinkModel
+
+
+@pytest.fixture
+def ground_truth():
+    topo = archer_like_topology(num_nodes=1)
+    bw, lat = archer_like_bandwidth(topo).matrices(seed=3)
+    return LinkModel(bw, lat)
+
+
+class TestRingProfiler:
+    def test_noise_free_measurement_is_accurate(self, ground_truth):
+        prof = RingProfiler(ground_truth, measurement_noise=0.0, repeats=1).profile(
+            symmetrize=False
+        )
+        # With no noise, the only bias is the latency term; with 1MB
+        # messages it is far below 1%.
+        assert prof.relative_error(ground_truth.bandwidth_mbs) < 0.01
+
+    def test_noisy_measurement_converges_with_repeats(self, ground_truth):
+        noisy = RingProfiler(
+            ground_truth, measurement_noise=0.2, repeats=1
+        ).profile(seed=1)
+        averaged = RingProfiler(
+            ground_truth, measurement_noise=0.2, repeats=16
+        ).profile(seed=1)
+        assert averaged.relative_error(
+            ground_truth.bandwidth_mbs
+        ) < noisy.relative_error(ground_truth.bandwidth_mbs)
+
+    def test_covers_every_pair(self, ground_truth):
+        prof = RingProfiler(ground_truth, repeats=1).profile(seed=0)
+        n = ground_truth.num_ranks
+        off = ~np.eye(n, dtype=bool)
+        assert (prof.bandwidth_mbs[off] > 0).all()
+
+    def test_symmetrized(self, ground_truth):
+        prof = RingProfiler(ground_truth, repeats=1).profile(seed=0, symmetrize=True)
+        assert np.allclose(prof.bandwidth_mbs, prof.bandwidth_mbs.T)
+
+    def test_deterministic_given_seed(self, ground_truth):
+        a = RingProfiler(ground_truth, repeats=2).profile(seed=9)
+        b = RingProfiler(ground_truth, repeats=2).profile(seed=9)
+        assert np.array_equal(a.bandwidth_mbs, b.bandwidth_mbs)
+
+    def test_profiling_takes_simulated_time(self, ground_truth):
+        prof = RingProfiler(ground_truth, repeats=2).profile(seed=0)
+        assert prof.profiling_time_s > 0
+
+    def test_cost_matrix_from_profile(self, ground_truth):
+        cost = RingProfiler(ground_truth, repeats=2).profile(seed=0).cost_matrix()
+        n = ground_truth.num_ranks
+        assert cost.shape == (n, n)
+        assert np.all(np.diag(cost) == 0)
+
+    def test_measured_cost_close_to_true_cost(self, ground_truth):
+        """The aware variant consumes the measured matrix; it must rank
+        links like the ground truth does."""
+        from repro.architecture.cost import cost_matrix_from_bandwidth
+
+        prof = RingProfiler(ground_truth, repeats=3, measurement_noise=0.02).profile(seed=4)
+        true_cost = cost_matrix_from_bandwidth(ground_truth.bandwidth_mbs)
+        measured_cost = prof.cost_matrix()
+        n = ground_truth.num_ranks
+        off = ~np.eye(n, dtype=bool)
+        corr = np.corrcoef(true_cost[off], measured_cost[off])[0, 1]
+        assert corr > 0.95
+
+    def test_parameter_validation(self, ground_truth):
+        with pytest.raises(ValueError):
+            RingProfiler(ground_truth, message_bytes=0)
+        with pytest.raises(ValueError):
+            RingProfiler(ground_truth, repeats=0)
+        with pytest.raises(ValueError):
+            RingProfiler(ground_truth, measurement_noise=-0.1)

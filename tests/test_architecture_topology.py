@@ -1,0 +1,96 @@
+"""Tests for the hierarchical machine topology."""
+
+import numpy as np
+import pytest
+
+from repro.architecture.topology import (
+    MachineTopology,
+    archer_like_topology,
+    fat_tree_topology,
+    flat_topology,
+)
+
+
+class TestMachineTopology:
+    def test_num_units(self):
+        topo = MachineTopology(("a", "b"), (3, 4))
+        assert topo.num_units == 12
+        assert topo.num_classes == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineTopology(("a",), (3, 4))
+        with pytest.raises(ValueError):
+            MachineTopology((), ())
+        with pytest.raises(ValueError):
+            MachineTopology(("a",), (0,))
+
+    def test_coordinates(self):
+        topo = MachineTopology(("proc", "node"), (4, 2))
+        assert topo.coordinates(0) == (0, 0)
+        assert topo.coordinates(3) == (0, 0)
+        assert topo.coordinates(4) == (1, 0)
+        assert topo.coordinates(7) == (1, 0)
+        with pytest.raises(ValueError):
+            topo.coordinates(8)
+
+    def test_distance_class(self):
+        topo = MachineTopology(("proc", "node"), (4, 2))
+        assert topo.distance_class(0, 0) == 0
+        assert topo.distance_class(0, 3) == 1  # same processor
+        assert topo.distance_class(0, 4) == 2  # same node, other processor
+        assert topo.distance_class(3, 4) == 2
+
+    def test_class_matrix_matches_scalar(self):
+        topo = MachineTopology(("a", "b", "c"), (2, 3, 2))
+        mat = topo.class_matrix()
+        for i in range(topo.num_units):
+            for j in range(topo.num_units):
+                assert mat[i, j] == topo.distance_class(i, j)
+
+    def test_class_matrix_symmetric(self):
+        mat = archer_like_topology(num_nodes=2).class_matrix()
+        assert np.array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_class_names(self):
+        topo = archer_like_topology(num_nodes=2)
+        names = topo.class_names()
+        assert names[0] == "self"
+        assert "processor" in names[1]
+
+    def test_describe(self):
+        assert "48" in archer_like_topology(num_nodes=2).describe()
+
+
+class TestPresets:
+    def test_archer_single_blade(self):
+        topo = archer_like_topology(num_nodes=4)
+        assert topo.num_units == 96
+        assert len(topo.arities) == 3  # processor, node, blade
+
+    def test_archer_multi_blade(self):
+        topo = archer_like_topology(num_nodes=8)
+        assert topo.num_units == 192
+        assert len(topo.arities) == 4  # + group level
+
+    def test_archer_paper_scale(self):
+        # The paper's job: 576 cores over 24 nodes in 6 blades.
+        topo = archer_like_topology(num_nodes=24)
+        assert topo.num_units == 576
+
+    def test_archer_rounds_up_partial_blades(self):
+        topo = archer_like_topology(num_nodes=6)
+        assert topo.num_units == 192  # rounded to 2 full blades
+
+    def test_fat_tree(self):
+        topo = fat_tree_topology(cores=8, nodes=2, racks=3)
+        assert topo.num_units == 48
+
+    def test_flat(self):
+        topo = flat_topology(16)
+        assert topo.num_units == 16
+        assert topo.num_classes == 2
+        mat = topo.class_matrix()
+        off = ~np.eye(16, dtype=bool)
+        assert np.all(mat[off] == 1)

@@ -1,0 +1,191 @@
+"""Tests for the synthetic benchmark and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.architecture.bandwidth import archer_like_bandwidth
+from repro.architecture.topology import archer_like_topology
+from repro.bench.runner import ExperimentRunner
+from repro.bench.synthetic import SyntheticBenchmark, partition_traffic
+from repro.core.hyperpraw import HyperPRAW
+from repro.core.metrics import edge_partition_counts
+from repro.hypergraph.model import Hypergraph
+from repro.partitioning.simple import RoundRobinPartitioner
+from repro.simcomm.network import LinkModel
+
+
+class TestPartitionTraffic:
+    def test_exact_counts(self, tiny_hypergraph):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        bytes_m, msgs = partition_traffic(tiny_hypergraph, a, 3, message_bytes=10)
+        # edge {0,1,2}: 2 pins in p0, 1 in p1 -> 2 msgs each way 0<->1
+        # edge {2,3}: internal; edge {3,4,5}: 1 in p1, 2 in p2 -> 2 each way
+        # edge {0,5}: 1 in p0, 1 in p2 -> 1 each way
+        assert msgs[0, 1] == 2 and msgs[1, 0] == 2
+        assert msgs[1, 2] == 2 and msgs[2, 1] == 2
+        assert msgs[0, 2] == 1 and msgs[2, 0] == 1
+        assert np.array_equal(bytes_m, msgs * 10.0)
+
+    def test_symmetric(self, small_random):
+        a = np.arange(small_random.num_vertices) % 5
+        bytes_m, msgs = partition_traffic(small_random, a, 5)
+        assert np.array_equal(msgs, msgs.T)
+
+    def test_zero_diagonal(self, small_random):
+        a = np.arange(small_random.num_vertices) % 5
+        bytes_m, msgs = partition_traffic(small_random, a, 5)
+        assert np.all(np.diag(bytes_m) == 0)
+        assert np.all(np.diag(msgs) == 0)
+
+    def test_single_partition_silent(self, small_random):
+        bytes_m, msgs = partition_traffic(
+            small_random, np.zeros(small_random.num_vertices, dtype=int), 1
+        )
+        assert bytes_m.sum() == 0
+
+    def test_total_messages_formula(self, small_random):
+        """Total logical messages = sum_e (|e|^2 - sum_k n_k^2)."""
+        a = np.arange(small_random.num_vertices) % 4
+        _, msgs = partition_traffic(small_random, a, 4)
+        counts = edge_partition_counts(small_random, a, 4)
+        cards = small_random.cardinalities()
+        assert msgs.sum() == (cards**2 - (counts**2).sum(axis=1)).sum()
+
+    def test_edge_weights_scale_bytes_not_messages(self):
+        hg = Hypergraph(4, [[0, 1], [2, 3]], edge_weights=[3.0, 1.0])
+        a = np.array([0, 1, 0, 1])
+        bytes_m, msgs = partition_traffic(hg, a, 2, message_bytes=100)
+        assert msgs[0, 1] == 2  # one logical message per cut pair per edge
+        assert bytes_m[0, 1] == 3.0 * 100 + 1.0 * 100
+
+
+class TestSyntheticBenchmark:
+    def test_runtime_scales_with_timesteps(self, tiny_machine, tiny_hypergraph):
+        a = np.array([0, 1, 2, 3, 0, 1])
+        one = SyntheticBenchmark(tiny_machine, timesteps=1).run(tiny_hypergraph, a, 4)
+        ten = SyntheticBenchmark(tiny_machine, timesteps=10).run(tiny_hypergraph, a, 4)
+        assert ten.runtime_s == pytest.approx(10 * one.runtime_s)
+
+    def test_single_partition_only_barrier(self, tiny_machine, tiny_hypergraph):
+        out = SyntheticBenchmark(tiny_machine, timesteps=2).run(
+            tiny_hypergraph, np.zeros(6, dtype=int), 1
+        )
+        assert out.total_bytes == 0
+        assert out.runtime_s == pytest.approx(2 * out.barrier_s)
+
+    def test_padding_to_machine_size(self, tiny_machine, tiny_hypergraph):
+        out = SyntheticBenchmark(tiny_machine).run(
+            tiny_hypergraph, np.arange(6) % 2, 2
+        )
+        assert out.trace.bytes_matrix.shape == (4, 4)
+
+    def test_too_many_parts_rejected(self, tiny_machine, tiny_hypergraph):
+        with pytest.raises(ValueError):
+            SyntheticBenchmark(tiny_machine).run(tiny_hypergraph, np.arange(6) % 5, 5)
+
+    def test_worse_placement_is_slower(self, tiny_machine):
+        """Bisecting across the slow link must cost more simulated time
+        than bisecting along it — the paper's entire premise."""
+        hg = Hypergraph(8, [[i, i + 4] for i in range(4)])  # 4 cross pairs
+        bench = SyntheticBenchmark(tiny_machine, timesteps=1, include_barrier=False)
+        # fast: pairs land on ranks (0,1) and (2,3)
+        fast = bench.run(hg, np.array([0, 0, 1, 1, 1, 1, 0, 0]) , 4)
+        # slow: pairs land on ranks (0,2) and (1,3)
+        slow = bench.run(hg, np.array([0, 0, 1, 1, 2, 2, 3, 3]), 4)
+        assert fast.runtime_s < slow.runtime_s
+
+    def test_trace_accumulates_all_steps(self, tiny_machine, tiny_hypergraph):
+        a = np.arange(6) % 4
+        out = SyntheticBenchmark(tiny_machine, timesteps=3).run(tiny_hypergraph, a, 4)
+        single, _ = partition_traffic(tiny_hypergraph, a, 4, message_bytes=1024)
+        assert out.trace.bytes_matrix[:4, :4].sum() == pytest.approx(3 * single.sum())
+
+
+@pytest.fixture(scope="module")
+def runner_world():
+    topo = archer_like_topology(num_nodes=1)  # 24 ranks
+    model = archer_like_bandwidth(topo)
+    return ExperimentRunner(
+        model, num_jobs=2, iterations=2, timesteps=2, seed=99
+    )
+
+
+class TestExperimentRunner:
+    def test_jobs_are_profiled_and_distinct(self, runner_world):
+        jobs = runner_world.make_jobs()
+        assert len(jobs) == 2
+        assert not np.array_equal(
+            jobs[0].link_model.bandwidth_mbs, jobs[1].link_model.bandwidth_mbs
+        )
+        for job in jobs:
+            assert job.profiling_time_s > 0
+            assert np.all(np.diag(job.cost_matrix) == 0)
+
+    def test_record_count(self, runner_world, small_random):
+        records = runner_world.run(
+            {"inst": small_random}, {"rr": RoundRobinPartitioner()}
+        )
+        assert len(records) == 2 * 2  # jobs x iterations
+
+    def test_speedups_relative_to_baseline(self, runner_world, small_random):
+        records = runner_world.run(
+            {"inst": small_random},
+            {"rr": RoundRobinPartitioner(), "praw": HyperPRAW.basic()},
+        )
+        sp = ExperimentRunner.speedups(records, baseline="rr")
+        assert sp[("inst", "rr")] == pytest.approx(1.0)
+        assert ("inst", "praw") in sp
+
+    def test_blind_mapping_permutes_aware_identity(self, runner_world, small_random):
+        """Blind partitioners get a rank permutation; the aware variant's
+        assignment reaches the benchmark untouched."""
+        job = runner_world.make_jobs()[0]
+        blind = RoundRobinPartitioner().partition(small_random, runner_world.num_parts)
+        mapped = runner_world._map_to_ranks(blind, 0, "i", "rr")
+        assert not np.array_equal(mapped, blind.assignment)
+        # same partition *shape*: permuting labels preserves block sizes
+        assert sorted(np.bincount(mapped, minlength=24)) == sorted(
+            np.bincount(blind.assignment, minlength=24)
+        )
+        aware = HyperPRAW.aware().partition(
+            small_random, runner_world.num_parts, cost_matrix=job.cost_matrix
+        )
+        assert np.array_equal(
+            runner_world._map_to_ranks(aware, 0, "i", "aware"), aware.assignment
+        )
+
+    def test_identity_mapping_mode(self, small_random):
+        topo = archer_like_topology(num_nodes=1)
+        runner = ExperimentRunner(
+            archer_like_bandwidth(topo),
+            num_jobs=1,
+            iterations=1,
+            blind_rank_mapping="identity",
+            seed=1,
+        )
+        blind = RoundRobinPartitioner().partition(small_random, 24)
+        assert np.array_equal(
+            runner._map_to_ranks(blind, 0, "i", "rr"), blind.assignment
+        )
+
+    def test_validation(self):
+        topo = archer_like_topology(num_nodes=1)
+        model = archer_like_bandwidth(topo)
+        with pytest.raises(ValueError):
+            ExperimentRunner(model, blind_rank_mapping="sorted")
+        with pytest.raises(ValueError):
+            ExperimentRunner(model, num_parts=100)
+        with pytest.raises(ValueError):
+            ExperimentRunner(model, num_jobs=0)
+
+    def test_deterministic(self, small_random):
+        topo = archer_like_topology(num_nodes=1)
+
+        def once():
+            runner = ExperimentRunner(
+                archer_like_bandwidth(topo), num_jobs=1, iterations=1, seed=5, timesteps=2
+            )
+            return runner.run({"i": small_random}, {"rr": RoundRobinPartitioner()})
+
+        a, b = once(), once()
+        assert [r.runtime_s for r in a] == [r.runtime_s for r in b]

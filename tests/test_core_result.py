@@ -1,0 +1,58 @@
+"""Tests for the PartitionResult / IterationRecord containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import IterationRecord, PartitionResult
+
+
+def _result(assignment, p=4, iterations=None):
+    return PartitionResult(
+        assignment=np.asarray(assignment),
+        num_parts=p,
+        algorithm="test",
+        iterations=iterations or [],
+    )
+
+
+class TestPartitionResult:
+    def test_basic(self):
+        res = _result([0, 1, 2, 3, 0])
+        assert res.num_vertices == 5
+        assert res.part_sizes().tolist() == [2, 1, 1, 1]
+
+    def test_assignment_coerced_to_int32(self):
+        res = _result(np.array([0.0, 1.0, 2.0]))
+        assert res.assignment.dtype == np.int32
+
+    def test_empty_partitions_allowed(self):
+        res = _result([0, 0, 0], p=3)
+        assert res.part_sizes().tolist() == [3, 0, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            _result([0, 4], p=4)
+        with pytest.raises(ValueError):
+            _result([-1, 0], p=4)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            _result(np.zeros((2, 2), dtype=int))
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            _result([0], p=0)
+
+    def test_history_helpers(self):
+        records = [
+            IterationRecord(1, 10.0, 2.0, 500.0, "tempering"),
+            IterationRecord(2, 17.0, 1.05, 400.0, "refinement"),
+        ]
+        res = _result([0, 1], p=2, iterations=records)
+        iters, costs = res.history_series()
+        assert iters == [1, 2]
+        assert costs == [500.0, 400.0]
+        assert res.final_pc_cost() == 400.0
+
+    def test_final_pc_cost_nan_without_history(self):
+        assert np.isnan(_result([0, 1]).final_pc_cost())

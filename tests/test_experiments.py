@@ -1,0 +1,152 @@
+"""Integration tests: the figure/table drivers end to end (tiny worlds)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, figure1, figure3, figure4, figure5, figure6, table1
+from repro.experiments.cli import build_parser, main
+from repro.experiments.common import ExperimentContext, default_partitioners
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    """One node (24 cores), 20%-scale instances, single job/iteration."""
+    return ExperimentContext(
+        num_nodes=1,
+        scale=0.2,
+        num_jobs=1,
+        iterations=1,
+        timesteps=2,
+        max_iterations=40,
+    )
+
+
+class TestContext:
+    def test_num_parts(self, tiny_ctx):
+        assert tiny_ctx.num_parts == 24
+
+    def test_partitioners_roster(self, tiny_ctx):
+        roster = tiny_ctx.partitioners()
+        assert set(roster) == {"multilevel-rb", "hyperpraw-basic", "hyperpraw-aware"}
+
+    def test_one_job(self, tiny_ctx):
+        job = tiny_ctx.one_job()
+        assert job.cost_matrix.shape == (24, 24)
+
+
+class TestTable1:
+    def test_runs_and_renders(self, tiny_ctx):
+        res = table1.run(tiny_ctx)
+        out = res.render()
+        assert "Table 1" in out
+        assert "sparsine" in out
+        assert len(res.stats) == 10
+
+
+class TestFigure1(object):
+    def test_runs_and_renders(self, tiny_ctx):
+        res = figure1.run(tiny_ctx)
+        out = res.render(max_size=16)
+        assert "Figure 1A" in out and "Figure 1B" in out
+        assert res.bandwidth_mbs.shape == (24, 24)
+        # naive mapping: traffic should not be strongly aligned with bw
+        assert res.affinity < 0.5
+
+
+class TestFigure3:
+    def test_refinement_ordering(self, tiny_ctx):
+        res = figure3.run(tiny_ctx, instances=("2cubes_sphere", "sparsine"))
+        out = res.render()
+        assert "refinement 0.95" in out
+        for inst in ("2cubes_sphere", "sparsine"):
+            costs = res.final_costs[inst]
+            # refinement must not be worse than stopping at tolerance
+            assert costs["refinement-0.95"] <= costs["no-refinement"] + 1e-9
+
+
+class TestFigure4:
+    def test_runs(self, tiny_ctx):
+        ctx = ExperimentContext(
+            num_nodes=1,
+            scale=0.2,
+            num_jobs=1,
+            iterations=1,
+            timesteps=2,
+            max_iterations=40,
+            instances=["sparsine", "sat14_itox_vc1130_dual"],
+        )
+        res = figure4.run(ctx)
+        out = res.render()
+        assert "Figure 4A" in out and "Figure 4C" in out
+        for metric in ("hyperedge_cut", "soed", "pc_cost"):
+            for inst in res.instances:
+                for algo in res.algorithms:
+                    assert res.values[metric][(inst, algo)] >= 0
+
+
+class TestFigure5:
+    def test_runs_and_aggregates(self):
+        ctx = ExperimentContext(
+            num_nodes=1,
+            scale=0.2,
+            num_jobs=1,
+            iterations=2,
+            timesteps=2,
+            max_iterations=40,
+            instances=["sparsine", "2cubes_sphere"],
+        )
+        res = figure5.run(ctx)
+        assert len(res.records) == 2 * 3 * 1 * 2  # instances x algos x jobs x iters
+        out = res.render()
+        assert "Figure 5" in out and "speedup" in out
+        lo, hi = res.aware_speedup_range()
+        assert lo <= hi
+
+
+class TestFigure6:
+    def test_runs_and_alignment_metrics(self, tiny_ctx):
+        res = figure6.run(tiny_ctx, instance="sparsine")
+        out = res.render(max_size=12)
+        assert "Figure 6A" in out and "6D" in out
+        assert set(res.affinities) == {
+            "multilevel-rb",
+            "hyperpraw-basic",
+            "hyperpraw-aware",
+        }
+
+
+class TestAblations:
+    def test_refinement_factor_sweep(self, tiny_ctx):
+        res = ablations.refinement_factor_sweep(
+            tiny_ctx, instance="sparsine", factors=(0.95, 1.0)
+        )
+        assert set(res.values) == {0.95, 1.0}
+        assert "ablation" in res.render()
+        assert res.best() in (0.95, 1.0)
+
+    def test_presence_threshold_sweep(self, tiny_ctx):
+        res = ablations.presence_threshold_sweep(tiny_ctx, instance="sparsine")
+        assert set(res.values) == {1, 2}
+
+    def test_profiling_noise_sweep(self, tiny_ctx):
+        res = ablations.profiling_noise_sweep(
+            tiny_ctx, instance="sparsine", noises=(0.0, 0.4)
+        )
+        assert res.values[0.0] > 0
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.nodes == 4
+
+    def test_main_table1(self, capsys):
+        rc = main(["table1", "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])

@@ -1,0 +1,152 @@
+"""Tests for the synthetic generators and the Table 1 stand-in suite."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import generators as gen
+from repro.hypergraph.stats import compute_stats
+from repro.hypergraph.suite import (
+    FIGURE3_INSTANCES,
+    PAPER_TABLE1,
+    benchmark_suite,
+    instance_names,
+    load_instance,
+)
+
+
+class TestGeneratorsBasics:
+    def test_random_uniform_shape(self):
+        hg = gen.random_uniform_hypergraph(200, 150, 8.0, seed=0)
+        assert hg.num_vertices == 200
+        assert hg.num_edges == 150
+        s = compute_stats(hg)
+        assert 6.0 <= s.avg_cardinality <= 10.0
+
+    def test_powerlaw_has_hubs(self):
+        hg = gen.powerlaw_hypergraph(500, 500, 3.0, exponent=1.6, hub_offset=10, seed=0)
+        degrees = hg.degrees()
+        # low-index vertices are far more popular than the tail
+        assert degrees[:10].mean() > 5 * max(degrees[400:].mean(), 0.1)
+
+    def test_powerlaw_hub_offset_flattens(self):
+        sharp = gen.powerlaw_hypergraph(500, 500, 3.0, hub_offset=10, seed=0)
+        flat = gen.powerlaw_hypergraph(500, 500, 3.0, hub_offset=1000, seed=0)
+        assert sharp.degrees().max() > flat.degrees().max()
+
+    def test_mesh_has_locality(self):
+        hg = gen.mesh_matrix_hypergraph(512, 10.0, dims=3, seed=0)
+        # pins of a row stay close to the row index in flattened order:
+        # the stencil spans a few grid lines, far below uniform spread.
+        spans = []
+        for e in range(0, 512, 16):
+            pins = hg.edge(e)
+            spans.append(np.abs(pins - e).mean())
+        assert np.mean(spans) < 512 / 4
+
+    def test_mesh_includes_diagonal(self):
+        hg = gen.mesh_matrix_hypergraph(64, 5.0, dims=2, seed=1)
+        for e in range(hg.num_edges):
+            assert e in hg.edge(e)
+
+    def test_contact_is_clustered(self):
+        hg = gen.contact_hypergraph(300, 40.0, intra_cluster_prob=0.95, seed=0)
+        cluster = max(4, int(40 * 1.5))
+        intra = 0
+        total = 0
+        for e in range(hg.num_edges):
+            pins = hg.edge(e)
+            total += pins.size
+            intra += int((pins // cluster == e // cluster).sum())
+        assert intra / total > 0.7
+
+    def test_sat_primal_dimensions(self):
+        hg = gen.sat_primal_hypergraph(100, 900, 3.0, seed=0)
+        assert hg.num_vertices == 100
+        assert hg.num_edges == 900
+
+    def test_sat_dual_inverts(self):
+        primal = gen.sat_primal_hypergraph(80, 400, 3.0, seed=1)
+        dual = gen.sat_dual_hypergraph(80, 400, 3.0, seed=1)
+        assert dual.num_vertices == 400  # clauses
+        assert dual.num_edges <= 80  # variables (unused ones dropped)
+        assert dual.num_pins == primal.num_pins
+
+    def test_sat_community_structure(self):
+        """Most co-occurrences stay within a community block."""
+        ptr, vars_ = gen.sat_instance(
+            1000, 2000, 3.0, locality_window=0.05, cross_community_prob=0.2, seed=0
+        )
+        comm = vars_ // max(2, int(0.05 * 1000))
+        same = 0
+        total = 0
+        for c in range(2000):
+            block = comm[ptr[c] : ptr[c + 1]]
+            total += block.size
+            counts = np.bincount(block)
+            same += counts.max()
+        assert same / total > 0.6
+
+    def test_generators_deterministic(self):
+        a = gen.random_uniform_hypergraph(100, 100, 5.0, seed=9)
+        b = gen.random_uniform_hypergraph(100, 100, 5.0, seed=9)
+        assert a == b
+
+    def test_dual_drops_isolated(self):
+        from repro.hypergraph.model import Hypergraph
+
+        hg = Hypergraph(5, [[0, 1], [1, 2]])  # vertices 3,4 isolated
+        dual = gen.dual_hypergraph(hg)
+        assert dual.num_vertices == 2
+        assert dual.num_edges == 3  # vertices 0,1,2 become nets
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.random_uniform_hypergraph(0, 10, 3.0)
+        with pytest.raises(ValueError):
+            gen.powerlaw_hypergraph(10, 10, 3.0, exponent=-1)
+        with pytest.raises(ValueError):
+            gen.mesh_matrix_hypergraph(10, 3.0, long_range_fraction=2.0)
+        with pytest.raises(ValueError):
+            gen.sat_instance(10, 10, 3.0, locality_window=1.5)
+
+
+class TestSuite:
+    def test_all_ten_instances(self):
+        names = instance_names()
+        assert len(names) == 10
+        assert set(names) == set(PAPER_TABLE1)
+
+    def test_figure3_subset(self):
+        assert set(FIGURE3_INSTANCES) <= set(instance_names())
+
+    def test_unknown_instance(self):
+        with pytest.raises(KeyError, match="unknown instance"):
+            load_instance("not-a-dataset")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            load_instance("sparsine", scale=0)
+
+    def test_default_build_deterministic(self):
+        assert load_instance("sparsine", scale=0.1) == load_instance(
+            "sparsine", scale=0.1
+        )
+
+    def test_scale_shrinks(self):
+        big = load_instance("webbase-1M", scale=0.5)
+        small = load_instance("webbase-1M", scale=0.1)
+        assert small.num_vertices < big.num_vertices
+
+    @pytest.mark.parametrize("name", instance_names())
+    def test_shape_matches_paper(self, name):
+        """Average cardinality within 25% and hyperedge/vertex ratio within
+        15% of Table 1 at half scale."""
+        hg = load_instance(name, scale=0.5)
+        s = compute_stats(hg)
+        _, _, _, paper_card, paper_ratio = PAPER_TABLE1[name]
+        assert abs(s.avg_cardinality - paper_card) / paper_card < 0.25
+        assert abs(s.edge_vertex_ratio - paper_ratio) / paper_ratio < 0.15
+
+    def test_benchmark_suite_subset(self):
+        suite = benchmark_suite(scale=0.1, names=["sparsine", "pdb1HYS"])
+        assert list(suite) == ["sparsine", "pdb1HYS"]

