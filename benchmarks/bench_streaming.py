@@ -1,0 +1,46 @@
+"""Benchmark: streamed vs in-memory partitioning (quality/memory/runtime).
+
+Runs :func:`repro.bench.streaming.compare_streaming` on the registry's
+streaming stress instance and attaches the quality gaps and the memory
+figures to ``extra_info``, so ``pytest benchmarks/ --benchmark-only``
+reports how much the out-of-core path costs relative to the in-memory
+anchor — and how much the vectorised ``chunk_size`` hot path speeds up
+the in-memory restreamer itself.
+"""
+
+import os
+
+from repro.bench.streaming import compare_streaming
+from repro.hypergraph.suite import STREAMING_INSTANCE, load_instance
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def test_streaming_comparison(benchmark, bench_ctx):
+    scale = 1.0 if FULL else 0.05
+    hg = load_instance(STREAMING_INSTANCE, scale=scale)
+    job = bench_ctx.one_job()
+    report = benchmark.pedantic(
+        lambda: compare_streaming(
+            hg,
+            bench_ctx.num_parts,
+            cost_matrix=job.cost_matrix,
+            chunk_size=512 if FULL else 128,
+            max_iterations=bench_ctx.max_iterations,
+            seed=bench_ctx.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    anchor = report.records[0]
+    benchmark.extra_info["instance_pins"] = report.num_pins
+    benchmark.extra_info["inmemory_wall_s"] = round(anchor.wall_time_s, 4)
+    for record in report.records[1:]:
+        key = record.algorithm.replace(" ", "")
+        benchmark.extra_info[f"gap[{key}]"] = round(record.quality_gap, 4)
+    chunked = report.records[1]
+    benchmark.extra_info["chunked_speedup"] = round(
+        anchor.wall_time_s / chunked.wall_time_s, 2
+    )
+    print()
+    print(report.render())

@@ -1,3 +1,53 @@
-from setuptools import setup
+"""Package metadata for the HyperPRAW reproduction.
 
-setup()
+Editable install from a source tree::
+
+    pip install -e .[dev]
+
+which also installs the ``hyperpraw-repro`` console script (the CLI the
+docstring of :mod:`repro.experiments.cli` advertises; ``python -m
+repro.experiments.cli`` remains equivalent without installing).
+"""
+
+from pathlib import Path
+
+from setuptools import find_namespace_packages, setup
+
+_here = Path(__file__).parent
+_readme = _here / "README.md"
+
+setup(
+    name="hyperpraw-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of HyperPRAW: architecture-aware hypergraph "
+        "restreaming partitioning (ICPP 2019), with out-of-core streaming"
+    ),
+    long_description=_readme.read_text() if _readme.exists() else "",
+    long_description_content_type="text/markdown",
+    # src/repro is an implicit namespace package (no __init__.py).
+    packages=find_namespace_packages("src", include=["repro", "repro.*"]),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        "dev": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "hyperpraw-repro = repro.experiments.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Operating System :: OS Independent",
+    ],
+)

@@ -27,6 +27,7 @@ __all__ = [
     "cost_matrix_from_bandwidth",
     "uniform_cost_matrix",
     "validate_cost_matrix",
+    "is_uniform_cost",
 ]
 
 
@@ -75,6 +76,21 @@ def uniform_cost_matrix(num_units: int) -> np.ndarray:
     cost = np.ones((num_units, num_units), dtype=np.float64)
     np.fill_diagonal(cost, 0.0)
     return cost
+
+
+def is_uniform_cost(cost: np.ndarray) -> bool:
+    """True when every distinct pair costs the same (a flat machine).
+
+    A literally uniform matrix makes any architecture-aware algorithm
+    coincide with its architecture-blind variant; the partitioners use
+    this to label results honestly.
+    """
+    cost = np.asarray(cost)
+    n = cost.shape[0]
+    if n <= 1:
+        return True
+    off = cost[~np.eye(n, dtype=bool)]
+    return bool(np.allclose(off, cost[0, 1]))
 
 
 def validate_cost_matrix(cost: np.ndarray, *, num_units: int | None = None) -> np.ndarray:

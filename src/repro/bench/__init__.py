@@ -14,10 +14,14 @@ cut traffic lands on — fully determines runtime.
   protocol: several simulated job allocations (different bandwidth
   realisations), ring-profiling per job, partitioning per strategy, and
   repeated benchmark iterations with per-iteration network jitter.
+* :func:`~repro.bench.streaming.compare_streaming` — the streamed vs
+  in-memory scenario: quality / peak-memory / runtime of the
+  :mod:`repro.streaming` partitioners against the in-memory anchor.
 """
 
 from repro.bench.synthetic import SyntheticBenchmark, BenchmarkOutcome, partition_traffic
 from repro.bench.runner import ExperimentRunner, JobContext, RunRecord
+from repro.bench.streaming import StreamingRecord, StreamingReport, compare_streaming
 
 __all__ = [
     "SyntheticBenchmark",
@@ -26,4 +30,7 @@ __all__ = [
     "ExperimentRunner",
     "JobContext",
     "RunRecord",
+    "StreamingRecord",
+    "StreamingReport",
+    "compare_streaming",
 ]

@@ -55,6 +55,16 @@ class HyperPRAWConfig:
     record_history:
         keep per-pass :class:`~repro.core.result.IterationRecord` entries
         (Figure 3 needs them; disable for large sweeps).
+    chunk_size:
+        ``None`` (default) streams one vertex at a time, exactly as
+        published.  A positive value switches each pass to the vectorised
+        chunk-scoring hot path of :func:`repro.core.value.block_value_terms`:
+        vertices are processed in blocks scored against the block-start
+        state (the whole block lifted out, communication terms from one
+        matmul, load penalties updated per placement).  Faster, at the
+        price of intra-block staleness: each vertex scores without the
+        not-yet-replaced block members' old counts and loads — an opt-in
+        speed/fidelity trade, benchmarked in ``bench/streaming``.
     """
 
     imbalance_tolerance: float = 1.1
@@ -67,8 +77,13 @@ class HyperPRAWConfig:
     stream_order: str = "natural"
     use_edge_weights: bool = True
     record_history: bool = True
+    chunk_size: "int | None" = None
 
     def __post_init__(self):
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1 or None, got {self.chunk_size}"
+            )
         if self.imbalance_tolerance < 1.0:
             raise ValueError(
                 f"imbalance_tolerance must be >= 1.0, got {self.imbalance_tolerance}"

@@ -31,11 +31,17 @@ from dataclasses import dataclass
 
 from repro.hypergraph.model import Hypergraph
 
-__all__ = ["initial_alpha", "TemperingSchedule"]
+__all__ = ["initial_alpha", "initial_alpha_from_counts", "TemperingSchedule"]
 
 
-def initial_alpha(hg: Hypergraph, num_parts: int, mode="fennel") -> float:
-    """Starting value for the imbalance weight.
+def initial_alpha_from_counts(
+    num_vertices: int, num_edges: int, num_parts: int, mode="fennel"
+) -> float:
+    """Starting value for the imbalance weight, from bare counts.
+
+    The streaming partitioners know ``|V|`` and ``|E|`` from the file
+    header long before any hypergraph object exists, so the formula is
+    exposed on counts; :func:`initial_alpha` is the in-memory wrapper.
 
     Parameters
     ----------
@@ -48,12 +54,18 @@ def initial_alpha(hg: Hypergraph, num_parts: int, mode="fennel") -> float:
         if mode <= 0:
             raise ValueError(f"explicit alpha must be > 0, got {mode}")
         return float(mode)
-    v, e, p = hg.num_vertices, hg.num_edges, num_parts
+    v, e, p = num_vertices, num_edges, num_parts
     if mode == "fennel":
         return math.sqrt(p) * e / v**1.5
     if mode == "paper":
         return math.sqrt(p) * e / math.sqrt(v)
     raise ValueError(f"mode must be 'fennel', 'paper' or a float, got {mode!r}")
+
+
+def initial_alpha(hg: Hypergraph, num_parts: int, mode="fennel") -> float:
+    """Starting value for the imbalance weight (see
+    :func:`initial_alpha_from_counts` for the formulas)."""
+    return initial_alpha_from_counts(hg.num_vertices, hg.num_edges, num_parts, mode)
 
 
 @dataclass

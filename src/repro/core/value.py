@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["assignment_values", "best_partition"]
+__all__ = ["assignment_values", "best_partition", "block_value_terms"]
 
 
 def assignment_values(
@@ -72,6 +72,37 @@ def assignment_values(
     np.multiply(T, -N_v, out=out)
     out -= alpha * (loads / expected_loads)
     return out
+
+
+def block_value_terms(
+    X: np.ndarray,
+    cost_matrix: np.ndarray,
+    *,
+    presence_threshold: int = 1,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorised communication terms for a whole *chunk* of vertices.
+
+    Given the stacked neighbour counts ``X`` (``m x p``, one row per
+    vertex), one matmul replaces ``m`` per-vertex mat-vecs:
+
+    ``T[v, i] = sum_j X[v, j] * C(i, j)`` and ``n_neigh[v]`` is the number
+    of partitions holding at least ``presence_threshold`` neighbours of
+    ``v`` (Eq. 2's numerator).  The caller finishes Eq. 1 per vertex as
+    ``V_i = -(n_neigh/p) * T_i - alpha * W_i / E_i`` — the load term must
+    stay per-vertex because placements within the chunk change the loads.
+
+    The communication term is evaluated against the chunk-*start* state:
+    intra-chunk placements are not reflected (bounded staleness of at most
+    ``m`` moves), which is the price of the single matmul.  This is the
+    hot path behind ``HyperPRAWConfig.chunk_size`` and the streaming
+    partitioners' ``score_mode="chunk"``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D (m x p), got shape {X.shape}")
+    T = X @ cost_matrix.T
+    n_neigh = (X >= presence_threshold).sum(axis=1).astype(np.float64)
+    return T, n_neigh
 
 
 def best_partition(

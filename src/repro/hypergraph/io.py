@@ -31,6 +31,10 @@ from repro.hypergraph.model import Hypergraph
 
 __all__ = [
     "HypergraphFormatError",
+    "HmetisHeader",
+    "parse_hmetis_header",
+    "parse_hmetis_edge_line",
+    "parse_hmetis_vertex_weight",
     "read_hmetis",
     "write_hmetis",
     "read_patoh",
@@ -45,12 +49,16 @@ class HypergraphFormatError(ValueError):
     """Raised when a hypergraph file violates its format specification."""
 
 
-def _data_lines(text: str):
+def _data_lines(text):
     """Yield (lineno, tokens) for non-comment, non-blank lines.
 
-    hMetis and PaToH both use ``%`` comment lines.
+    hMetis and PaToH both use ``%`` comment lines.  ``text`` may be a
+    whole-file string or any iterable of lines (e.g. an open file object) —
+    the latter is what :mod:`repro.streaming.reader` passes so that large
+    files are never held in memory at once.
     """
-    for lineno, raw in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines() if isinstance(text, str) else text
+    for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("%") or line.startswith("#"):
             continue
@@ -60,6 +68,85 @@ def _data_lines(text: str):
 # ----------------------------------------------------------------------
 # hMetis
 # ----------------------------------------------------------------------
+class HmetisHeader:
+    """Parsed hMetis header: counts plus the ``fmt`` weight flags.
+
+    Shared by :func:`read_hmetis` and the chunked one-pass reader in
+    :mod:`repro.streaming.reader`, so both enforce identical validation.
+    """
+
+    __slots__ = ("num_edges", "num_vertices", "fmt", "has_edge_weights", "has_vertex_weights")
+
+    def __init__(self, num_edges, num_vertices, fmt):
+        self.num_edges = num_edges
+        self.num_vertices = num_vertices
+        self.fmt = fmt
+        self.has_edge_weights = fmt in (1, 11)
+        self.has_vertex_weights = fmt in (10, 11)
+
+
+def parse_hmetis_header(path, lineno: int, header: "list[str]") -> HmetisHeader:
+    """Validate and parse the ``|E| |V| [fmt]`` header line."""
+    if len(header) not in (2, 3):
+        raise HypergraphFormatError(
+            f"{path}:{lineno}: header must be '|E| |V| [fmt]', got {' '.join(header)!r}"
+        )
+    try:
+        num_edges, num_vertices = int(header[0]), int(header[1])
+        fmt = int(header[2]) if len(header) == 3 else 0
+    except ValueError as exc:
+        raise HypergraphFormatError(f"{path}:{lineno}: non-integer header") from exc
+    if fmt not in (0, 1, 10, 11):
+        raise HypergraphFormatError(f"{path}:{lineno}: unknown fmt {fmt}")
+    return HmetisHeader(num_edges, num_vertices, fmt)
+
+
+def parse_hmetis_edge_line(
+    path, lineno: int, tokens: "list[str]", header: HmetisHeader
+) -> "tuple[float, list[int]]":
+    """Validate one hyperedge line; returns ``(weight, zero_based_pins)``.
+
+    Pins are integers; the leading weight (fmt 1/11) may be fractional —
+    :func:`write_hmetis` emits non-integral weights as floats, so the
+    library's own files must round-trip.
+    """
+    weight = 1.0
+    pin_tokens = tokens
+    if header.has_edge_weights:
+        if len(tokens) < 2:
+            raise HypergraphFormatError(
+                f"{path}:{lineno}: weighted hyperedge needs weight + >=1 pin"
+            )
+        try:
+            weight = float(tokens[0])
+        except ValueError as exc:
+            raise HypergraphFormatError(
+                f"{path}:{lineno}: bad hyperedge weight {tokens[0]!r}"
+            ) from exc
+        pin_tokens = tokens[1:]
+    try:
+        values = [int(t) for t in pin_tokens]
+    except ValueError as exc:
+        raise HypergraphFormatError(
+            f"{path}:{lineno}: non-integer token in hyperedge line"
+        ) from exc
+    if not values:
+        raise HypergraphFormatError(f"{path}:{lineno}: empty hyperedge")
+    if min(values) < 1 or max(values) > header.num_vertices:
+        raise HypergraphFormatError(
+            f"{path}:{lineno}: pin outside 1..{header.num_vertices}"
+        )
+    return weight, [v - 1 for v in values]
+
+
+def parse_hmetis_vertex_weight(path, lineno: int, tokens: "list[str]") -> float:
+    """Validate one vertex-weight line."""
+    try:
+        return float(tokens[0])
+    except (ValueError, IndexError) as exc:
+        raise HypergraphFormatError(f"{path}:{lineno}: bad vertex weight") from exc
+
+
 def read_hmetis(path: "str | Path", *, name: str | None = None) -> Hypergraph:
     """Read an hMetis hypergraph file.
 
@@ -72,20 +159,10 @@ def read_hmetis(path: "str | Path", *, name: str | None = None) -> Hypergraph:
     lines = list(_data_lines(path.read_text()))
     if not lines:
         raise HypergraphFormatError(f"{path}: empty file")
-    lineno, header = lines[0]
-    if len(header) not in (2, 3):
-        raise HypergraphFormatError(
-            f"{path}:{lineno}: header must be '|E| |V| [fmt]', got {' '.join(header)!r}"
-        )
-    try:
-        num_edges, num_vertices = int(header[0]), int(header[1])
-        fmt = int(header[2]) if len(header) == 3 else 0
-    except ValueError as exc:
-        raise HypergraphFormatError(f"{path}:{lineno}: non-integer header") from exc
-    if fmt not in (0, 1, 10, 11):
-        raise HypergraphFormatError(f"{path}:{lineno}: unknown fmt {fmt}")
-    has_edge_w = fmt in (1, 11)
-    has_vertex_w = fmt in (10, 11)
+    lineno, header_tokens = lines[0]
+    header = parse_hmetis_header(path, lineno, header_tokens)
+    num_edges, num_vertices = header.num_edges, header.num_vertices
+    has_edge_w, has_vertex_w = header.has_edge_weights, header.has_vertex_weights
 
     body = lines[1:]
     if len(body) < num_edges:
@@ -96,26 +173,8 @@ def read_hmetis(path: "str | Path", *, name: str | None = None) -> Hypergraph:
     edges: list[list[int]] = []
     for e in range(num_edges):
         lineno, tokens = body[e]
-        try:
-            values = [int(t) for t in tokens]
-        except ValueError as exc:
-            raise HypergraphFormatError(
-                f"{path}:{lineno}: non-integer token in hyperedge line"
-            ) from exc
-        if has_edge_w:
-            if len(values) < 2:
-                raise HypergraphFormatError(
-                    f"{path}:{lineno}: weighted hyperedge needs weight + >=1 pin"
-                )
-            edge_weights[e] = values[0]
-            values = values[1:]
-        if not values:
-            raise HypergraphFormatError(f"{path}:{lineno}: empty hyperedge")
-        if min(values) < 1 or max(values) > num_vertices:
-            raise HypergraphFormatError(
-                f"{path}:{lineno}: pin outside 1..{num_vertices}"
-            )
-        edges.append([v - 1 for v in values])
+        edge_weights[e], pins = parse_hmetis_edge_line(path, lineno, tokens, header)
+        edges.append(pins)
 
     vertex_weights = None
     if has_vertex_w:
@@ -127,12 +186,7 @@ def read_hmetis(path: "str | Path", *, name: str | None = None) -> Hypergraph:
         vertex_weights = np.empty(num_vertices, dtype=np.float64)
         for v in range(num_vertices):
             lineno, tokens = wlines[v]
-            try:
-                vertex_weights[v] = float(tokens[0])
-            except (ValueError, IndexError) as exc:
-                raise HypergraphFormatError(
-                    f"{path}:{lineno}: bad vertex weight"
-                ) from exc
+            vertex_weights[v] = parse_hmetis_vertex_weight(path, lineno, tokens)
 
     return Hypergraph(
         num_vertices,

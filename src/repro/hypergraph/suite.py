@@ -26,6 +26,13 @@ sat14_atco_enc1_opt1_05_21_dual SAT 2014, dual model        sat_dual
 instance's pin count in the tens of thousands so the full 10-instance
 evaluation runs in minutes on one core).  Paper-reported statistics are kept
 in :data:`PAPER_TABLE1` for side-by-side reporting.
+
+Beyond the ten Table 1 rows the registry carries
+:data:`STREAMING_INSTANCE` (``stream_powerlaw_xl``) — a deliberately
+oversized power-law instance for exercising the out-of-core
+:mod:`repro.streaming` subsystem.  It is *not* part of
+:func:`instance_names` (the Table 1 protocol stays ten instances) but
+loads through :func:`load_instance` like any other.
 """
 
 from __future__ import annotations
@@ -47,7 +54,11 @@ __all__ = [
     "load_instance",
     "instance_names",
     "FIGURE3_INSTANCES",
+    "STREAMING_INSTANCE",
 ]
+
+#: Registry-only large instance for the out-of-core streaming scenario.
+STREAMING_INSTANCE = "stream_powerlaw_xl"
 
 #: Paper Table 1, verbatim: (vertices, hyperedges, NNZ, avg cardinality,
 #: hyperedge/vertex ratio).
@@ -280,6 +291,28 @@ def _make_registry() -> dict[str, BenchmarkInstance]:
             hub_offset=500.0,
             seed=seed,
             name="webbase-1M",
+        ),
+    )
+
+    # --- streaming stress instance (registry-only, not in Table 1) --------
+    # An order of magnitude more pins than any Table 1 stand-in: big
+    # enough that holding the full pin structure is noticeably more
+    # memory than a chunk, cheap enough to generate in seconds.  The
+    # out-of-core readers and streamers are benchmarked against it.
+    add(
+        STREAMING_INSTANCE,
+        "powerlaw",
+        60000,
+        60000,
+        8.0,
+        lambda s, seed: gen.powerlaw_hypergraph(
+            _scaled(60000, s),
+            _scaled(60000, s),
+            8.0,
+            exponent=1.1,
+            hub_offset=500.0,
+            seed=seed,
+            name=STREAMING_INSTANCE,
         ),
     )
     return reg

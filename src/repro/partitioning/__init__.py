@@ -12,6 +12,14 @@ baselines used in tests and ablations:
   FENNEL-style streaming baseline generalised to hypergraphs.
 * :mod:`~repro.partitioning.simple` — random, round-robin and contiguous-
   chunk assignments (controls and worst/best-case references).
+
+The out-of-core streamers of :mod:`repro.streaming` —
+:class:`~repro.streaming.onepass.OnePassStreamer` and
+:class:`~repro.streaming.restream.BufferedRestreamer` — are re-exported
+here: they implement the same ``partition(hg, ...)`` interface (streaming
+the hypergraph to themselves chunk by chunk) and belong in the same
+roster for experiments, even though their native entry point is
+``partition_stream`` over a disk-backed chunk stream.
 """
 
 from repro.partitioning.multilevel import MultilevelRB
@@ -21,6 +29,7 @@ from repro.partitioning.simple import (
     RoundRobinPartitioner,
     ContiguousPartitioner,
 )
+from repro.streaming import BufferedRestreamer, OnePassStreamer
 
 __all__ = [
     "MultilevelRB",
@@ -28,4 +37,6 @@ __all__ = [
     "RandomPartitioner",
     "RoundRobinPartitioner",
     "ContiguousPartitioner",
+    "OnePassStreamer",
+    "BufferedRestreamer",
 ]

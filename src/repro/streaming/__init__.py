@@ -1,0 +1,64 @@
+"""Out-of-core streaming: partition hypergraphs without loading them whole.
+
+Everything else in this reproduction assumes the hypergraph fits in
+memory; this package removes that assumption, opening the scenario axis
+the paper's restreaming formulation was born for (and that the follow-up
+literature — the limited-memory streamers of arXiv:2103.05394, the
+massive-scale placement of HYPE, arXiv:1810.11319 — makes explicit):
+
+* :mod:`~repro.streaming.reader` — one-pass chunked ingestion of hMetis
+  and MatrixMarket files.  Pins spill to per-chunk temporary files
+  through a bounded buffer and come back as :class:`VertexChunk` CSR
+  slices, so peak resident pin memory is O(chunk + buffer) regardless of
+  file size.  Shares the strict validation of :mod:`repro.hypergraph.io`.
+* :mod:`~repro.streaming.state` — :class:`StreamingState`: exact
+  per-partition loads plus a capped, LRU-evicting per-hyperedge presence
+  table; the bounded stand-in for the dense ``(E x p)`` count matrix.
+* :mod:`~repro.streaming.onepass` — :class:`OnePassStreamer`: place each
+  vertex once, on arrival, with the architecture-aware value function
+  (Eq. 1).
+* :mod:`~repro.streaming.restream` — :class:`BufferedRestreamer`: buffer
+  a window of recent vertices and re-stream it HyperPRAW-style
+  (tempering, refinement, rollback).  With an unbounded buffer and table
+  it reproduces in-memory HyperPRAW assignment-for-assignment; quality
+  degrades gracefully as the buffer shrinks.
+
+Both partitioners also implement the standard ``partition(hg, ...)``
+interface via :class:`HypergraphChunkStream`, so they slot into the
+experiment runner, benchmarks and CLI next to every other algorithm.
+
+Open follow-ups are tracked in ROADMAP.md: parallel sharded streaming
+(partition chunk ranges across workers, reconcile boundary vertices) and
+a service/API layer that streams uploads straight into a partitioner.
+"""
+
+from repro.streaming.reader import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkStream,
+    HmetisChunkStream,
+    HypergraphChunkStream,
+    MatrixMarketChunkStream,
+    VertexChunk,
+    assemble,
+    stream_hmetis,
+    stream_matrix_market,
+)
+from repro.streaming.state import StreamingState, resolve_cost_matrix
+from repro.streaming.onepass import OnePassStreamer
+from repro.streaming.restream import BufferedRestreamer
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ChunkStream",
+    "VertexChunk",
+    "HmetisChunkStream",
+    "MatrixMarketChunkStream",
+    "HypergraphChunkStream",
+    "stream_hmetis",
+    "stream_matrix_market",
+    "assemble",
+    "StreamingState",
+    "resolve_cost_matrix",
+    "OnePassStreamer",
+    "BufferedRestreamer",
+]

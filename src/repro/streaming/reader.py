@@ -1,0 +1,652 @@
+"""Out-of-core chunked hypergraph ingestion.
+
+The in-memory readers of :mod:`repro.hypergraph.io` materialise the full
+pin structure before any partitioner runs, which caps the instance size at
+available RAM.  This module reads the same formats **without ever holding
+the whole pin array in memory**:
+
+1. **Ingest** (one pass over the source file): each hyperedge line is
+   parsed and validated with the *same* helpers as the strict in-memory
+   readers, then its pins are bucketed by destination vertex chunk
+   (``v // chunk_size``) through a bounded in-memory buffer that spills to
+   per-chunk temporary files on disk.  Peak resident pins during ingest is
+   the buffer size, independent of the file size.
+2. **Iteration**: chunks are loaded one at a time from their spill files
+   and yielded as :class:`VertexChunk` CSR slices (vertex -> incident
+   hyperedge ids, exactly the direction the streaming partitioners
+   consume).  A stream is re-iterable — restreaming passes re-read the
+   spill files rather than caching chunks.
+
+Per-vertex and per-hyperedge *scalar* metadata (weights, the drop-empty
+renumbering map) is O(|V| + |E|) and is kept in memory: the assignment
+vector itself is already O(|V|), so the memory bound this module
+guarantees is on the O(pins) incidence structure, which dominates real
+instances (the paper's Table 1 instances have 4–400 pins per vertex).
+
+:func:`assemble` concatenates a stream back into an in-memory
+:class:`~repro.hypergraph.model.Hypergraph`; equivalence tests use it to
+check that chunked and whole-file reads agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.hypergraph.io import (
+    HypergraphFormatError,
+    _data_lines,
+    parse_hmetis_edge_line,
+    parse_hmetis_header,
+    parse_hmetis_vertex_weight,
+)
+from repro.hypergraph.model import Hypergraph
+
+__all__ = [
+    "VertexChunk",
+    "ChunkStream",
+    "HmetisChunkStream",
+    "MatrixMarketChunkStream",
+    "HypergraphChunkStream",
+    "stream_hmetis",
+    "stream_matrix_market",
+    "assemble",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: Default vertices per chunk — large enough to amortise NumPy call
+#: overhead in the partitioners, small enough that a chunk's pins are a
+#: tiny fraction of any interesting instance.
+DEFAULT_CHUNK_SIZE = 1024
+
+#: Default ingest buffer, in pins (16 bytes each).
+DEFAULT_BUFFER_PINS = 1 << 16
+
+
+@dataclass(frozen=True)
+class VertexChunk:
+    """A contiguous slice ``[start, stop)`` of the vertex set in CSR form.
+
+    ``vertex_edges[vertex_ptr[i]:vertex_ptr[i+1]]`` are the *global*
+    hyperedge ids incident to local vertex ``i`` (global id ``start + i``),
+    sorted ascending — the same per-vertex ordering as
+    :attr:`Hypergraph.vertex_edges`.
+    """
+
+    start: int
+    stop: int
+    vertex_ptr: np.ndarray
+    vertex_edges: np.ndarray
+    vertex_weights: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def num_pins(self) -> int:
+        return int(self.vertex_edges.size)
+
+    def edges_of(self, i: int) -> np.ndarray:
+        """Incident global hyperedge ids of local vertex ``i``."""
+        return self.vertex_edges[self.vertex_ptr[i] : self.vertex_ptr[i + 1]]
+
+
+# ----------------------------------------------------------------------
+# spill store
+# ----------------------------------------------------------------------
+class _SpillStore:
+    """Buckets (vertex, edge) pin pairs into per-chunk spill files.
+
+    Pins pass through a fixed in-memory buffer; whenever it fills, pairs
+    are sorted by destination chunk and appended to each chunk's binary
+    file in one write per touched chunk.  ``peak_buffered_pins`` records
+    the buffer high-water mark for the memory-bound assertions in tests.
+    """
+
+    def __init__(self, num_chunks: int, chunk_size: int, buffer_pins: int) -> None:
+        self._chunk_size = chunk_size
+        self._dir = Path(tempfile.mkdtemp(prefix="repro-stream-"))
+        self._paths = [self._dir / f"chunk-{c:06d}.bin" for c in range(num_chunks)]
+        self._buf = np.empty((max(1, buffer_pins), 2), dtype=np.int64)
+        self._fill = 0
+        self.peak_buffered_pins = 0
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, str(self._dir), ignore_errors=True
+        )
+
+    def add(self, vertices: np.ndarray, edge_id: int) -> None:
+        """Append the pins of one hyperedge, flushing as the buffer fills."""
+        pos, n = 0, vertices.size
+        cap = self._buf.shape[0]
+        while pos < n:
+            take = min(cap - self._fill, n - pos)
+            self._buf[self._fill : self._fill + take, 0] = vertices[pos : pos + take]
+            self._buf[self._fill : self._fill + take, 1] = edge_id
+            self._fill += take
+            pos += take
+            self.peak_buffered_pins = max(self.peak_buffered_pins, self._fill)
+            if self._fill == cap:
+                self.flush()
+
+    def flush(self) -> None:
+        if self._fill == 0:
+            return
+        pairs = self._buf[: self._fill]
+        chunk_ids = pairs[:, 0] // self._chunk_size
+        order = np.argsort(chunk_ids, kind="stable")
+        pairs = pairs[order]
+        chunk_ids = chunk_ids[order]
+        # One append per touched chunk: split at run boundaries.
+        boundaries = np.flatnonzero(chunk_ids[1:] != chunk_ids[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [pairs.shape[0]]))
+        for lo, hi in zip(starts, stops):
+            with open(self._paths[int(chunk_ids[lo])], "ab") as fh:
+                fh.write(pairs[lo:hi].tobytes())
+        self._fill = 0
+
+    def load(self, chunk: int) -> "tuple[np.ndarray, np.ndarray]":
+        path = self._paths[chunk]
+        if not path.exists():
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        raw = np.fromfile(path, dtype=np.int64).reshape(-1, 2)
+        return raw[:, 0], raw[:, 1]
+
+    def cleanup(self) -> None:
+        self._finalizer()
+
+
+def _chunk_from_pairs(
+    start: int,
+    stop: int,
+    vertices: np.ndarray,
+    edges: np.ndarray,
+    weights: np.ndarray,
+) -> VertexChunk:
+    """Assemble a :class:`VertexChunk` from unordered (vertex, edge) pairs."""
+    order = np.lexsort((edges, vertices))
+    vertices = vertices[order]
+    edges = edges[order]
+    if vertices.size:
+        # Per-edge duplicate pins collapse, mirroring the Hypergraph model.
+        keep = np.empty(vertices.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = (vertices[1:] != vertices[:-1]) | (edges[1:] != edges[:-1])
+        vertices = vertices[keep]
+        edges = edges[keep]
+    counts = np.bincount(vertices - start, minlength=stop - start)
+    ptr = np.zeros(stop - start + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    return VertexChunk(
+        start=start,
+        stop=stop,
+        vertex_ptr=ptr,
+        vertex_edges=edges,
+        vertex_weights=np.asarray(weights, dtype=np.float64),
+    )
+
+
+# ----------------------------------------------------------------------
+# stream base
+# ----------------------------------------------------------------------
+class ChunkStream:
+    """Iterable of :class:`VertexChunk` plus global stream metadata.
+
+    Subclasses set ``name``, ``num_vertices``, ``num_edges``, ``num_pins``,
+    ``chunk_size``, ``edge_weights`` and ``total_vertex_weight`` during
+    construction (the header of both supported formats declares the counts
+    up front; the single ingest pass fills in the rest before the first
+    chunk is yielded).  Streams are re-iterable: every ``iter()`` replays
+    the chunks in vertex order, which is what gives the buffered
+    restreamer its extra passes without any in-memory caching.
+    """
+
+    name: str = "stream"
+    num_vertices: int = 0
+    num_edges: int = 0
+    num_pins: int = 0
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    edge_weights: np.ndarray
+    total_vertex_weight: float = 0.0
+    #: High-water mark of pins resident in memory at once (ingest buffer
+    #: or a loaded chunk) — the quantity the out-of-core bound is about.
+    peak_resident_pins: int = 0
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-self.num_vertices // self.chunk_size)
+
+    def chunk_bounds(self, c: int) -> "tuple[int, int]":
+        start = c * self.chunk_size
+        return start, min(start + self.chunk_size, self.num_vertices)
+
+    def __iter__(self) -> Iterator[VertexChunk]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any temporary spill files (idempotent)."""
+
+    def __enter__(self) -> "ChunkStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _note_resident(self, pins: int) -> None:
+        self.peak_resident_pins = max(self.peak_resident_pins, pins)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, pins={self.num_pins}, "
+            f"chunks={self.num_chunks}x{self.chunk_size})"
+        )
+
+
+class _SpilledChunkStream(ChunkStream):
+    """Shared machinery for file-backed streams: spill store + iteration."""
+
+    def __init__(self, chunk_size: int, buffer_pins: int) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if buffer_pins < 1:
+            raise ValueError(f"buffer_pins must be >= 1, got {buffer_pins}")
+        self.chunk_size = int(chunk_size)
+        self._buffer_pins = int(buffer_pins)
+        self._spill: "_SpillStore | None" = None
+        self._edge_remap: "np.ndarray | None" = None
+        self.vertex_weights = np.empty(0)
+
+    def _make_spill(self, num_vertices: int) -> _SpillStore:
+        num_chunks = max(1, -(-num_vertices // self.chunk_size))
+        self._spill = _SpillStore(num_chunks, self.chunk_size, self._buffer_pins)
+        return self._spill
+
+    def __iter__(self) -> Iterator[VertexChunk]:
+        if self._spill is None:
+            raise RuntimeError("stream is closed")
+        self._note_resident(self._spill.peak_buffered_pins)
+        for c in range(self.num_chunks):
+            start, stop = self.chunk_bounds(c)
+            vertices, edges = self._spill.load(c)
+            if self._edge_remap is not None:
+                edges = self._edge_remap[edges]
+            chunk = _chunk_from_pairs(
+                start, stop, vertices, edges, self.vertex_weights[start:stop]
+            )
+            self._note_resident(chunk.num_pins)
+            yield chunk
+
+    def close(self) -> None:
+        if self._spill is not None:
+            self._spill.cleanup()
+            self._spill = None
+
+
+# ----------------------------------------------------------------------
+# hMetis
+# ----------------------------------------------------------------------
+class HmetisChunkStream(_SpilledChunkStream):
+    """One-pass chunked reader for the hMetis format.
+
+    Shares header/edge-line/vertex-weight validation with
+    :func:`repro.hypergraph.io.read_hmetis` — malformed files raise the
+    same :class:`HypergraphFormatError` — but the file is consumed line by
+    line and pins go straight to the spill store.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        buffer_pins: int = DEFAULT_BUFFER_PINS,
+        name: "str | None" = None,
+    ) -> None:
+        super().__init__(chunk_size, buffer_pins)
+        path = Path(path)
+        self.name = name or path.stem
+        with open(path, "r") as fh:
+            self._ingest(path, fh)
+
+    def _ingest(self, path: Path, fh) -> None:
+        lines = _data_lines(fh)
+        first = next(lines, None)
+        if first is None:
+            raise HypergraphFormatError(f"{path}: empty file")
+        lineno, tokens = first
+        header = parse_hmetis_header(path, lineno, tokens)
+        num_edges, num_vertices = header.num_edges, header.num_vertices
+        if num_vertices < 1:
+            raise HypergraphFormatError(
+                f"{path}:{lineno}: num_vertices must be >= 1, got {num_vertices}"
+            )
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self.edge_weights = np.ones(num_edges, dtype=np.float64)
+        self.vertex_weights = np.ones(num_vertices, dtype=np.float64)
+        spill = self._make_spill(num_vertices)
+
+        edges_seen = 0
+        weights_seen = 0
+        body_lines = 0
+        for lineno, tokens in lines:
+            body_lines += 1
+            if edges_seen < num_edges:
+                weight, pins = parse_hmetis_edge_line(path, lineno, tokens, header)
+                self.edge_weights[edges_seen] = weight
+                arr = np.unique(np.asarray(pins, dtype=np.int64))
+                spill.add(arr, edges_seen)
+                self.num_pins += arr.size
+                edges_seen += 1
+            elif header.has_vertex_weights and weights_seen < num_vertices:
+                self.vertex_weights[weights_seen] = parse_hmetis_vertex_weight(
+                    path, lineno, tokens
+                )
+                weights_seen += 1
+            # trailing lines are ignored, as in read_hmetis
+
+        if edges_seen < num_edges:
+            raise HypergraphFormatError(
+                f"{path}: expected {num_edges} hyperedge lines, found {body_lines}"
+            )
+        if header.has_vertex_weights and weights_seen < num_vertices:
+            raise HypergraphFormatError(
+                f"{path}: expected {num_vertices} vertex-weight lines, "
+                f"found {weights_seen}"
+            )
+        if header.has_edge_weights and (self.edge_weights <= 0).any():
+            raise HypergraphFormatError(
+                f"{path}: edge_weights must be strictly positive"
+            )
+        if header.has_vertex_weights and (self.vertex_weights <= 0).any():
+            raise HypergraphFormatError(
+                f"{path}: vertex_weights must be strictly positive"
+            )
+        spill.flush()
+        self.total_vertex_weight = float(self.vertex_weights.sum())
+        self._note_resident(spill.peak_buffered_pins)
+
+
+# ----------------------------------------------------------------------
+# MatrixMarket
+# ----------------------------------------------------------------------
+_MM_FIELDS = ("real", "integer", "complex", "pattern")
+_MM_SYMMETRIES = ("general", "symmetric", "skew-symmetric", "hermitian")
+
+
+class MatrixMarketChunkStream(_SpilledChunkStream):
+    """One-pass chunked reader for MatrixMarket coordinate files.
+
+    Interprets the matrix under the row-net / column-net model exactly as
+    :func:`repro.hypergraph.io.read_matrix_market` (which goes through
+    ``scipy.io.mmread``): symmetric/skew/hermitian storage is expanded to
+    both triangles, explicit values are irrelevant (any stored entry is a
+    pin) and all-zero nets are dropped with renumbering.  Dense ``array``
+    files are rejected — streaming them would make every column a full
+    net, defeating the point of out-of-core ingestion.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        model: str = "row-net",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        buffer_pins: int = DEFAULT_BUFFER_PINS,
+        name: "str | None" = None,
+    ) -> None:
+        super().__init__(chunk_size, buffer_pins)
+        if model not in ("row-net", "column-net"):
+            raise ValueError(
+                f"model must be 'row-net' or 'column-net', got {model!r}"
+            )
+        path = Path(path)
+        self.name = name or path.stem
+        self.model = model
+        with open(path, "r") as fh:
+            self._ingest(path, fh)
+
+    def _ingest(self, path: Path, fh) -> None:
+        banner = fh.readline()
+        tokens = banner.strip().split()
+        if not tokens or not tokens[0].lower().startswith("%%matrixmarket"):
+            raise HypergraphFormatError(
+                f"{path}:1: not a MatrixMarket file (missing %%MatrixMarket banner)"
+            )
+        fields = [t.lower() for t in tokens[1:]]
+        if len(fields) < 4 or fields[0] != "matrix":
+            raise HypergraphFormatError(
+                f"{path}:1: banner must be "
+                f"'%%MatrixMarket matrix <format> <field> <symmetry>'"
+            )
+        mm_format, mm_field, mm_symmetry = fields[1], fields[2], fields[3]
+        if mm_format != "coordinate":
+            raise HypergraphFormatError(
+                f"{path}:1: only 'coordinate' format is streamable, got {mm_format!r}"
+            )
+        if mm_field not in _MM_FIELDS:
+            raise HypergraphFormatError(f"{path}:1: unknown field {mm_field!r}")
+        if mm_symmetry not in _MM_SYMMETRIES:
+            raise HypergraphFormatError(
+                f"{path}:1: unknown symmetry {mm_symmetry!r}"
+            )
+        symmetric = mm_symmetry != "general"
+
+        lines = _data_lines(fh)
+        size_line = next(lines, None)
+        if size_line is None:
+            raise HypergraphFormatError(f"{path}: missing size line")
+        lineno, tokens = size_line
+        if len(tokens) != 3:
+            raise HypergraphFormatError(
+                f"{path}:{lineno + 1}: size line must be 'rows cols nnz'"
+            )
+        try:
+            num_rows, num_cols, nnz = (int(t) for t in tokens)
+        except ValueError as exc:
+            raise HypergraphFormatError(
+                f"{path}:{lineno + 1}: non-integer size line"
+            ) from exc
+
+        # Row-net: columns are vertices, rows are nets; column-net flips.
+        row_net = self.model == "row-net"
+        self.num_vertices = num_cols if row_net else num_rows
+        raw_edges = num_rows if row_net else num_cols
+        if self.num_vertices < 1:
+            raise HypergraphFormatError(
+                f"{path}: matrix has no {'columns' if row_net else 'rows'}"
+            )
+        spill = self._make_spill(self.num_vertices)
+        self.vertex_weights = np.ones(self.num_vertices, dtype=np.float64)
+        edge_seen = np.zeros(raw_edges, dtype=bool)
+
+        entries = 0
+        pair = np.empty(1, dtype=np.int64)
+        for lineno, tokens in lines:
+            if entries >= nnz:
+                raise HypergraphFormatError(
+                    f"{path}:{lineno + 1}: more than the declared {nnz} entries"
+                )
+            if len(tokens) < 2:
+                raise HypergraphFormatError(
+                    f"{path}:{lineno + 1}: entry needs at least 'row col'"
+                )
+            try:
+                i, j = int(tokens[0]), int(tokens[1])
+            except ValueError as exc:
+                raise HypergraphFormatError(
+                    f"{path}:{lineno + 1}: non-integer coordinate"
+                ) from exc
+            if not (1 <= i <= num_rows and 1 <= j <= num_cols):
+                raise HypergraphFormatError(
+                    f"{path}:{lineno + 1}: entry ({i}, {j}) outside "
+                    f"{num_rows} x {num_cols}"
+                )
+            entries += 1
+            v, e = (j - 1, i - 1) if row_net else (i - 1, j - 1)
+            pair[0] = v
+            spill.add(pair, e)
+            edge_seen[e] = True
+            self.num_pins += 1
+            if symmetric and i != j:
+                v2, e2 = (i - 1, j - 1) if row_net else (j - 1, i - 1)
+                pair[0] = v2
+                spill.add(pair, e2)
+                edge_seen[e2] = True
+                self.num_pins += 1
+        if entries < nnz:
+            raise HypergraphFormatError(
+                f"{path}: expected {nnz} entries, found {entries}"
+            )
+        spill.flush()
+
+        # Drop all-zero nets with renumbering, as from_sparse(drop_empty=True).
+        if edge_seen.all():
+            self.num_edges = raw_edges
+        else:
+            remap = np.cumsum(edge_seen, dtype=np.int64) - 1
+            remap[~edge_seen] = -1
+            self._edge_remap = remap
+            self.num_edges = int(edge_seen.sum())
+        self.edge_weights = np.ones(self.num_edges, dtype=np.float64)
+        self.total_vertex_weight = float(self.num_vertices)
+        # Coordinate files may legally repeat an entry (mmread sums them;
+        # the hypergraph keeps one pin), so the running entry count
+        # overstates pins.  Recount deduplicated, one spill chunk at a
+        # time — still bounded memory.
+        self.num_pins = 0
+        for c in range(self.num_chunks):
+            vertices, edges = spill.load(c)
+            if vertices.size:
+                pairs = vertices * np.int64(raw_edges) + edges
+                self.num_pins += int(np.unique(pairs).size)
+        self._note_resident(spill.peak_buffered_pins)
+
+
+# ----------------------------------------------------------------------
+# in-memory adapter
+# ----------------------------------------------------------------------
+class HypergraphChunkStream(ChunkStream):
+    """Adapter presenting an in-memory hypergraph as a chunk stream.
+
+    Chunks are zero-copy views of the hypergraph's CSR arrays.  This is
+    how the streaming partitioners implement the standard
+    ``partition(hg, ...)`` interface — the *algorithm state* stays bounded
+    even though the instance happens to be resident — and it is the
+    reference the disk readers are tested against.
+    """
+
+    def __init__(self, hg: Hypergraph, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.hg = hg
+        self.name = hg.name
+        self.chunk_size = int(chunk_size)
+        self.num_vertices = hg.num_vertices
+        self.num_edges = hg.num_edges
+        self.num_pins = hg.num_pins
+        self.edge_weights = hg.edge_weights
+        self.vertex_weights = hg.vertex_weights
+        self.total_vertex_weight = hg.total_vertex_weight()
+
+    def __iter__(self) -> Iterator[VertexChunk]:
+        vptr, vedges = self.hg.vertex_ptr, self.hg.vertex_edges
+        for c in range(self.num_chunks):
+            start, stop = self.chunk_bounds(c)
+            base = vptr[start]
+            chunk = VertexChunk(
+                start=start,
+                stop=stop,
+                vertex_ptr=vptr[start : stop + 1] - base,
+                vertex_edges=vedges[base : vptr[stop]],
+                vertex_weights=self.vertex_weights[start:stop],
+            )
+            self._note_resident(chunk.num_pins)
+            yield chunk
+
+
+# ----------------------------------------------------------------------
+# public constructors + assembly
+# ----------------------------------------------------------------------
+def stream_hmetis(
+    path: "str | Path",
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    buffer_pins: int = DEFAULT_BUFFER_PINS,
+    name: "str | None" = None,
+) -> HmetisChunkStream:
+    """Open an hMetis file as a re-iterable chunk stream (one-pass ingest)."""
+    return HmetisChunkStream(
+        path, chunk_size=chunk_size, buffer_pins=buffer_pins, name=name
+    )
+
+
+def stream_matrix_market(
+    path: "str | Path",
+    *,
+    model: str = "row-net",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    buffer_pins: int = DEFAULT_BUFFER_PINS,
+    name: "str | None" = None,
+) -> MatrixMarketChunkStream:
+    """Open a MatrixMarket coordinate file as a re-iterable chunk stream."""
+    return MatrixMarketChunkStream(
+        path, model=model, chunk_size=chunk_size, buffer_pins=buffer_pins, name=name
+    )
+
+
+def assemble(stream: ChunkStream) -> Hypergraph:
+    """Materialise a chunk stream into an in-memory hypergraph.
+
+    Deliberately O(pins) in memory — it exists so tests can assert that
+    chunked reads concatenate to exactly what the whole-file readers
+    produce, and as an escape hatch when an instance turns out to fit
+    after all.
+    """
+    ptr_parts = [np.zeros(1, dtype=np.int64)]
+    edge_parts: "list[np.ndarray]" = []
+    weight_parts: "list[np.ndarray]" = []
+    offset = 0
+    for chunk in stream:
+        ptr_parts.append(chunk.vertex_ptr[1:] + offset)
+        offset += chunk.num_pins
+        edge_parts.append(chunk.vertex_edges)
+        weight_parts.append(chunk.vertex_weights)
+    vptr = np.concatenate(ptr_parts)
+    vedges = (
+        np.concatenate(edge_parts) if edge_parts else np.empty(0, dtype=np.int64)
+    )
+    weights = (
+        np.concatenate(weight_parts) if weight_parts else np.empty(0)
+    )
+    if vptr.size - 1 != stream.num_vertices:
+        raise ValueError(
+            f"stream yielded {vptr.size - 1} vertices, header declared "
+            f"{stream.num_vertices}"
+        )
+    # Invert vertex->edges into the edge->pins CSR the model stores.
+    owners = np.repeat(
+        np.arange(stream.num_vertices, dtype=np.int64), np.diff(vptr)
+    )
+    order = np.argsort(vedges, kind="stable")
+    pins = owners[order]
+    counts = np.bincount(vedges, minlength=stream.num_edges)
+    eptr = np.zeros(stream.num_edges + 1, dtype=np.int64)
+    np.cumsum(counts, out=eptr[1:])
+    return Hypergraph.from_csr_arrays(
+        stream.num_vertices,
+        eptr,
+        pins,
+        vertex_weights=weights,
+        edge_weights=stream.edge_weights,
+        name=stream.name,
+    )

@@ -1,0 +1,412 @@
+"""Bounded-buffer HyperPRAW-style restreaming.
+
+:class:`BufferedRestreamer` keeps a window of the most recent
+``buffer_size`` arrived vertices.  Arriving vertices are first placed
+round-robin — the streaming analogue of Algorithm 1 line 1 — and whenever
+the window fills (and once more at end of stream) the whole window is
+**re-streamed** with the full HyperPRAW schedule: repeated greedy passes
+driven by the Eq. 1 value function, alpha tempering while over the
+imbalance tolerance, then the refinement phase that keeps restreaming
+while the monitored communication cost improves and rolls back one pass
+when it degrades.  Re-streamed vertices are then frozen; their pin counts
+stay in the (capped) presence table so later windows coordinate with
+them.
+
+Convergence knob: with ``buffer_size=None`` (unbounded) and an unbounded
+presence table the entire stream is one window and the algorithm **is**
+in-memory HyperPRAW — same passes, same schedule, same rollback, same
+assignments (a property the test suite asserts exactly).  Shrinking the
+buffer trades quality for memory, degenerating toward the round-robin
+baseline as ``buffer_size -> 0``; quality therefore improves monotonically
+with the buffer, which the streaming benchmark scenario tracks.
+
+The window pass is a line-for-line mirror of
+:meth:`~repro.core.hyperpraw.HyperPRAW._stream_pass`, operating on the
+bounded table instead of the dense ``(E x p)`` matrix; the monitored cost
+uses the per-hyperedge identity ``PC(P) = sum_e w_e c_e^T C c_e``, which
+needs only table rows (and equals Eq. 5 exactly when nothing has been
+evicted).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.base import Partitioner
+from repro.core.config import HyperPRAWConfig
+from repro.core.result import IterationRecord, PartitionResult
+from repro.core.schedule import TemperingSchedule, initial_alpha_from_counts
+from repro.core.value import assignment_values
+from repro.hypergraph.model import Hypergraph
+from repro.streaming.reader import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkStream,
+    HypergraphChunkStream,
+    VertexChunk,
+)
+from repro.streaming.state import StreamingState, resolve_cost_matrix
+
+__all__ = ["BufferedRestreamer"]
+
+
+class _Window:
+    """Accumulated chunk segments awaiting a restream."""
+
+    def __init__(self) -> None:
+        self._chunks: "list[VertexChunk]" = []
+        self.num_vertices = 0
+
+    def append(self, chunk: VertexChunk) -> None:
+        self._chunks.append(chunk)
+        self.num_vertices += chunk.num_vertices
+
+    def arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """``(vertex_ids, local_ptr, edges, weights)`` over the window."""
+        ids = np.concatenate(
+            [np.arange(c.start, c.stop, dtype=np.int64) for c in self._chunks]
+        )
+        ptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        offset = 0
+        pos = 1
+        edge_parts = []
+        weight_parts = []
+        for c in self._chunks:
+            ptr[pos : pos + c.num_vertices] = c.vertex_ptr[1:] + offset
+            pos += c.num_vertices
+            offset += c.num_pins
+            edge_parts.append(c.vertex_edges)
+            weight_parts.append(c.vertex_weights)
+        edges = (
+            np.concatenate(edge_parts) if edge_parts else np.empty(0, dtype=np.int64)
+        )
+        weights = np.concatenate(weight_parts) if weight_parts else np.empty(0)
+        return ids, ptr, edges, weights
+
+    def clear(self) -> None:
+        self._chunks.clear()
+        self.num_vertices = 0
+
+
+def _split_chunk(chunk: VertexChunk, k: int) -> "tuple[VertexChunk, VertexChunk]":
+    """Split a chunk after its first ``k`` vertices (views, no copies)."""
+    base = chunk.vertex_ptr[k]
+    head = VertexChunk(
+        start=chunk.start,
+        stop=chunk.start + k,
+        vertex_ptr=chunk.vertex_ptr[: k + 1],
+        vertex_edges=chunk.vertex_edges[:base],
+        vertex_weights=chunk.vertex_weights[:k],
+    )
+    tail = VertexChunk(
+        start=chunk.start + k,
+        stop=chunk.stop,
+        vertex_ptr=chunk.vertex_ptr[k:] - base,
+        vertex_edges=chunk.vertex_edges[base:],
+        vertex_weights=chunk.vertex_weights[k:],
+    )
+    return head, tail
+
+
+class BufferedRestreamer(Partitioner):
+    """Bounded-buffer restreaming partitioner (HyperPRAW over a window).
+
+    Parameters
+    ----------
+    config:
+        the HyperPRAW schedule parameters (tolerance, tempering,
+        refinement, presence threshold...).  ``stream_order`` must be
+        ``"natural"`` — a streamed input arrives in vertex order.
+    buffer_size:
+        window capacity in vertices; ``None`` buffers the whole stream
+        (exactly in-memory HyperPRAW, the convergence anchor).
+    chunk_size:
+        chunking used when adapting an in-memory hypergraph.
+    max_tracked_edges:
+        presence-table cap (``None`` = unbounded / exact).
+    """
+
+    name = "stream-buffered"
+
+    def __init__(
+        self,
+        config: "HyperPRAWConfig | None" = None,
+        *,
+        buffer_size: "int | None" = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_tracked_edges: "int | None" = None,
+    ) -> None:
+        self.config = config or HyperPRAWConfig()
+        if self.config.stream_order != "natural":
+            raise ValueError(
+                "BufferedRestreamer requires stream_order='natural' "
+                "(a stream arrives in vertex order)"
+            )
+        if buffer_size is not None and buffer_size < 1:
+            raise ValueError(
+                f"buffer_size must be >= 1 or None, got {buffer_size}"
+            )
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.buffer_size = buffer_size
+        self.chunk_size = int(chunk_size)
+        self.max_tracked_edges = max_tracked_edges
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        hg: Hypergraph,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        """Stream an in-memory hypergraph chunk by chunk (adapter path)."""
+        self._check_args(hg, num_parts)
+        stream = HypergraphChunkStream(hg, self.chunk_size)
+        return self.partition_stream(
+            stream, num_parts, cost_matrix=cost_matrix, seed=seed
+        )
+
+    def partition_stream(
+        self,
+        stream: ChunkStream,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        """Ingest, window, restream, freeze — over the whole stream."""
+        if num_parts < 1:
+            raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+        if num_parts > stream.num_vertices:
+            raise ValueError(
+                f"cannot split {stream.num_vertices} vertices into {num_parts} parts"
+            )
+        t_start = time.perf_counter()
+        cfg = self.config
+        p = num_parts
+        C, aware = resolve_cost_matrix(cost_matrix, p)
+        state = StreamingState(
+            p,
+            expected_loads=np.full(p, stream.total_vertex_weight / p),
+            max_tracked_edges=self.max_tracked_edges,
+        )
+        alpha0 = initial_alpha_from_counts(
+            stream.num_vertices, stream.num_edges, p, cfg.alpha_initial
+        )
+        edge_w = stream.edge_weights if cfg.use_edge_weights else None
+        assignment = np.full(stream.num_vertices, -1, dtype=np.int64)
+        window = _Window()
+        history: "list[IterationRecord]" = []
+        batches = 0
+        iterations_total = 0
+        any_rolled_back = False
+        all_converged = True
+        final_cost = 0.0
+        final_alpha = alpha0
+
+        def run_batch() -> None:
+            nonlocal batches, iterations_total, any_rolled_back
+            nonlocal all_converged, final_cost, final_alpha
+            if window.num_vertices == 0:
+                return
+            iters, converged, rolled_back, cost, alpha_end = self._restream_window(
+                window, state, C, alpha0, edge_w, assignment, history,
+                iterations_total,
+            )
+            batches += 1
+            iterations_total += iters
+            any_rolled_back = any_rolled_back or rolled_back
+            all_converged = all_converged and converged
+            final_cost = cost
+            final_alpha = alpha_end
+            window.clear()
+
+        for chunk in stream:
+            # Algorithm 1 line 1, streamed: arrivals start round-robin.
+            for i in range(chunk.num_vertices):
+                v = chunk.start + i
+                j = v % p
+                state.place(chunk.edges_of(i), j, chunk.vertex_weights[i])
+                assignment[v] = j
+            if self.buffer_size is None:
+                window.append(chunk)
+                continue
+            # The window bound is on vertices, not chunks: split arriving
+            # chunks so a stream chunked coarser than the buffer cannot
+            # silently widen the window.
+            while chunk.num_vertices > 0:
+                room = self.buffer_size - window.num_vertices
+                if chunk.num_vertices <= room:
+                    window.append(chunk)
+                    break
+                if room > 0:
+                    head, chunk = _split_chunk(chunk, room)
+                    window.append(head)
+                run_batch()
+            if window.num_vertices >= self.buffer_size:
+                run_batch()
+        run_batch()
+
+        return PartitionResult(
+            assignment=assignment,
+            num_parts=p,
+            algorithm=self.name,
+            iterations=history,
+            metadata={
+                "converged": all_converged,
+                "rolled_back": any_rolled_back,
+                "iterations_run": iterations_total,
+                "batches": batches,
+                "buffer_size": self.buffer_size,
+                "final_alpha": final_alpha,
+                "final_pc_cost": float(final_cost),
+                "max_tracked_edges": self.max_tracked_edges,
+                "peak_tracked_edges": state.peak_tracked_edges,
+                "evictions": state.evictions,
+                "peak_resident_pins": stream.peak_resident_pins,
+                "architecture_aware": aware,
+                "imbalance_tolerance": cfg.imbalance_tolerance,
+                "wall_time_s": time.perf_counter() - t_start,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _restream_window(
+        self,
+        window: _Window,
+        state: StreamingState,
+        C: np.ndarray,
+        alpha0: float,
+        edge_weights: "np.ndarray | None",
+        assignment: np.ndarray,
+        history: "list[IterationRecord]",
+        iteration_offset: int,
+    ) -> "tuple[int, bool, bool, float, float]":
+        """HyperPRAW's outer loop over one window; mirrors ``partition``.
+
+        Returns ``(iterations, converged, rolled_back, best_cost, alpha)``.
+        """
+        cfg = self.config
+        win_ids, win_ptr, win_edges, win_w = window.arrays()
+        schedule = TemperingSchedule(
+            alpha=alpha0,
+            tempering_update=cfg.alpha_update,
+            refinement_factor=cfg.refinement_factor,
+        )
+        best: "np.ndarray | None" = None
+        best_cost = np.inf
+        cost = np.inf
+        converged = False
+        rolled_back = False
+        iterations = 0
+
+        for it in range(1, cfg.max_iterations + 1):
+            alpha = schedule.alpha
+            self._window_pass(
+                state, C, alpha, win_ids, win_ptr, win_edges, win_w, assignment,
+                cfg.presence_threshold,
+            )
+            iterations = it
+            imb = state.imbalance()
+            cost = state.pc_cost(C, edge_weights=edge_weights)
+            within = imb <= cfg.imbalance_tolerance
+            if cfg.record_history:
+                history.append(
+                    IterationRecord(
+                        iteration=iteration_offset + it,
+                        alpha=alpha,
+                        imbalance=imb,
+                        pc_cost=cost,
+                        phase="refinement" if within else "tempering",
+                    )
+                )
+            if not within:
+                schedule.after_pass(within_tolerance=False)
+                continue
+            if not cfg.refinement:
+                best, best_cost = assignment[win_ids].copy(), cost
+                converged = True
+                break
+            if cost < best_cost:
+                best, best_cost = assignment[win_ids].copy(), cost
+                schedule.after_pass(within_tolerance=True)
+                continue
+            # Refinement stopped improving: roll back to the best pass.
+            converged = True
+            rolled_back = True
+            break
+
+        if best is None:
+            # Tolerance never reached within the budget: freeze the final
+            # pass, as in-memory HyperPRAW returns P^N.
+            best_cost = cost
+        else:
+            self._restore_window(
+                state, win_ids, win_ptr, win_edges, win_w, assignment, best
+            )
+        return iterations, converged, rolled_back, float(best_cost), schedule.alpha
+
+    def _window_pass(
+        self,
+        state: StreamingState,
+        cost_matrix: np.ndarray,
+        alpha: float,
+        win_ids: np.ndarray,
+        win_ptr: np.ndarray,
+        win_edges: np.ndarray,
+        win_w: np.ndarray,
+        assignment: np.ndarray,
+        presence_threshold: int,
+    ) -> None:
+        """One greedy remove -> score -> place pass over the window.
+
+        Operation-for-operation mirror of ``HyperPRAW._stream_pass`` so
+        that the unbounded configuration reproduces it exactly.
+        """
+        p = state.num_parts
+        loads = state.loads
+        inv_expected = 1.0 / state.expected_loads
+        values = np.empty(p, dtype=np.float64)
+        load_pen = np.empty(p, dtype=np.float64)
+
+        for i in range(win_ids.size):
+            v = int(win_ids[i])
+            edges = win_edges[win_ptr[i] : win_ptr[i + 1]]
+            old = int(assignment[v])
+            w_v = win_w[i]
+            state.remove(edges, old, w_v)
+            if edges.size:
+                X = state.gather(edges).astype(np.float64)
+                n_neigh = int(np.count_nonzero(X >= presence_threshold))
+                np.matmul(cost_matrix, X, out=values)
+                values *= -(n_neigh / p)
+            else:
+                values[:] = 0.0
+            np.multiply(loads, inv_expected, out=load_pen)
+            load_pen *= alpha
+            values -= load_pen
+            j = int(np.argmax(values))
+            state.place(edges, j, w_v)
+            assignment[v] = j
+
+    @staticmethod
+    def _restore_window(
+        state: StreamingState,
+        win_ids: np.ndarray,
+        win_ptr: np.ndarray,
+        win_edges: np.ndarray,
+        win_w: np.ndarray,
+        assignment: np.ndarray,
+        best: np.ndarray,
+    ) -> None:
+        """Move window vertices back to the best recorded pass's parts."""
+        current = assignment[win_ids]
+        for i in np.flatnonzero(current != best):
+            v = int(win_ids[i])
+            edges = win_edges[win_ptr[i] : win_ptr[i + 1]]
+            state.remove(edges, int(current[i]), win_w[i])
+            state.place(edges, int(best[i]), win_w[i])
+            assignment[v] = int(best[i])

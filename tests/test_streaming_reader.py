@@ -1,0 +1,291 @@
+"""Tests for the out-of-core chunked readers (repro.streaming.reader).
+
+The load-bearing property: chunked reads concatenate to *exactly* what the
+in-memory readers produce — same structure, same weights, same strict
+validation errors — while never holding the full pin array in memory.
+"""
+
+import numpy as np
+import pytest
+import scipy.io
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph.io import (
+    HypergraphFormatError,
+    read_hmetis,
+    read_matrix_market,
+    write_hmetis,
+)
+from repro.hypergraph.model import Hypergraph
+from repro.hypergraph.suite import load_instance
+from repro.streaming import (
+    HypergraphChunkStream,
+    assemble,
+    stream_hmetis,
+    stream_matrix_market,
+)
+
+
+@pytest.fixture
+def weighted_hypergraph():
+    return Hypergraph(
+        4,
+        [[0, 1], [1, 2, 3], [0, 3]],
+        vertex_weights=[1, 2, 3, 4],
+        edge_weights=[10, 20, 30],
+        name="weighted",
+    )
+
+
+def _assert_stream_matches(stream, reference):
+    back = assemble(stream)
+    assert back == reference
+    assert back.name == reference.name
+    assert np.array_equal(back.vertex_weights, reference.vertex_weights)
+    assert np.array_equal(back.edge_weights, reference.edge_weights)
+
+
+class TestHmetisStream:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 64, 10_000])
+    def test_concatenates_to_read_hmetis(self, tiny_hypergraph, tmp_path, chunk_size):
+        path = tmp_path / "h.hgr"
+        write_hmetis(tiny_hypergraph, path)
+        _assert_stream_matches(
+            stream_hmetis(path, chunk_size=chunk_size), read_hmetis(path)
+        )
+
+    def test_weighted_fmt11(self, weighted_hypergraph, tmp_path):
+        path = tmp_path / "w.hgr"
+        write_hmetis(weighted_hypergraph, path, write_weights=True)
+        _assert_stream_matches(stream_hmetis(path, chunk_size=2), read_hmetis(path))
+
+    def test_fmt1_edge_weights_only(self, tmp_path):
+        path = tmp_path / "ew.hgr"
+        path.write_text("2 3 1\n9 1 2\n4 2 3\n")
+        stream = stream_hmetis(path, chunk_size=2)
+        assert stream.edge_weights.tolist() == [9.0, 4.0]
+        _assert_stream_matches(stream, read_hmetis(path))
+
+    def test_fmt10_vertex_weights_only(self, tmp_path):
+        path = tmp_path / "vw.hgr"
+        path.write_text("2 3 10\n1 2\n2 3\n5\n6\n7\n")
+        stream = stream_hmetis(path, chunk_size=2)
+        assert stream.vertex_weights.tolist() == [5.0, 6.0, 7.0]
+        assert stream.total_vertex_weight == 18.0
+        _assert_stream_matches(stream, read_hmetis(path))
+
+    def test_comments_and_duplicate_pins(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("% header comment\n2 4\n1 2 2 1\n% mid comment\n3 4\n")
+        _assert_stream_matches(stream_hmetis(path, chunk_size=3), read_hmetis(path))
+
+    def test_fractional_edge_weights_roundtrip(self, tmp_path):
+        # write_hmetis emits non-integral weights as floats; both readers
+        # must round-trip the library's own output
+        hg = Hypergraph(3, [[0, 1], [1, 2]], edge_weights=[1.5, 2.25])
+        path = tmp_path / "frac.hgr"
+        write_hmetis(hg, path, write_weights=True)
+        ref = read_hmetis(path)
+        assert ref.edge_weights.tolist() == [1.5, 2.25]
+        _assert_stream_matches(stream_hmetis(path, chunk_size=2), ref)
+
+    def test_bad_edge_weight_token(self, tmp_path):
+        path = tmp_path / "badw.hgr"
+        path.write_text("1 3 1\nx 1 2\n")
+        with pytest.raises(HypergraphFormatError, match="hyperedge weight"):
+            stream_hmetis(path)
+        with pytest.raises(HypergraphFormatError, match="hyperedge weight"):
+            read_hmetis(path)
+
+    def test_suite_instance_roundtrip(self, small_random, tmp_path):
+        path = tmp_path / "inst.hgr"
+        write_hmetis(small_random, path)
+        _assert_stream_matches(
+            stream_hmetis(path, chunk_size=50, buffer_pins=128), read_hmetis(path)
+        )
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("", "empty"),
+            ("1\n1 2\n", "header"),
+            ("2 3\n1 2\n", "expected 2 hyperedge"),
+            ("1 3\n1 9\n", "pin outside"),
+            ("1 3 7\n1 2\n", "unknown fmt"),
+            ("1 3\nx y\n", "non-integer"),
+            ("1 3 1\n5\n", "weighted hyperedge"),
+            ("2 3 10\n1 2\n2 3\n5\n", "vertex-weight"),
+        ],
+    )
+    def test_malformed_raises_like_read_hmetis(self, tmp_path, text, match):
+        path = tmp_path / "bad.hgr"
+        path.write_text(text)
+        with pytest.raises(HypergraphFormatError, match=match):
+            stream_hmetis(path)
+        # the in-memory reader rejects the same files (message prefixes may
+        # differ for errors it reports against a different section)
+        with pytest.raises((HypergraphFormatError, ValueError)):
+            read_hmetis(path)
+
+    def test_reiterable(self, tiny_hypergraph, tmp_path):
+        path = tmp_path / "h.hgr"
+        write_hmetis(tiny_hypergraph, path)
+        stream = stream_hmetis(path, chunk_size=2)
+        first = [c.vertex_edges.tolist() for c in stream]
+        second = [c.vertex_edges.tolist() for c in stream]
+        assert first == second
+
+    def test_closed_stream_raises(self, tiny_hypergraph, tmp_path):
+        path = tmp_path / "h.hgr"
+        write_hmetis(tiny_hypergraph, path)
+        stream = stream_hmetis(path)
+        stream.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            list(stream)
+
+
+class TestMatrixMarketStream:
+    def _roundtrip(self, matrix, tmp_path, chunk_size=5, **mm_kwargs):
+        path = tmp_path / "m.mtx"
+        scipy.io.mmwrite(str(path), matrix, **mm_kwargs)
+        for model in ("row-net", "column-net"):
+            ref = read_matrix_market(path, model=model)
+            _assert_stream_matches(
+                stream_matrix_market(path, model=model, chunk_size=chunk_size), ref
+            )
+
+    def test_general(self, tmp_path):
+        self._roundtrip(sp.random(9, 13, density=0.25, random_state=0), tmp_path)
+
+    def test_symmetric(self, tmp_path):
+        m = sp.random(11, 11, density=0.2, random_state=1)
+        self._roundtrip((m + m.T).tocoo(), tmp_path, symmetry="symmetric")
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 4 5\n1 1\n1 3\n2 2\n3 1\n3 4\n"
+        )
+        _assert_stream_matches(
+            stream_matrix_market(path, chunk_size=2), read_matrix_market(path)
+        )
+
+    def test_empty_rows_dropped_with_renumbering(self, tmp_path):
+        # row 2 of 4 is all-zero: from_sparse drops and renumbers nets.
+        m = sp.coo_array(
+            (np.ones(4), ([0, 0, 2, 3], [0, 2, 1, 2])), shape=(4, 3)
+        )
+        self._roundtrip(m, tmp_path, chunk_size=1)
+
+    def test_duplicate_entries_counted_once(self, tmp_path):
+        path = tmp_path / "dup.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 4\n1 1 1.0\n1 1 2.0\n2 1 1.0\n2 2 1.0\n"
+        )
+        stream = stream_matrix_market(path, chunk_size=1)
+        ref = read_matrix_market(path)
+        assert stream.num_pins == ref.num_pins == 3
+        _assert_stream_matches(stream, ref)
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("not a banner\n1 1 0\n", "banner"),
+            ("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n", "coordinate"),
+            ("%%MatrixMarket matrix coordinate real general\n", "size line"),
+            ("%%MatrixMarket matrix coordinate real general\n2 2\n1 1 1\n", "size line"),
+            ("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n", "expected 2 entries"),
+            ("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n", "outside"),
+            ("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 1\n", "more than"),
+            ("%%MatrixMarket matrix coordinate real wat\n1 1 1\n1 1 1\n", "symmetry"),
+        ],
+    )
+    def test_malformed_raises(self, tmp_path, text, match):
+        path = tmp_path / "bad.mtx"
+        path.write_text(text)
+        with pytest.raises(HypergraphFormatError, match=match):
+            stream_matrix_market(path)
+
+
+class TestMemoryBound:
+    """The out-of-core claim: the full pin array is never materialised."""
+
+    def test_counting_reader_bounds_resident_pins(self, tmp_path):
+        hg = load_instance("sparsine", scale=0.5)
+        path = tmp_path / "big.hgr"
+        write_hmetis(hg, path)
+        chunk_size, buffer_pins = 64, 512
+        stream = stream_hmetis(path, chunk_size=chunk_size, buffer_pins=buffer_pins)
+        # Counting reader: walk every chunk, tracking the largest pin
+        # population handed out at once.
+        max_chunk_pins = 0
+        total = 0
+        for chunk in stream:
+            max_chunk_pins = max(max_chunk_pins, chunk.num_pins)
+            total += chunk.num_pins
+        assert total == hg.num_pins  # nothing lost ...
+        # ... yet no single resident structure approached the full array:
+        assert max_chunk_pins < hg.num_pins / 4
+        assert stream.peak_resident_pins <= buffer_pins + max_chunk_pins
+        assert stream.peak_resident_pins < hg.num_pins / 4
+
+    def test_partition_under_memory_bound(self, tmp_path):
+        """A suite instance is partitioned end-to-end under the bound."""
+        from repro.streaming import OnePassStreamer
+
+        hg = load_instance("sparsine", scale=0.5)
+        path = tmp_path / "big.hgr"
+        write_hmetis(hg, path)
+        stream = stream_hmetis(path, chunk_size=64, buffer_pins=512)
+        result = OnePassStreamer().partition_stream(stream, 8)
+        assert result.assignment.size == hg.num_vertices
+        assert (result.assignment >= 0).all()
+        assert stream.peak_resident_pins < hg.num_pins / 4
+        assert result.metadata["peak_resident_pins"] == stream.peak_resident_pins
+
+
+class TestHypergraphChunkStream:
+    def test_views_cover_hypergraph(self, tiny_hypergraph):
+        stream = HypergraphChunkStream(tiny_hypergraph, chunk_size=4)
+        back = assemble(stream)
+        assert back == tiny_hypergraph
+
+    def test_chunk_shapes(self, tiny_hypergraph):
+        stream = HypergraphChunkStream(tiny_hypergraph, chunk_size=4)
+        chunks = list(stream)
+        assert [c.num_vertices for c in chunks] == [4, 2]
+        assert chunks[0].start == 0 and chunks[1].start == 4
+        assert sum(c.num_pins for c in chunks) == tiny_hypergraph.num_pins
+
+
+@st.composite
+def small_hypergraphs(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    num_edges = draw(st.integers(min_value=0, max_value=12))
+    edges = []
+    for _ in range(num_edges):
+        size = draw(st.integers(min_value=1, max_value=min(5, n)))
+        edges.append(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=size,
+                    max_size=size,
+                )
+            )
+        )
+    return Hypergraph(n, edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hg=small_hypergraphs(), chunk_size=st.integers(min_value=1, max_value=8))
+def test_stream_read_equivalence_property(hg, chunk_size, tmp_path_factory):
+    """Any hypergraph: write -> stream -> assemble == write -> read."""
+    path = tmp_path_factory.mktemp("prop") / "h.hgr"
+    write_hmetis(hg, path)
+    ref = read_hmetis(path)
+    stream = stream_hmetis(path, chunk_size=chunk_size, buffer_pins=7)
+    assert assemble(stream) == ref
