@@ -6,14 +6,28 @@ figures to ``extra_info``, so ``pytest benchmarks/ --benchmark-only``
 reports how much the out-of-core path costs relative to the in-memory
 anchor — and how much the vectorised ``chunk_size`` hot path speeds up
 the in-memory restreamer itself.
+
+``test_sharded_scaling`` runs the parallel sharded streaming ladder
+(:func:`repro.bench.streaming.compare_sharded`).  The worker counts come
+from ``REPRO_BENCH_WORKERS`` (comma-separated, default ``1,2,4``), so CI
+can exercise the multiprocessing path cheaply with ``1,2`` while a
+dedicated box measures the full ladder.  Meaningful speedup needs real
+cores: on a single-CPU machine expect ~1.0x (fork overhead included),
+which is why the scaling assertion lives in the bench report, not in a
+hard test.
 """
 
 import os
 
-from repro.bench.streaming import compare_streaming
+from repro.bench.streaming import compare_sharded, compare_streaming
 from repro.hypergraph.suite import STREAMING_INSTANCE, load_instance
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+WORKERS = tuple(
+    int(w)
+    for w in os.environ.get("REPRO_BENCH_WORKERS", "1,2,4").split(",")
+    if w.strip()
+)
 
 
 def test_streaming_comparison(benchmark, bench_ctx):
@@ -42,5 +56,37 @@ def test_streaming_comparison(benchmark, bench_ctx):
     benchmark.extra_info["chunked_speedup"] = round(
         anchor.wall_time_s / chunked.wall_time_s, 2
     )
+    print()
+    print(report.render())
+
+
+def test_sharded_scaling(benchmark, bench_ctx):
+    scale = 1.0 if FULL else 0.05
+    hg = load_instance(STREAMING_INSTANCE, scale=scale)
+    job = bench_ctx.one_job()
+    report = benchmark.pedantic(
+        lambda: compare_sharded(
+            hg,
+            bench_ctx.num_parts,
+            workers=WORKERS,
+            cost_matrix=job.cost_matrix,
+            chunk_size=512 if FULL else 128,
+            max_iterations=bench_ctx.max_iterations,
+            seed=bench_ctx.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for record in report.records:
+        benchmark.extra_info[f"speedup[w={record.workers}]"] = round(
+            record.speedup, 2
+        )
+        benchmark.extra_info[f"cut_drift[w={record.workers}]"] = round(
+            record.cut_drift, 4
+        )
+        # sanity, not scaling: every worker count must produce a full,
+        # boundary-repaired assignment within the balance tolerance
+        assert record.quality.imbalance <= 1.25 + 1e-9
+        assert abs(record.cut_drift) <= 0.05
     print()
     print(report.render())

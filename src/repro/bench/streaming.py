@@ -19,6 +19,12 @@ exactly that trade on a suite instance:
 
 ``quality_gap`` is the relative PC-cost excess over the in-memory anchor
 (0.0 means identical quality).
+
+:func:`compare_sharded` is the companion scaling scenario for parallel
+sharded streaming (:class:`~repro.streaming.sharded.ShardedStreamer`):
+the same instance streamed at a ladder of worker counts, reporting
+wall-clock speedup over one worker and the quality drift (hyperedge cut
+and PC cost) the shard/merge/boundary-restream pipeline introduces.
 """
 
 from __future__ import annotations
@@ -36,10 +42,22 @@ from repro.core.hyperpraw import HyperPRAW
 from repro.core.metrics import PartitionQuality, evaluate_partition
 from repro.hypergraph.io import write_hmetis
 from repro.hypergraph.model import Hypergraph
-from repro.streaming import BufferedRestreamer, OnePassStreamer, stream_hmetis
+from repro.streaming import (
+    BufferedRestreamer,
+    OnePassStreamer,
+    ShardedStreamer,
+    stream_hmetis,
+)
 from repro.utils.tables import format_table
 
-__all__ = ["StreamingRecord", "StreamingReport", "compare_streaming"]
+__all__ = [
+    "StreamingRecord",
+    "StreamingReport",
+    "compare_streaming",
+    "ShardedRecord",
+    "ShardedReport",
+    "compare_sharded",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +137,7 @@ def compare_streaming(
     chunk_size: int = 512,
     buffer_pins: "int | None" = None,
     buffer_fractions: "tuple[float, ...]" = (0.125, 0.5, 1.0),
+    pin_budget: "int | None" = None,
     max_tracked_edges: "int | None" = None,
     max_iterations: int = 100,
     seed: int = 0,
@@ -129,7 +148,8 @@ def compare_streaming(
     fractions of ``|V|`` (1.0 buffers everything — the convergence check).
     ``buffer_pins`` is the readers' ingest buffer; the default scales with
     the chunk size so the reported peak resident pins reflect the
-    out-of-core bound even on laptop-sized instances.
+    out-of-core bound even on laptop-sized instances.  ``pin_budget``
+    switches the streamed contenders to pin-budgeted chunk boundaries.
     """
     if buffer_pins is None:
         buffer_pins = max(1024, 8 * chunk_size)
@@ -178,7 +198,10 @@ def compare_streaming(
 
         def streamed(make_partitioner, label, stream_chunk):
             stream = stream_hmetis(
-                path, chunk_size=stream_chunk, buffer_pins=buffer_pins
+                path,
+                chunk_size=stream_chunk,
+                buffer_pins=buffer_pins,
+                pin_budget=pin_budget,
             )
             with stream:
                 run(
@@ -226,5 +249,169 @@ def compare_streaming(
         num_parts=num_parts,
         num_pins=hg.num_pins,
         chunk_size=chunk_size,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# parallel sharded streaming scaling scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardedRecord:
+    """One worker count's wall-clock / quality row."""
+
+    workers: int
+    quality: PartitionQuality
+    wall_time_s: float
+    speedup: float
+    cut_drift: float
+    boundary_vertices: int
+    boundary_iterations: int
+
+    @property
+    def pc_cost(self) -> float:
+        return self.quality.pc_cost
+
+
+@dataclass
+class ShardedReport:
+    """Worker-count scaling of the sharded streamer on one instance."""
+
+    instance: str
+    num_parts: int
+    num_pins: int
+    chunk_size: int
+    base_algorithm: str
+    records: "list[ShardedRecord]"
+
+    def record(self, workers: int) -> ShardedRecord:
+        for r in self.records:
+            if r.workers == workers:
+                return r
+        raise KeyError(f"no record for workers={workers}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                r.workers,
+                r.wall_time_s,
+                f"{r.speedup:.2f}x",
+                r.quality.pc_cost,
+                r.quality.hyperedge_cut,
+                f"{r.cut_drift * 100:+.1f}%",
+                r.quality.imbalance,
+                r.boundary_vertices,
+                r.boundary_iterations,
+            )
+            for r in self.records
+        ]
+        return format_table(
+            (
+                "workers",
+                "wall_s",
+                "speedup",
+                "pc_cost",
+                "cut",
+                "cut_drift",
+                "imbalance",
+                "boundary_v",
+                "boundary_it",
+            ),
+            rows,
+            title=(
+                f"sharded streaming scaling — {self.instance}, "
+                f"p={self.num_parts}, {self.num_pins} pins, "
+                f"base={self.base_algorithm}, chunk={self.chunk_size}"
+            ),
+        )
+
+
+def compare_sharded(
+    hg: Hypergraph,
+    num_parts: int,
+    *,
+    workers: "tuple[int, ...]" = (1, 2, 4),
+    cost_matrix: "np.ndarray | None" = None,
+    chunk_size: int = 512,
+    buffer_fraction: float = 0.25,
+    pin_budget: "int | None" = None,
+    max_tracked_edges: "int | None" = None,
+    max_iterations: int = 100,
+    seed: int = 0,
+) -> ShardedReport:
+    """Stream ``hg`` at a ladder of worker counts, sharing one spill file.
+
+    The base partitioner is a :class:`BufferedRestreamer` windowing
+    ``buffer_fraction * |V|`` vertices; ``cut_drift`` is each run's
+    relative hyperedge-cut excess over the single-worker run (the
+    acceptance metric for the sharded pipeline), and ``speedup`` its
+    single-worker wall-clock ratio.
+    """
+    C = uniform_cost_matrix(num_parts) if cost_matrix is None else cost_matrix
+    cfg = HyperPRAWConfig(max_iterations=max_iterations, record_history=False)
+    buffer = max(1, int(round(buffer_fraction * hg.num_vertices)))
+    records: "list[ShardedRecord]" = []
+    base_name = ""
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sharded-") as tmp:
+        path = os.path.join(tmp, f"{hg.name}.hgr")
+        write_hmetis(hg, path, write_weights=True)
+        for w in workers:
+            stream = stream_hmetis(
+                path, chunk_size=chunk_size, pin_budget=pin_budget
+            )
+            with stream:
+                base = BufferedRestreamer(
+                    cfg, buffer_size=buffer, max_tracked_edges=max_tracked_edges
+                )
+                sharded = ShardedStreamer(base, workers=w)
+                base_name = base.name
+                t0 = time.perf_counter()
+                result = sharded.partition_stream(
+                    stream, num_parts, cost_matrix=cost_matrix, seed=seed
+                )
+                wall = time.perf_counter() - t0
+            quality = evaluate_partition(
+                hg, result.assignment, num_parts, C, algorithm=f"workers={w}"
+            )
+            records.append(
+                ShardedRecord(
+                    workers=w,
+                    quality=quality,
+                    wall_time_s=wall,
+                    speedup=0.0,  # filled in below, once the anchor exists
+                    cut_drift=0.0,
+                    boundary_vertices=result.metadata["boundary_vertices"],
+                    boundary_iterations=result.metadata["boundary_iterations"],
+                )
+            )
+
+    # Anchor on the lowest worker count in the ladder (workers=1 when
+    # present) — not on list position, which would follow whatever order
+    # the caller passed.
+    anchor = min(records, key=lambda r: r.workers)
+    records = [
+        ShardedRecord(
+            workers=r.workers,
+            quality=r.quality,
+            wall_time_s=r.wall_time_s,
+            speedup=anchor.wall_time_s / r.wall_time_s if r.wall_time_s else 0.0,
+            cut_drift=(
+                (r.quality.hyperedge_cut - anchor.quality.hyperedge_cut)
+                / anchor.quality.hyperedge_cut
+                if anchor.quality.hyperedge_cut
+                else 0.0
+            ),
+            boundary_vertices=r.boundary_vertices,
+            boundary_iterations=r.boundary_iterations,
+        )
+        for r in records
+    ]
+    return ShardedReport(
+        instance=hg.name,
+        num_parts=num_parts,
+        num_pins=hg.num_pins,
+        chunk_size=chunk_size,
+        base_algorithm=base_name,
         records=records,
     )

@@ -65,6 +65,16 @@ class HyperPRAWConfig:
         price of intra-block staleness: each vertex scores without the
         not-yet-replaced block members' old counts and loads — an opt-in
         speed/fidelity trade, benchmarked in ``bench/streaming``.
+    workers:
+        parallel sharded streaming worker count, consumed by the
+        streaming partitioners (:class:`~repro.streaming.restream.
+        BufferedRestreamer` and friends): the stream is split into
+        ``workers`` contiguous chunk-range shards processed by forked
+        worker processes against snapshot presence tables, merged, and
+        boundary vertices restreamed by a single worker.  ``1``
+        (default) is plain sequential streaming.  Results are
+        reproducible for a fixed seed at a fixed ``workers``; they
+        differ *across* worker counts (the shard structure changes).
     """
 
     imbalance_tolerance: float = 1.1
@@ -78,12 +88,15 @@ class HyperPRAWConfig:
     use_edge_weights: bool = True
     record_history: bool = True
     chunk_size: "int | None" = None
+    workers: int = 1
 
     def __post_init__(self):
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(
                 f"chunk_size must be >= 1 or None, got {self.chunk_size}"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.imbalance_tolerance < 1.0:
             raise ValueError(
                 f"imbalance_tolerance must be >= 1.0, got {self.imbalance_tolerance}"

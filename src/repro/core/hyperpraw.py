@@ -24,6 +24,11 @@ Architecture awareness enters *only* through the cost matrix ``C``:
 Complexity per pass: ``O(sum_v deg(v) * p)`` — each vertex move touches
 its incident hyperedges' partition counters, and scoring is one ``p x p``
 mat-vec.
+
+The pass body itself lives in :func:`repro.engine.kernel.pass_kernel`
+(shared with every other streaming partitioner); this class owns only
+Algorithm 1's outer loop — the tempering schedule, the refinement
+rollback and the bookkeeping.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from repro.core.metrics import partitioning_comm_cost
 from repro.core.result import IterationRecord, PartitionResult
 from repro.core.schedule import TemperingSchedule, initial_alpha
 from repro.core.state import StreamState
-from repro.core.value import block_value_terms
+from repro.engine import DenseKernelState, HyperPRAWScorer, InMemorySource, pass_kernel
 from repro.hypergraph.model import Hypergraph
 from repro.utils.rng import as_generator
 
@@ -134,6 +139,9 @@ class HyperPRAW(Partitioner):
         order = np.arange(hg.num_vertices, dtype=np.int64)
         if cfg.stream_order == "shuffled":
             as_generator(seed).shuffle(order)
+        source = InMemorySource(hg, order=order, block_size=cfg.chunk_size)
+        kernel_state = DenseKernelState.from_stream_state(state)
+        score_mode = "chunk" if cfg.chunk_size is not None else "vertex"
 
         history: list[IterationRecord] = []
         best_assignment: "np.ndarray | None" = None
@@ -144,12 +152,17 @@ class HyperPRAW(Partitioner):
 
         for it in range(1, cfg.max_iterations + 1):
             alpha = schedule.alpha
-            if cfg.chunk_size is not None:
-                self._stream_pass_chunked(
-                    state, C, alpha, order, cfg.presence_threshold, cfg.chunk_size
-                )
-            else:
-                self._stream_pass(state, C, alpha, order, cfg.presence_threshold)
+            scorer = HyperPRAWScorer(
+                C, alpha, state.expected_loads, cfg.presence_threshold
+            )
+            pass_kernel(
+                source.blocks(),
+                kernel_state,
+                scorer,
+                state.assignment,
+                restream=True,
+                score_mode=score_mode,
+            )
             iterations_run = it
             imb = state.imbalance()
             cost = partitioning_comm_cost(
@@ -218,149 +231,3 @@ class HyperPRAW(Partitioner):
                 "wall_time_s": time.perf_counter() - t_start,
             },
         )
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _stream_pass(
-        state: StreamState,
-        cost_matrix: np.ndarray,
-        alpha: float,
-        order: np.ndarray,
-        presence_threshold: int,
-    ) -> None:
-        """One greedy pass over all vertices (the body of Algorithm 1).
-
-        Inlined version of remove -> score (Eq. 1) -> place, operating
-        directly on the state's arrays; this loop dominates total runtime,
-        so attribute lookups and temporaries are hoisted out.
-        """
-        p = state.num_parts
-        counts = state.edge_counts
-        loads = state.loads
-        assignment = state.assignment
-        vptr = state.hg.vertex_ptr
-        vedges = state.hg.vertex_edges
-        weights = state.hg.vertex_weights
-        inv_expected = 1.0 / state.expected_loads
-        values = np.empty(p, dtype=np.float64)
-        load_pen = np.empty(p, dtype=np.float64)
-
-        for v in order:
-            lo, hi = vptr[v], vptr[v + 1]
-            rows = vedges[lo:hi]
-            old = assignment[v]
-            w_v = weights[v]
-            # remove v
-            counts[rows, old] -= 1
-            loads[old] -= w_v
-            # neighbour counts X_j(v) over incident hyperedges
-            if rows.size:
-                X = counts[rows].sum(axis=0, dtype=np.float64)
-                n_neigh = int(np.count_nonzero(X >= presence_threshold))
-                # V_i = -(n/p) * (C @ X)_i - alpha * W_i / E_i
-                np.matmul(cost_matrix, X, out=values)
-                values *= -(n_neigh / p)
-            else:
-                values[:] = 0.0
-            np.multiply(loads, inv_expected, out=load_pen)
-            load_pen *= alpha
-            values -= load_pen
-            j = int(np.argmax(values))
-            # place v
-            counts[rows, j] += 1
-            loads[j] += w_v
-            assignment[v] = j
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _stream_pass_chunked(
-        state: StreamState,
-        cost_matrix: np.ndarray,
-        alpha: float,
-        order: np.ndarray,
-        presence_threshold: int,
-        chunk_size: int,
-    ) -> None:
-        """Chunked variant of :meth:`_stream_pass` (``config.chunk_size``).
-
-        Per block of ``chunk_size`` vertices: lift the whole block out of
-        the state with one sorted scatter-subtract, build the stacked
-        neighbour matrix ``X`` with one segmented gather, and get every
-        vertex's communication term from a single matmul
-        (:func:`~repro.core.value.block_value_terms`).  Placement stays
-        sequential and the load penalty tracks every placement made so
-        far within the block — but both terms see the whole block as
-        lifted out: a vertex scores against a state missing the old
-        positions (counts *and* loads) of block members not yet
-        re-placed, which is the block-staleness this variant trades for
-        speed.  Since ``X`` is frozen for the block anyway, a placement
-        changes future scores in exactly one column (its load penalty),
-        so the inner loop is a single ``p``-length subtract + argmax;
-        all pin-count updates are applied in one batch at block end.
-        This removes the ``O(p^2)`` per-vertex mat-vec and nearly all
-        per-vertex NumPy call overhead.
-        """
-        p = state.num_parts
-        counts = state.edge_counts
-        loads = state.loads
-        assignment = state.assignment
-        vptr = state.hg.vertex_ptr
-        vedges = state.hg.vertex_edges
-        weights = state.hg.vertex_weights
-        alpha_inv_expected = alpha / state.expected_loads
-        values = np.empty(p, dtype=np.float64)
-        flat = counts.reshape(-1)
-        cdtype = counts.dtype
-
-        for start in range(0, order.size, chunk_size):
-            block = order[start : start + chunk_size]
-            degs = vptr[block + 1] - vptr[block]
-            total = int(degs.sum())
-            m = block.size
-            # Gather the concatenated incident-edge lists of the block.
-            offsets = np.zeros(m + 1, dtype=np.int64)
-            np.cumsum(degs, out=offsets[1:])
-            owner = np.repeat(np.arange(m, dtype=np.int64), degs)
-            idx = (
-                np.arange(total, dtype=np.int64)
-                - np.repeat(offsets[:-1], degs)
-                + np.repeat(vptr[block], degs)
-            )
-            rows_all = vedges[idx]
-            # Lift the whole block out of the running state.  unique()
-            # merges duplicate (edge, part) keys so one fancy-indexed
-            # subtract replaces a slow unbuffered ufunc.at scatter.
-            old = assignment[block]
-            keys = rows_all * p + old[owner]
-            uniq, cnt = np.unique(keys, return_counts=True)
-            flat[uniq] -= cnt.astype(cdtype)
-            loads -= np.bincount(old, weights=weights[block], minlength=p)
-            # Stacked neighbour counts + one matmul for all comm terms.
-            X = np.zeros((m, p), dtype=cdtype)
-            if total:
-                # reduceat mis-handles empty segments, so sum only the
-                # rows of non-isolated vertices (isolated rows stay 0).
-                nonzero = degs > 0
-                X[nonzero] = np.add.reduceat(
-                    counts[rows_all], offsets[:-1][nonzero], axis=0
-                )
-            T, n_neigh = block_value_terms(
-                X, cost_matrix, presence_threshold=presence_threshold
-            )
-            M = T * (-(n_neigh / p))[:, None]
-            # Sequential placement: only the load penalty evolves inside
-            # the block, and placing one vertex moves one column of it.
-            penalty = alpha_inv_expected * loads
-            w_block = weights[block]
-            new = np.empty(m, dtype=np.int64)
-            for i in range(m):
-                np.subtract(M[i], penalty, out=values)
-                j = int(np.argmax(values))
-                new[i] = j
-                penalty[j] += alpha_inv_expected[j] * w_block[i]
-            # Re-insert the whole block at its new positions.
-            keys = rows_all * p + new[owner]
-            uniq, cnt = np.unique(keys, return_counts=True)
-            flat[uniq] += cnt.astype(cdtype)
-            loads += np.bincount(new, weights=w_block, minlength=p)
-            assignment[block] = new

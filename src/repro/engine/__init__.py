@@ -1,0 +1,61 @@
+"""The unified stream-pass engine.
+
+Every partitioner in the repository that streams vertices — in-memory
+HyperPRAW, the FENNEL baseline, both out-of-core streamers and the
+parallel sharded streamer — is a thin driver around one loop:
+
+::
+
+    VertexSource  ─────  blocks  ─────►  pass_kernel  ◄─────  Scorer
+    (in-memory CSR,                     (visit → score          (Eq. 1 /
+     disk chunk stream,                  → place)                FENNEL)
+     shard ranges)                          │
+                                            ▼
+                                      KernelState
+                              (dense E×p counts  |  bounded
+                               LRU presence table)
+
+* :mod:`~repro.engine.blocks` — :class:`VertexBlock` (the currency),
+  the :class:`VertexSource` protocol, in-memory/chunk-stream adapters
+  and shard-range splitting;
+* :mod:`~repro.engine.kernel` — :func:`pass_kernel`, the single
+  remaining implementation of Algorithm 1's pass body, with per-vertex
+  (exact) and per-chunk (vectorised matmul) scoring modes;
+* :mod:`~repro.engine.scorers` — the pluggable value functions;
+* :mod:`~repro.engine.states` — the dense kernel state (the bounded one
+  is :class:`repro.streaming.state.StreamingState`);
+* :mod:`~repro.engine.parallel` — forked-worker fan-out and the
+  presence-table merge behind parallel sharded streaming.
+"""
+
+from repro.engine.blocks import (
+    InMemorySource,
+    VertexBlock,
+    VertexSource,
+    block_of,
+    blocks_of,
+    segment_gather_index,
+    shard_ranges,
+)
+from repro.engine.kernel import apply_balance_cap, pass_kernel
+from repro.engine.parallel import fork_available, merge_shard_tables, run_tasks
+from repro.engine.scorers import FennelScorer, HyperPRAWScorer
+from repro.engine.states import DenseKernelState
+
+__all__ = [
+    "VertexBlock",
+    "VertexSource",
+    "InMemorySource",
+    "block_of",
+    "blocks_of",
+    "segment_gather_index",
+    "shard_ranges",
+    "pass_kernel",
+    "apply_balance_cap",
+    "HyperPRAWScorer",
+    "FennelScorer",
+    "DenseKernelState",
+    "fork_available",
+    "run_tasks",
+    "merge_shard_tables",
+]

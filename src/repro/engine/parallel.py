@@ -1,0 +1,117 @@
+"""Multiprocessing fan-out for sharded streaming.
+
+The sharded streamer (:mod:`repro.streaming.sharded`) splits a chunk
+stream into contiguous chunk ranges and runs one kernel-driven stream
+per range.  This module owns the process plumbing:
+
+* :func:`run_tasks` — execute a list of zero-argument callables, one per
+  shard, either in forked worker processes (the parallel path) or
+  sequentially in-process.  Fork is used deliberately: the callables
+  close over live stream/partitioner objects (spill-file handles,
+  presence tables) that are fork-inheritable but not picklable, and the
+  per-shard *results* — plain numpy arrays and scalars — are all that
+  crosses a pipe.  Where fork is unavailable (non-POSIX platforms) the
+  tasks run sequentially: same shard structure, same merge, same
+  results, no parallelism.
+* :func:`merge_shard_tables` — reconcile per-shard presence tables into
+  one summed table plus the set of *boundary* hyperedges (nets touched
+  by two or more shards — exactly the pins a shard could not see while
+  streaming blind of its neighbours).
+
+Determinism: shard execution order never matters (shards are disjoint
+and results are merged by shard index), and the caller hands each shard
+a generator spawned from one ``SeedSequence``, so ``workers=N`` runs are
+reproducible for a fixed seed.  Results *do* differ across different
+``N`` (the shard structure changes), not across runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+__all__ = ["fork_available", "run_tasks", "merge_shard_tables"]
+
+
+def fork_available() -> bool:
+    """Whether the fork start method exists on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _child(task, conn) -> None:
+    try:
+        conn.send((True, task()))
+    except BaseException as exc:  # surface worker crashes to the parent
+        try:
+            conn.send((False, repr(exc)))
+        finally:
+            conn.close()
+    else:
+        conn.close()
+
+
+def run_tasks(tasks, workers: int) -> list:
+    """Run ``tasks`` (zero-arg callables) and return their results in order.
+
+    With ``workers > 1`` and fork available, each task runs in its own
+    forked process and its (picklable) result travels back over a pipe;
+    otherwise the tasks run sequentially in-process.  A worker exception
+    is re-raised in the parent as ``RuntimeError``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(tasks) <= 1 or not fork_available():
+        return [task() for task in tasks]
+    ctx = mp.get_context("fork")
+    procs = []
+    for task in tasks:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_child, args=(task, child_conn), daemon=True)
+        proc.start()
+        child_conn.close()
+        procs.append((proc, parent_conn))
+    results = []
+    errors = []
+    for proc, conn in procs:
+        try:
+            ok, payload = conn.recv()
+        except EOFError:
+            ok, payload = False, "worker exited without a result"
+        finally:
+            conn.close()
+        proc.join()
+        results.append(payload if ok else None)
+        if not ok:
+            errors.append(payload)
+    if errors:
+        raise RuntimeError(f"sharded streaming worker failed: {errors[0]}")
+    return results
+
+
+def merge_shard_tables(
+    tables: "list[tuple[np.ndarray, np.ndarray]]", num_parts: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Sum per-shard presence tables; flag multi-shard (boundary) nets.
+
+    ``tables`` holds each shard's ``(edge_ids, counts)`` export (counts
+    ``len(edge_ids) x p``).  Returns ``(edges, counts, boundary_edges)``
+    with ``edges`` sorted ascending (a deterministic merge order) and
+    ``boundary_edges`` the subset tracked by two or more shards.
+    """
+    if not tables:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty((0, num_parts), dtype=np.int64), empty
+    all_edges = np.concatenate([t[0] for t in tables])
+    if all_edges.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty((0, num_parts), dtype=np.int64), empty
+    all_counts = np.concatenate([t[1] for t in tables], axis=0)
+    edges, inverse = np.unique(all_edges, return_inverse=True)
+    counts = np.zeros((edges.size, num_parts), dtype=all_counts.dtype)
+    np.add.at(counts, inverse, all_counts)
+    # Within one shard edge ids are unique, so occurrence count across
+    # the concatenation == number of shards tracking the net.
+    occurrences = np.bincount(inverse, minlength=edges.size)
+    boundary = edges[occurrences >= 2]
+    return edges, counts, boundary

@@ -1,0 +1,113 @@
+"""Pluggable vertex scorers for the pass kernel.
+
+A scorer turns a vertex's neighbour counts ``X`` and the live partition
+loads into the length-``p`` value vector the kernel argmaxes over.  Two
+families cover every partitioner in the repository:
+
+* :class:`HyperPRAWScorer` — the paper's Eq. 1,
+  ``V_i = -N(v) (C @ X)_i - alpha W(i)/E(i)``; used by HyperPRAW, both
+  out-of-core streamers and the sharded boundary restream.
+* :class:`FennelScorer` — FENNEL's
+  ``|N(v) cap S_i| - alpha gamma |S_i|^{gamma-1}``.
+
+Each scorer exposes the same three entry points:
+
+``vertex_values(X, loads, out)``
+    exact per-vertex scoring against the live state (``X`` is ``None``
+    for isolated vertices);
+``block_terms(X_block)``
+    the per-block, state-independent part of the score for a whole block
+    at once (one matmul for HyperPRAW) — the vectorised hot path;
+``chunk_values(terms_i, loads, out)``
+    finish one vertex of a block: combine its precomputed term row with
+    the *live* load penalty.
+
+The floating-point operation order of ``vertex_values`` deliberately
+mirrors the historical inlined loops (``HyperPRAW._stream_pass`` and
+friends) so the refactor is assignment-for-assignment reproducible —
+the golden-hash tests in ``tests/test_engine.py`` pin this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.value import block_value_terms
+
+__all__ = ["HyperPRAWScorer", "FennelScorer"]
+
+
+class HyperPRAWScorer:
+    """Eq. 1 value function with a fixed ``alpha`` (one pass's worth)."""
+
+    def __init__(
+        self,
+        cost_matrix: np.ndarray,
+        alpha: float,
+        expected_loads: np.ndarray,
+        presence_threshold: int = 1,
+    ) -> None:
+        self.cost_matrix = cost_matrix
+        self.alpha = float(alpha)
+        self.presence_threshold = int(presence_threshold)
+        self.num_parts = expected_loads.shape[0]
+        self._inv_expected = 1.0 / expected_loads
+        self._alpha_inv_expected = alpha / expected_loads
+        self._pen = np.empty(self.num_parts, dtype=np.float64)
+
+    def vertex_values(
+        self, X: "np.ndarray | None", loads: np.ndarray, out: np.ndarray
+    ) -> None:
+        if X is None:
+            out[:] = 0.0
+        else:
+            X = np.asarray(X, dtype=np.float64)
+            n_neigh = int(np.count_nonzero(X >= self.presence_threshold))
+            np.matmul(self.cost_matrix, X, out=out)
+            out *= -(n_neigh / self.num_parts)
+        pen = self._pen
+        np.multiply(loads, self._inv_expected, out=pen)
+        pen *= self.alpha
+        out -= pen
+
+    def block_terms(self, X: np.ndarray) -> np.ndarray:
+        T, n_neigh = block_value_terms(
+            X, self.cost_matrix, presence_threshold=self.presence_threshold
+        )
+        return T * (-(n_neigh / self.num_parts))[:, None]
+
+    def chunk_values(
+        self, terms: np.ndarray, loads: np.ndarray, out: np.ndarray
+    ) -> None:
+        np.multiply(self._alpha_inv_expected, loads, out=out)
+        np.subtract(terms, out, out=out)
+
+
+class FennelScorer:
+    """FENNEL's neighbour-count score with the power-law load penalty."""
+
+    def __init__(self, alpha: float, gamma: float) -> None:
+        if gamma <= 1.0:
+            raise ValueError(f"gamma must be > 1, got {gamma}")
+        self.alpha = float(alpha)
+        self.gamma = float(gamma)
+
+    def _penalty(self, loads: np.ndarray) -> np.ndarray:
+        return self.alpha * self.gamma * np.power(loads, self.gamma - 1.0)
+
+    def vertex_values(
+        self, X: "np.ndarray | None", loads: np.ndarray, out: np.ndarray
+    ) -> None:
+        if X is None:
+            out[:] = 0.0
+        else:
+            out[:] = X
+        out -= self._penalty(loads)
+
+    def block_terms(self, X: np.ndarray) -> np.ndarray:
+        return np.asarray(X, dtype=np.float64)
+
+    def chunk_values(
+        self, terms: np.ndarray, loads: np.ndarray, out: np.ndarray
+    ) -> None:
+        np.subtract(terms, self._penalty(loads), out=out)

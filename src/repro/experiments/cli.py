@@ -11,6 +11,8 @@ and runs the out-of-core streaming scenario::
     hyperpraw-repro stream                          # suite stress instance
     hyperpraw-repro stream --instances sparsine --scale 0.5 --chunk-size 256
     hyperpraw-repro stream --stream-input big.hgr   # partition a real file
+    hyperpraw-repro stream --workers 4              # parallel sharded streaming
+    hyperpraw-repro stream --pin-budget 1000000     # pin-bounded chunking
 
 Every command accepts the shared world parameters (``--nodes``,
 ``--scale``, ``--seed``, ...) and prints the paper-style text rendering.
@@ -102,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition this hMetis (.hgr/.hmetis) or MatrixMarket (.mtx) "
         "file out-of-core instead of running the suite comparison",
     )
+    stream_group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel sharded streaming workers (>1 also prints the "
+        "worker-scaling report for suite instances)",
+    )
+    stream_group.add_argument(
+        "--pin-budget",
+        type=int,
+        default=None,
+        metavar="PINS",
+        help="cut streamed chunk boundaries by resident pins instead of "
+        "a fixed vertex count (hub-dominated graphs)",
+    )
     return parser
 
 
@@ -123,7 +140,7 @@ def context_from_args(args) -> ExperimentContext:
 def _run_stream(ctx: ExperimentContext, args) -> str:
     """The ``stream`` command: streamed-vs-in-memory comparison or a real
     out-of-core partition of a user-supplied file."""
-    from repro.bench.streaming import compare_streaming
+    from repro.bench.streaming import compare_sharded, compare_streaming
     from repro.hypergraph.suite import STREAMING_INSTANCE, load_instance
 
     if args.stream_input:
@@ -139,11 +156,26 @@ def _run_stream(ctx: ExperimentContext, args) -> str:
             cost_matrix=job.cost_matrix,
             chunk_size=args.chunk_size,
             buffer_fractions=tuple(args.buffer_fractions),
+            pin_budget=args.pin_budget,
             max_tracked_edges=args.max_tracked_edges,
             max_iterations=ctx.max_iterations,
             seed=ctx.seed,
         )
         reports.append(report.render())
+        if args.workers > 1:
+            ladder = tuple(sorted({1, args.workers}))
+            sharded = compare_sharded(
+                hg,
+                ctx.num_parts,
+                workers=ladder,
+                cost_matrix=job.cost_matrix,
+                chunk_size=args.chunk_size,
+                pin_budget=args.pin_budget,
+                max_tracked_edges=args.max_tracked_edges,
+                max_iterations=ctx.max_iterations,
+                seed=ctx.seed,
+            )
+            reports.append(sharded.render())
     return "\n\n".join(reports)
 
 
@@ -174,16 +206,21 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
             HyperPRAWConfig(max_iterations=ctx.max_iterations, record_history=False),
             buffer_size=buffer,
             max_tracked_edges=args.max_tracked_edges,
+            workers=args.workers,
         )
 
     for label, make_partitioner in (
         (
             "stream-onepass",
-            lambda stream: OnePassStreamer(max_tracked_edges=args.max_tracked_edges),
+            lambda stream: OnePassStreamer(
+                max_tracked_edges=args.max_tracked_edges, workers=args.workers
+            ),
         ),
         ("stream-buffered", buffered),
     ):
-        with opener(path, chunk_size=args.chunk_size) as stream:
+        with opener(
+            path, chunk_size=args.chunk_size, pin_budget=args.pin_budget
+        ) as stream:
             result = make_partitioner(stream).partition_stream(
                 stream, ctx.num_parts, cost_matrix=job.cost_matrix, seed=ctx.seed
             )

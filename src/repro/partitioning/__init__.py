@@ -29,7 +29,7 @@ from repro.partitioning.simple import (
     RoundRobinPartitioner,
     ContiguousPartitioner,
 )
-from repro.streaming import BufferedRestreamer, OnePassStreamer
+from repro.streaming import BufferedRestreamer, OnePassStreamer, ShardedStreamer
 
 __all__ = [
     "MultilevelRB",
@@ -39,4 +39,5 @@ __all__ = [
     "ContiguousPartitioner",
     "OnePassStreamer",
     "BufferedRestreamer",
+    "ShardedStreamer",
 ]

@@ -23,13 +23,21 @@ massive-scale placement of HYPE, arXiv:1810.11319 — makes explicit):
   it reproduces in-memory HyperPRAW assignment-for-assignment; quality
   degrades gracefully as the buffer shrinks.
 
+* :mod:`~repro.streaming.sharded` — :class:`ShardedStreamer`: parallel
+  sharded streaming (ROADMAP item (a)).  Contiguous chunk ranges are
+  streamed by forked workers against snapshot presence tables, a merge
+  step reconciles loads/presence and flags multi-shard (boundary) nets,
+  and a final single-worker restream fixes the boundary vertices.  Both
+  streaming partitioners surface it through a ``workers=N`` knob.
+
+All stream passes run on the shared engine
+(:func:`repro.engine.kernel.pass_kernel`); the readers additionally
+support *pin-budgeted* chunk boundaries (``pin_budget=...``) so
+hub-dominated graphs keep bounded resident pins per chunk.
+
 Both partitioners also implement the standard ``partition(hg, ...)``
 interface via :class:`HypergraphChunkStream`, so they slot into the
 experiment runner, benchmarks and CLI next to every other algorithm.
-
-Open follow-ups are tracked in ROADMAP.md: parallel sharded streaming
-(partition chunk ranges across workers, reconcile boundary vertices) and
-a service/API layer that streams uploads straight into a partitioner.
 """
 
 from repro.streaming.reader import (
@@ -46,6 +54,7 @@ from repro.streaming.reader import (
 from repro.streaming.state import StreamingState, resolve_cost_matrix
 from repro.streaming.onepass import OnePassStreamer
 from repro.streaming.restream import BufferedRestreamer
+from repro.streaming.sharded import ShardedStreamer
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -61,4 +70,5 @@ __all__ = [
     "resolve_cost_matrix",
     "OnePassStreamer",
     "BufferedRestreamer",
+    "ShardedStreamer",
 ]

@@ -14,6 +14,12 @@ much of each vertex's neighbourhood has already arrived.  The streamed
 suite instances show the expected gap to in-memory HyperPRAW (bounded in
 the ``bench.streaming`` scenario); what the one-pass streamer buys is
 O(buffer) memory and a single pass over the file.
+
+The pass itself is the shared engine kernel
+(:func:`repro.engine.kernel.pass_kernel` in place-only mode); with
+``workers > 1`` the stream is split into contiguous chunk-range shards
+processed by forked workers and reconciled by
+:class:`~repro.streaming.sharded.ShardedStreamer`.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import numpy as np
 from repro.core.base import Partitioner
 from repro.core.result import PartitionResult
 from repro.core.schedule import initial_alpha_from_counts
-from repro.core.value import assignment_values, block_value_terms
+from repro.engine import HyperPRAWScorer, blocks_of, pass_kernel
 from repro.hypergraph.model import Hypergraph
 from repro.streaming.reader import (
     DEFAULT_CHUNK_SIZE,
@@ -68,6 +74,11 @@ class OnePassStreamer(Partitioner):
         against the chunk-start state with one matmul
         (:func:`~repro.core.value.block_value_terms`) — faster, with
         intra-chunk staleness in the communication term.
+    workers:
+        parallel sharded streaming: split the stream into ``workers``
+        contiguous chunk ranges, place each in a forked worker against
+        its own presence table, merge, and restream the boundary
+        vertices.  ``1`` (default) is the plain sequential streamer.
     """
 
     name = "stream-onepass"
@@ -81,6 +92,7 @@ class OnePassStreamer(Partitioner):
         balance_slack: "float | None" = 1.2,
         max_tracked_edges: "int | None" = None,
         score_mode: str = "vertex",
+        workers: int = 1,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -94,12 +106,15 @@ class OnePassStreamer(Partitioner):
             raise ValueError(
                 f"score_mode must be 'vertex' or 'chunk', got {score_mode!r}"
             )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.chunk_size = int(chunk_size)
         self.alpha = alpha
         self.presence_threshold = int(presence_threshold)
         self.balance_slack = balance_slack
         self.max_tracked_edges = max_tracked_edges
         self.score_mode = score_mode
+        self.workers = int(workers)
 
     # ------------------------------------------------------------------
     def partition(
@@ -126,6 +141,12 @@ class OnePassStreamer(Partitioner):
         seed=None,
     ) -> PartitionResult:
         """Place every vertex of ``stream`` in a single pass."""
+        if self.workers > 1:
+            from repro.streaming.sharded import ShardedStreamer
+
+            return ShardedStreamer(self, workers=self.workers).partition_stream(
+                stream, num_parts, cost_matrix=cost_matrix, seed=seed
+            )
         if num_parts < 1:
             raise ValueError(f"num_parts must be >= 1, got {num_parts}")
         if num_parts > stream.num_vertices:
@@ -135,26 +156,15 @@ class OnePassStreamer(Partitioner):
         t_start = time.perf_counter()
         p = num_parts
         C, aware = resolve_cost_matrix(cost_matrix, p)
-        expected = np.full(p, stream.total_vertex_weight / p)
-        state = StreamingState(
-            p, expected_loads=expected, max_tracked_edges=self.max_tracked_edges
-        )
-        alpha = initial_alpha_from_counts(
-            stream.num_vertices, stream.num_edges, p, self.alpha
-        )
-        cap = (
-            self.balance_slack * stream.total_vertex_weight / p
-            if self.balance_slack is not None
-            else None
-        )
         assignment = np.full(stream.num_vertices, -1, dtype=np.int64)
-        values = np.empty(p, dtype=np.float64)
-
-        for chunk in stream:
-            if self.score_mode == "chunk":
-                self._place_chunk(chunk, state, C, alpha, cap, assignment, values)
-            else:
-                self._place_vertices(chunk, state, C, alpha, cap, assignment, values)
+        state, stats = self._run_shard(
+            iter(stream),
+            p,
+            C,
+            assignment,
+            stream_counts=(stream.num_vertices, stream.num_edges),
+            shard_weight=stream.total_vertex_weight,
+        )
 
         return PartitionResult(
             assignment=assignment,
@@ -163,7 +173,7 @@ class OnePassStreamer(Partitioner):
             metadata={
                 "single_pass": True,
                 "score_mode": self.score_mode,
-                "alpha": alpha,
+                "alpha": stats["alpha"],
                 "balance_slack": self.balance_slack,
                 "max_tracked_edges": self.max_tracked_edges,
                 "peak_tracked_edges": state.peak_tracked_edges,
@@ -179,55 +189,76 @@ class OnePassStreamer(Partitioner):
         )
 
     # ------------------------------------------------------------------
-    def _apply_cap(
-        self, values: np.ndarray, loads: np.ndarray, weight: float, cap: "float | None"
-    ) -> None:
-        """Mask partitions the hard balance cap forbids (in place)."""
-        if cap is None:
-            return
-        full = loads + weight > cap
-        if full.all():
-            # Everything is over cap (tiny p or huge vertex): fall back to
-            # the emptiest partition rather than dead-ending.
-            full = loads != loads.min()
-        values[full] = -np.inf
+    # sharding contract (see repro.streaming.sharded.ShardedStreamer)
+    # ------------------------------------------------------------------
+    def _shard_profile(self) -> dict:
+        """Scorer/schedule parameters for the sharded driver's merge and
+        boundary restream.  The one-pass streamer has no schedule of its
+        own, so the boundary fix-up borrows the paper-default
+        :class:`~repro.core.config.HyperPRAWConfig` schedule."""
+        from repro.core.config import HyperPRAWConfig
 
-    def _place_vertices(
-        self, chunk, state, C, alpha, cap, assignment, values
-    ) -> None:
-        """Exact sequential placement: score each vertex on the live state."""
-        weights = chunk.vertex_weights
-        thresh = self.presence_threshold
-        for i in range(chunk.num_vertices):
-            edges = chunk.edges_of(i)
-            X = state.gather(edges).astype(np.float64)
-            assignment_values(
-                X,
-                C,
-                state.loads,
-                state.expected_loads,
-                alpha,
-                presence_threshold=thresh,
-                out=values,
-            )
-            self._apply_cap(values, state.loads, weights[i], cap)
-            j = int(np.argmax(values))
-            state.place(edges, j, weights[i])
-            assignment[chunk.start + i] = j
+        cfg = HyperPRAWConfig()
+        return {
+            "alpha_mode": self.alpha,
+            "presence_threshold": self.presence_threshold,
+            "max_tracked_edges": self.max_tracked_edges,
+            "imbalance_tolerance": cfg.imbalance_tolerance,
+            "alpha_update": cfg.alpha_update,
+            "refinement": cfg.refinement,
+            "refinement_factor": cfg.refinement_factor,
+            "max_iterations": cfg.max_iterations,
+            "use_edge_weights": cfg.use_edge_weights,
+        }
 
-    def _place_chunk(self, chunk, state, C, alpha, cap, assignment, values) -> None:
-        """Vectorised placement: one matmul for the chunk's comm terms."""
-        X = state.gather_block(chunk.vertex_edges, chunk.vertex_ptr)
-        T, n_neigh = block_value_terms(
-            X, C, presence_threshold=self.presence_threshold
+    def _run_shard(
+        self,
+        chunks,
+        num_parts: int,
+        C: np.ndarray,
+        assignment: np.ndarray,
+        *,
+        stream_counts: "tuple[int, int]",
+        shard_weight: float,
+        edge_weights=None,
+        rng=None,
+    ) -> "tuple[StreamingState, dict]":
+        """Place one shard's worth of chunks (the whole stream when
+        running single-worker); the sharded driver calls this per worker
+        with a shard-local chunk range.
+
+        ``stream_counts`` are the *global* ``(|V|, |E|)`` (alpha is a
+        property of the instance, not the shard); ``shard_weight`` scopes
+        the expected loads and the balance cap to the shard.  ``rng`` is
+        the shard's spawned generator — unused by this deterministic
+        streamer, accepted so stochastic scorers can be threaded through
+        later without changing the sharding contract.
+        """
+        del edge_weights, rng  # deterministic placement; see docstring
+        p = num_parts
+        state = StreamingState(
+            p,
+            expected_loads=np.full(p, shard_weight / p),
+            max_tracked_edges=self.max_tracked_edges,
         )
-        M = T * (-(n_neigh / state.num_parts))[:, None]
-        alpha_inv_expected = alpha / state.expected_loads
-        weights = chunk.vertex_weights
-        for i in range(chunk.num_vertices):
-            np.multiply(alpha_inv_expected, state.loads, out=values)
-            np.subtract(M[i], values, out=values)
-            self._apply_cap(values, state.loads, weights[i], cap)
-            j = int(np.argmax(values))
-            state.place(chunk.edges_of(i), j, weights[i])
-            assignment[chunk.start + i] = j
+        alpha = initial_alpha_from_counts(
+            stream_counts[0], stream_counts[1], p, self.alpha
+        )
+        cap = (
+            self.balance_slack * shard_weight / p
+            if self.balance_slack is not None
+            else None
+        )
+        scorer = HyperPRAWScorer(
+            C, alpha, state.expected_loads, self.presence_threshold
+        )
+        pass_kernel(
+            blocks_of(chunks),
+            state,
+            scorer,
+            assignment,
+            restream=False,
+            score_mode=self.score_mode,
+            cap=cap,
+        )
+        return state, {"alpha": alpha}

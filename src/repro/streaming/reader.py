@@ -68,6 +68,49 @@ DEFAULT_CHUNK_SIZE = 1024
 #: Default ingest buffer, in pins (16 bytes each).
 DEFAULT_BUFFER_PINS = 1 << 16
 
+#: Storage sub-buckets per chunk when a pin budget is active: spill
+#: bucketing happens during the one ingest pass, before per-vertex pin
+#: counts are known, so pins are bucketed at a finer vertex granularity
+#: and the buckets are regrouped into budget-respecting chunks afterwards.
+_PIN_BUDGET_SUBDIVISION = 16
+
+
+def _pin_budget_groups(
+    unit_pins, unit_sizes, pin_budget: int, max_vertices: int
+) -> "tuple[np.ndarray, list[tuple[int, int]]]":
+    """Greedily group consecutive units into pin-budgeted chunks.
+
+    Each chunk takes at least one unit and extends while its pins stay
+    within ``pin_budget`` *and* its vertices within ``max_vertices`` —
+    so a single unit over budget (an irreducible hub) becomes a chunk of
+    its own rather than an error.  Returns the vertex-index chunk
+    boundaries and the ``(unit_lo, unit_hi)`` range of each chunk.
+    """
+    if pin_budget < 1:
+        raise ValueError(f"pin_budget must be >= 1, got {pin_budget}")
+    starts = [0]
+    ranges: "list[tuple[int, int]]" = []
+    n = len(unit_pins)
+    u = 0
+    vpos = 0
+    while u < n:
+        lo = u
+        pins = int(unit_pins[u])
+        verts = int(unit_sizes[u])
+        u += 1
+        while (
+            u < n
+            and pins + unit_pins[u] <= pin_budget
+            and verts + unit_sizes[u] <= max_vertices
+        ):
+            pins += int(unit_pins[u])
+            verts += int(unit_sizes[u])
+            u += 1
+        vpos += verts
+        starts.append(vpos)
+        ranges.append((lo, u))
+    return np.asarray(starts, dtype=np.int64), ranges
+
 
 @dataclass(frozen=True)
 class VertexChunk:
@@ -117,9 +160,16 @@ class _SpillStore:
         self._buf = np.empty((max(1, buffer_pins), 2), dtype=np.int64)
         self._fill = 0
         self.peak_buffered_pins = 0
+        #: spilled (raw, pre-dedup) pins per bucket — drives pin-budget
+        #: chunk grouping after ingest.
+        self.pins_per_chunk = np.zeros(num_chunks, dtype=np.int64)
         self._finalizer = weakref.finalize(
             self, shutil.rmtree, str(self._dir), ignore_errors=True
         )
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._paths)
 
     def add(self, vertices: np.ndarray, edge_id: int) -> None:
         """Append the pins of one hyperedge, flushing as the buffer fills."""
@@ -140,6 +190,9 @@ class _SpillStore:
             return
         pairs = self._buf[: self._fill]
         chunk_ids = pairs[:, 0] // self._chunk_size
+        self.pins_per_chunk += np.bincount(
+            chunk_ids, minlength=self.pins_per_chunk.size
+        )
         order = np.argsort(chunk_ids, kind="stable")
         pairs = pairs[order]
         chunk_ids = chunk_ids[order]
@@ -215,21 +268,37 @@ class ChunkStream:
     num_pins: int = 0
     chunk_size: int = DEFAULT_CHUNK_SIZE
     edge_weights: np.ndarray
+    vertex_weights: np.ndarray
     total_vertex_weight: float = 0.0
     #: High-water mark of pins resident in memory at once (ingest buffer
     #: or a loaded chunk) — the quantity the out-of-core bound is about.
     peak_resident_pins: int = 0
+    #: Optional pin budget per chunk; when set, chunk boundaries are cut
+    #: by resident pins rather than a fixed vertex count.
+    pin_budget: "int | None" = None
+    #: Explicit chunk boundaries (vertex indices, length num_chunks + 1)
+    #: when chunking is non-uniform (pin-budgeted); ``None`` = uniform
+    #: ``chunk_size`` arithmetic.
+    _chunk_starts: "np.ndarray | None" = None
 
     @property
     def num_chunks(self) -> int:
+        if self._chunk_starts is not None:
+            return len(self._chunk_starts) - 1
         return -(-self.num_vertices // self.chunk_size)
 
     def chunk_bounds(self, c: int) -> "tuple[int, int]":
+        if self._chunk_starts is not None:
+            return int(self._chunk_starts[c]), int(self._chunk_starts[c + 1])
         start = c * self.chunk_size
         return start, min(start + self.chunk_size, self.num_vertices)
 
-    def __iter__(self) -> Iterator[VertexChunk]:
+    def iter_range(self, lo: int, hi: int) -> Iterator[VertexChunk]:
+        """Yield chunks ``lo <= c < hi`` only (sharded streaming)."""
         raise NotImplementedError
+
+    def __iter__(self) -> Iterator[VertexChunk]:
+        return self.iter_range(0, self.num_chunks)
 
     def close(self) -> None:
         """Release any temporary spill files (idempotent)."""
@@ -252,31 +321,71 @@ class ChunkStream:
 
 
 class _SpilledChunkStream(ChunkStream):
-    """Shared machinery for file-backed streams: spill store + iteration."""
+    """Shared machinery for file-backed streams: spill store + iteration.
 
-    def __init__(self, chunk_size: int, buffer_pins: int) -> None:
+    With a ``pin_budget``, pins are spilled into storage buckets
+    ``_PIN_BUDGET_SUBDIVISION`` times finer than ``chunk_size`` (bucketing
+    happens during the single ingest pass, before pin counts are known);
+    after ingest the buckets are regrouped into emitted chunks holding at
+    most ``pin_budget`` pins each (and at most ``chunk_size`` vertices),
+    so hub-dominated vertex ranges yield many small chunks instead of one
+    pin-heavy one.  A single bucket over budget — an irreducible hub
+    vertex's neighbourhood — is emitted alone, best effort.
+    """
+
+    def __init__(
+        self, chunk_size: int, buffer_pins: int, pin_budget: "int | None" = None
+    ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if buffer_pins < 1:
             raise ValueError(f"buffer_pins must be >= 1, got {buffer_pins}")
+        if pin_budget is not None and pin_budget < 1:
+            raise ValueError(f"pin_budget must be >= 1 or None, got {pin_budget}")
         self.chunk_size = int(chunk_size)
+        self.pin_budget = pin_budget
+        self._storage_size = (
+            self.chunk_size
+            if pin_budget is None
+            else max(1, self.chunk_size // _PIN_BUDGET_SUBDIVISION)
+        )
         self._buffer_pins = int(buffer_pins)
         self._spill: "_SpillStore | None" = None
         self._edge_remap: "np.ndarray | None" = None
+        self._chunk_buckets: "list[tuple[int, int]] | None" = None
         self.vertex_weights = np.empty(0)
 
     def _make_spill(self, num_vertices: int) -> _SpillStore:
-        num_chunks = max(1, -(-num_vertices // self.chunk_size))
-        self._spill = _SpillStore(num_chunks, self.chunk_size, self._buffer_pins)
+        num_buckets = max(1, -(-num_vertices // self._storage_size))
+        self._spill = _SpillStore(num_buckets, self._storage_size, self._buffer_pins)
         return self._spill
 
-    def __iter__(self) -> Iterator[VertexChunk]:
+    def _finalise_chunks(self) -> None:
+        """Regroup storage buckets into pin-budgeted chunks (post-ingest)."""
+        if self.pin_budget is None:
+            return
+        spill = self._spill
+        sizes = [
+            min(self._storage_size, self.num_vertices - b * self._storage_size)
+            for b in range(spill.num_buckets)
+        ]
+        self._chunk_starts, self._chunk_buckets = _pin_budget_groups(
+            spill.pins_per_chunk, sizes, self.pin_budget, self.chunk_size
+        )
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[VertexChunk]:
         if self._spill is None:
             raise RuntimeError("stream is closed")
         self._note_resident(self._spill.peak_buffered_pins)
-        for c in range(self.num_chunks):
+        for c in range(lo, hi):
             start, stop = self.chunk_bounds(c)
-            vertices, edges = self._spill.load(c)
+            if self._chunk_buckets is None:
+                vertices, edges = self._spill.load(c)
+            else:
+                b_lo, b_hi = self._chunk_buckets[c]
+                loaded = [self._spill.load(b) for b in range(b_lo, b_hi)]
+                vertices = np.concatenate([v for v, _ in loaded])
+                edges = np.concatenate([e for _, e in loaded])
             if self._edge_remap is not None:
                 edges = self._edge_remap[edges]
             chunk = _chunk_from_pairs(
@@ -309,9 +418,10 @@ class HmetisChunkStream(_SpilledChunkStream):
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         buffer_pins: int = DEFAULT_BUFFER_PINS,
+        pin_budget: "int | None" = None,
         name: "str | None" = None,
     ) -> None:
-        super().__init__(chunk_size, buffer_pins)
+        super().__init__(chunk_size, buffer_pins, pin_budget)
         path = Path(path)
         self.name = name or path.stem
         with open(path, "r") as fh:
@@ -372,6 +482,7 @@ class HmetisChunkStream(_SpilledChunkStream):
                 f"{path}: vertex_weights must be strictly positive"
             )
         spill.flush()
+        self._finalise_chunks()
         self.total_vertex_weight = float(self.vertex_weights.sum())
         self._note_resident(spill.peak_buffered_pins)
 
@@ -402,9 +513,10 @@ class MatrixMarketChunkStream(_SpilledChunkStream):
         model: str = "row-net",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         buffer_pins: int = DEFAULT_BUFFER_PINS,
+        pin_budget: "int | None" = None,
         name: "str | None" = None,
     ) -> None:
-        super().__init__(chunk_size, buffer_pins)
+        super().__init__(chunk_size, buffer_pins, pin_budget)
         if model not in ("row-net", "column-net"):
             raise ValueError(
                 f"model must be 'row-net' or 'column-net', got {model!r}"
@@ -508,6 +620,7 @@ class MatrixMarketChunkStream(_SpilledChunkStream):
                 f"{path}: expected {nnz} entries, found {entries}"
             )
         spill.flush()
+        self._finalise_chunks()
 
         # Drop all-zero nets with renumbering, as from_sparse(drop_empty=True).
         if edge_seen.all():
@@ -521,10 +634,10 @@ class MatrixMarketChunkStream(_SpilledChunkStream):
         self.total_vertex_weight = float(self.num_vertices)
         # Coordinate files may legally repeat an entry (mmread sums them;
         # the hypergraph keeps one pin), so the running entry count
-        # overstates pins.  Recount deduplicated, one spill chunk at a
+        # overstates pins.  Recount deduplicated, one spill bucket at a
         # time — still bounded memory.
         self.num_pins = 0
-        for c in range(self.num_chunks):
+        for c in range(spill.num_buckets):
             vertices, edges = spill.load(c)
             if vertices.size:
                 pairs = vertices * np.int64(raw_edges) + edges
@@ -545,22 +658,37 @@ class HypergraphChunkStream(ChunkStream):
     reference the disk readers are tested against.
     """
 
-    def __init__(self, hg: Hypergraph, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+    def __init__(
+        self,
+        hg: Hypergraph,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        *,
+        pin_budget: "int | None" = None,
+    ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.hg = hg
         self.name = hg.name
         self.chunk_size = int(chunk_size)
+        self.pin_budget = pin_budget
         self.num_vertices = hg.num_vertices
         self.num_edges = hg.num_edges
         self.num_pins = hg.num_pins
         self.edge_weights = hg.edge_weights
         self.vertex_weights = hg.vertex_weights
         self.total_vertex_weight = hg.total_vertex_weight()
+        if pin_budget is not None:
+            # Degrees are known up front in memory, so boundaries are cut
+            # at vertex granularity directly.
+            degs = np.diff(hg.vertex_ptr)
+            self._chunk_starts, _ = _pin_budget_groups(
+                degs, np.ones(hg.num_vertices, dtype=np.int64),
+                pin_budget, self.chunk_size,
+            )
 
-    def __iter__(self) -> Iterator[VertexChunk]:
+    def iter_range(self, lo: int, hi: int) -> Iterator[VertexChunk]:
         vptr, vedges = self.hg.vertex_ptr, self.hg.vertex_edges
-        for c in range(self.num_chunks):
+        for c in range(lo, hi):
             start, stop = self.chunk_bounds(c)
             base = vptr[start]
             chunk = VertexChunk(
@@ -582,11 +710,20 @@ def stream_hmetis(
     *,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     buffer_pins: int = DEFAULT_BUFFER_PINS,
+    pin_budget: "int | None" = None,
     name: "str | None" = None,
 ) -> HmetisChunkStream:
-    """Open an hMetis file as a re-iterable chunk stream (one-pass ingest)."""
+    """Open an hMetis file as a re-iterable chunk stream (one-pass ingest).
+
+    ``pin_budget`` cuts chunk boundaries by resident pins instead of a
+    fixed vertex count — the bound that matters on hub-dominated graphs.
+    """
     return HmetisChunkStream(
-        path, chunk_size=chunk_size, buffer_pins=buffer_pins, name=name
+        path,
+        chunk_size=chunk_size,
+        buffer_pins=buffer_pins,
+        pin_budget=pin_budget,
+        name=name,
     )
 
 
@@ -596,11 +733,21 @@ def stream_matrix_market(
     model: str = "row-net",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     buffer_pins: int = DEFAULT_BUFFER_PINS,
+    pin_budget: "int | None" = None,
     name: "str | None" = None,
 ) -> MatrixMarketChunkStream:
-    """Open a MatrixMarket coordinate file as a re-iterable chunk stream."""
+    """Open a MatrixMarket coordinate file as a re-iterable chunk stream.
+
+    ``pin_budget`` cuts chunk boundaries by resident pins instead of a
+    fixed vertex count — the bound that matters on hub-dominated graphs.
+    """
     return MatrixMarketChunkStream(
-        path, model=model, chunk_size=chunk_size, buffer_pins=buffer_pins, name=name
+        path,
+        model=model,
+        chunk_size=chunk_size,
+        buffer_pins=buffer_pins,
+        pin_budget=pin_budget,
+        name=name,
     )
 
 

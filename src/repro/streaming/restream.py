@@ -20,12 +20,17 @@ buffer trades quality for memory, degenerating toward the round-robin
 baseline as ``buffer_size -> 0``; quality therefore improves monotonically
 with the buffer, which the streaming benchmark scenario tracks.
 
-The window pass is a line-for-line mirror of
-:meth:`~repro.core.hyperpraw.HyperPRAW._stream_pass`, operating on the
-bounded table instead of the dense ``(E x p)`` matrix; the monitored cost
-uses the per-hyperedge identity ``PC(P) = sum_e w_e c_e^T C c_e``, which
-needs only table rows (and equals Eq. 5 exactly when nothing has been
-evicted).
+The window pass is the shared engine kernel
+(:func:`repro.engine.kernel.pass_kernel`) in restream mode over the
+bounded table — the same loop in-memory HyperPRAW runs over the dense
+``(E x p)`` matrix, which is what makes the unbounded configuration
+reproduce it exactly.  The monitored cost uses the per-hyperedge identity
+``PC(P) = sum_e w_e c_e^T C c_e``, which needs only table rows (and
+equals Eq. 5 exactly when nothing has been evicted).
+
+With ``workers > 1`` the stream is split into contiguous chunk-range
+shards restreamed by forked workers and reconciled by
+:class:`~repro.streaming.sharded.ShardedStreamer`.
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ from repro.core.base import Partitioner
 from repro.core.config import HyperPRAWConfig
 from repro.core.result import IterationRecord, PartitionResult
 from repro.core.schedule import TemperingSchedule, initial_alpha_from_counts
-from repro.core.value import assignment_values
+from repro.engine import HyperPRAWScorer, VertexBlock, pass_kernel
 from repro.hypergraph.model import Hypergraph
 from repro.streaming.reader import (
     DEFAULT_CHUNK_SIZE,
@@ -118,6 +123,7 @@ class BufferedRestreamer(Partitioner):
         the HyperPRAW schedule parameters (tolerance, tempering,
         refinement, presence threshold...).  ``stream_order`` must be
         ``"natural"`` — a streamed input arrives in vertex order.
+        ``config.workers`` is the default worker count.
     buffer_size:
         window capacity in vertices; ``None`` buffers the whole stream
         (exactly in-memory HyperPRAW, the convergence anchor).
@@ -125,6 +131,9 @@ class BufferedRestreamer(Partitioner):
         chunking used when adapting an in-memory hypergraph.
     max_tracked_edges:
         presence-table cap (``None`` = unbounded / exact).
+    workers:
+        parallel sharded streaming worker count; ``None`` defers to
+        ``config.workers`` (default 1 = plain single-worker streaming).
     """
 
     name = "stream-buffered"
@@ -136,6 +145,7 @@ class BufferedRestreamer(Partitioner):
         buffer_size: "int | None" = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_tracked_edges: "int | None" = None,
+        workers: "int | None" = None,
     ) -> None:
         self.config = config or HyperPRAWConfig()
         if self.config.stream_order != "natural":
@@ -149,9 +159,12 @@ class BufferedRestreamer(Partitioner):
             )
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1 or None, got {workers}")
         self.buffer_size = buffer_size
         self.chunk_size = int(chunk_size)
         self.max_tracked_edges = max_tracked_edges
+        self.workers = int(workers) if workers is not None else self.config.workers
 
     # ------------------------------------------------------------------
     def partition(
@@ -178,6 +191,12 @@ class BufferedRestreamer(Partitioner):
         seed=None,
     ) -> PartitionResult:
         """Ingest, window, restream, freeze — over the whole stream."""
+        if self.workers > 1:
+            from repro.streaming.sharded import ShardedStreamer
+
+            return ShardedStreamer(self, workers=self.workers).partition_stream(
+                stream, num_parts, cost_matrix=cost_matrix, seed=seed
+            )
         if num_parts < 1:
             raise ValueError(f"num_parts must be >= 1, got {num_parts}")
         if num_parts > stream.num_vertices:
@@ -188,43 +207,141 @@ class BufferedRestreamer(Partitioner):
         cfg = self.config
         p = num_parts
         C, aware = resolve_cost_matrix(cost_matrix, p)
+        edge_w = stream.edge_weights if cfg.use_edge_weights else None
+        assignment = np.full(stream.num_vertices, -1, dtype=np.int64)
+        history: "list[IterationRecord] | None" = (
+            [] if cfg.record_history else None
+        )
+        state, stats = self._run_shard(
+            iter(stream),
+            p,
+            C,
+            assignment,
+            stream_counts=(stream.num_vertices, stream.num_edges),
+            shard_weight=stream.total_vertex_weight,
+            edge_weights=edge_w,
+            history=history,
+        )
+
+        return PartitionResult(
+            assignment=assignment,
+            num_parts=p,
+            algorithm=self.name,
+            iterations=history or [],
+            metadata={
+                "converged": stats["converged"],
+                "rolled_back": stats["rolled_back"],
+                "iterations_run": stats["iterations"],
+                "batches": stats["batches"],
+                "buffer_size": self.buffer_size,
+                "final_alpha": stats["final_alpha"],
+                "final_pc_cost": float(stats["final_cost"]),
+                "max_tracked_edges": self.max_tracked_edges,
+                "peak_tracked_edges": state.peak_tracked_edges,
+                "evictions": state.evictions,
+                "peak_resident_pins": stream.peak_resident_pins,
+                "architecture_aware": aware,
+                "imbalance_tolerance": cfg.imbalance_tolerance,
+                "wall_time_s": time.perf_counter() - t_start,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # sharding contract (see repro.streaming.sharded.ShardedStreamer)
+    # ------------------------------------------------------------------
+    def _shard_profile(self) -> dict:
+        """Scorer/schedule parameters for the sharded driver's merge and
+        boundary restream (the same config the windows run under)."""
+        cfg = self.config
+        return {
+            "alpha_mode": cfg.alpha_initial,
+            "presence_threshold": cfg.presence_threshold,
+            "max_tracked_edges": self.max_tracked_edges,
+            "imbalance_tolerance": cfg.imbalance_tolerance,
+            "alpha_update": cfg.alpha_update,
+            "refinement": cfg.refinement,
+            "refinement_factor": cfg.refinement_factor,
+            "max_iterations": cfg.max_iterations,
+            "use_edge_weights": cfg.use_edge_weights,
+        }
+
+    def _run_shard(
+        self,
+        chunks,
+        num_parts: int,
+        C: np.ndarray,
+        assignment: np.ndarray,
+        *,
+        stream_counts: "tuple[int, int]",
+        shard_weight: float,
+        edge_weights: "np.ndarray | None" = None,
+        history: "list[IterationRecord] | None" = None,
+        rng=None,
+    ) -> "tuple[StreamingState, dict]":
+        """Window-and-restream one shard's chunks (the whole stream when
+        running single-worker); the sharded driver calls this per worker
+        with a shard-local chunk range.
+
+        ``stream_counts`` are the *global* ``(|V|, |E|)`` (alpha is a
+        property of the instance, not the shard); ``shard_weight`` scopes
+        the expected loads to the shard.  ``rng`` is the shard's spawned
+        generator — unused by the deterministic schedule, accepted so
+        stochastic variants can be threaded through without changing the
+        sharding contract.
+        """
+        del rng  # deterministic restreaming; see docstring
+        p = num_parts
         state = StreamingState(
             p,
-            expected_loads=np.full(p, stream.total_vertex_weight / p),
+            expected_loads=np.full(p, shard_weight / p),
             max_tracked_edges=self.max_tracked_edges,
         )
         alpha0 = initial_alpha_from_counts(
-            stream.num_vertices, stream.num_edges, p, cfg.alpha_initial
+            stream_counts[0], stream_counts[1], p, self.config.alpha_initial
         )
-        edge_w = stream.edge_weights if cfg.use_edge_weights else None
-        assignment = np.full(stream.num_vertices, -1, dtype=np.int64)
+        stats = self._stream_shard(
+            chunks, state, C, alpha0, edge_weights, assignment, history
+        )
+        return state, stats
+
+    def _stream_shard(
+        self,
+        chunks,
+        state: StreamingState,
+        C: np.ndarray,
+        alpha0: float,
+        edge_weights: "np.ndarray | None",
+        assignment: np.ndarray,
+        history: "list[IterationRecord] | None",
+    ) -> dict:
+        """Round-robin-place, window and restream one shard's chunks."""
+        p = state.num_parts
         window = _Window()
-        history: "list[IterationRecord]" = []
-        batches = 0
-        iterations_total = 0
-        any_rolled_back = False
-        all_converged = True
-        final_cost = 0.0
-        final_alpha = alpha0
+        stats = {
+            "batches": 0,
+            "iterations": 0,
+            "rolled_back": False,
+            "converged": True,
+            "final_cost": 0.0,
+            "final_alpha": alpha0,
+        }
 
         def run_batch() -> None:
-            nonlocal batches, iterations_total, any_rolled_back
-            nonlocal all_converged, final_cost, final_alpha
             if window.num_vertices == 0:
                 return
             iters, converged, rolled_back, cost, alpha_end = self._restream_window(
-                window, state, C, alpha0, edge_w, assignment, history,
-                iterations_total,
+                window, state, C, alpha0, edge_weights, assignment, history,
+                stats["iterations"],
             )
-            batches += 1
-            iterations_total += iters
-            any_rolled_back = any_rolled_back or rolled_back
-            all_converged = all_converged and converged
-            final_cost = cost
-            final_alpha = alpha_end
+            stats["batches"] += 1
+            stats["iterations"] += iters
+            stats["rolled_back"] = stats["rolled_back"] or rolled_back
+            stats["converged"] = stats["converged"] and converged
+            stats["final_cost"] = cost
+            stats["final_alpha"] = alpha_end
             window.clear()
 
-        for chunk in stream:
+        for chunk in chunks:
             # Algorithm 1 line 1, streamed: arrivals start round-robin.
             for i in range(chunk.num_vertices):
                 v = chunk.start + i
@@ -249,29 +366,7 @@ class BufferedRestreamer(Partitioner):
             if window.num_vertices >= self.buffer_size:
                 run_batch()
         run_batch()
-
-        return PartitionResult(
-            assignment=assignment,
-            num_parts=p,
-            algorithm=self.name,
-            iterations=history,
-            metadata={
-                "converged": all_converged,
-                "rolled_back": any_rolled_back,
-                "iterations_run": iterations_total,
-                "batches": batches,
-                "buffer_size": self.buffer_size,
-                "final_alpha": final_alpha,
-                "final_pc_cost": float(final_cost),
-                "max_tracked_edges": self.max_tracked_edges,
-                "peak_tracked_edges": state.peak_tracked_edges,
-                "evictions": state.evictions,
-                "peak_resident_pins": stream.peak_resident_pins,
-                "architecture_aware": aware,
-                "imbalance_tolerance": cfg.imbalance_tolerance,
-                "wall_time_s": time.perf_counter() - t_start,
-            },
-        )
+        return stats
 
     # ------------------------------------------------------------------
     def _restream_window(
@@ -282,7 +377,7 @@ class BufferedRestreamer(Partitioner):
         alpha0: float,
         edge_weights: "np.ndarray | None",
         assignment: np.ndarray,
-        history: "list[IterationRecord]",
+        history: "list[IterationRecord] | None",
         iteration_offset: int,
     ) -> "tuple[int, bool, bool, float, float]":
         """HyperPRAW's outer loop over one window; mirrors ``partition``.
@@ -291,6 +386,12 @@ class BufferedRestreamer(Partitioner):
         """
         cfg = self.config
         win_ids, win_ptr, win_edges, win_w = window.arrays()
+        block = VertexBlock(
+            ids=win_ids,
+            vertex_ptr=win_ptr,
+            vertex_edges=win_edges,
+            vertex_weights=win_w,
+        )
         schedule = TemperingSchedule(
             alpha=alpha0,
             tempering_update=cfg.alpha_update,
@@ -305,15 +406,18 @@ class BufferedRestreamer(Partitioner):
 
         for it in range(1, cfg.max_iterations + 1):
             alpha = schedule.alpha
-            self._window_pass(
-                state, C, alpha, win_ids, win_ptr, win_edges, win_w, assignment,
-                cfg.presence_threshold,
+            scorer = HyperPRAWScorer(
+                C, alpha, state.expected_loads, cfg.presence_threshold
+            )
+            pass_kernel(
+                (block,), state, scorer, assignment, restream=True,
+                score_mode="vertex",
             )
             iterations = it
             imb = state.imbalance()
             cost = state.pc_cost(C, edge_weights=edge_weights)
             within = imb <= cfg.imbalance_tolerance
-            if cfg.record_history:
+            if history is not None:
                 history.append(
                     IterationRecord(
                         iteration=iteration_offset + it,
@@ -348,49 +452,6 @@ class BufferedRestreamer(Partitioner):
                 state, win_ids, win_ptr, win_edges, win_w, assignment, best
             )
         return iterations, converged, rolled_back, float(best_cost), schedule.alpha
-
-    def _window_pass(
-        self,
-        state: StreamingState,
-        cost_matrix: np.ndarray,
-        alpha: float,
-        win_ids: np.ndarray,
-        win_ptr: np.ndarray,
-        win_edges: np.ndarray,
-        win_w: np.ndarray,
-        assignment: np.ndarray,
-        presence_threshold: int,
-    ) -> None:
-        """One greedy remove -> score -> place pass over the window.
-
-        Operation-for-operation mirror of ``HyperPRAW._stream_pass`` so
-        that the unbounded configuration reproduces it exactly.
-        """
-        p = state.num_parts
-        loads = state.loads
-        inv_expected = 1.0 / state.expected_loads
-        values = np.empty(p, dtype=np.float64)
-        load_pen = np.empty(p, dtype=np.float64)
-
-        for i in range(win_ids.size):
-            v = int(win_ids[i])
-            edges = win_edges[win_ptr[i] : win_ptr[i + 1]]
-            old = int(assignment[v])
-            w_v = win_w[i]
-            state.remove(edges, old, w_v)
-            if edges.size:
-                X = state.gather(edges).astype(np.float64)
-                n_neigh = int(np.count_nonzero(X >= presence_threshold))
-                np.matmul(cost_matrix, X, out=values)
-                values *= -(n_neigh / p)
-            else:
-                values[:] = 0.0
-            np.multiply(loads, inv_expected, out=load_pen)
-            load_pen *= alpha
-            values -= load_pen
-            j = int(np.argmax(values))
-            state.place(edges, j, w_v)
-            assignment[v] = j
 
     @staticmethod
     def _restore_window(

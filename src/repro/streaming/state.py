@@ -204,6 +204,48 @@ class StreamingState:
         self.loads[part] -= weight
 
     # ------------------------------------------------------------------
+    # engine protocol: block operations + shard reconciliation
+    # ------------------------------------------------------------------
+    #: the kernel must route every placement through :meth:`place` so the
+    #: LRU table sees references in arrival order (no batched inserts).
+    place_deferred = False
+
+    def lift_block(
+        self, edges: np.ndarray, ptr: np.ndarray, old: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Remove a whole block (chunk-mode restreaming), vertex by vertex."""
+        for i in range(old.size):
+            self.remove(edges[ptr[i] : ptr[i + 1]], int(old[i]), weights[i])
+
+    def export_table(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(edge_ids, counts)`` of every tracked net, sorted by edge id.
+
+        The sorted order makes cross-process merges deterministic; the
+        arrays are copies, safe to pickle across a worker pipe.
+        """
+        n = len(self._slots)
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, self.num_parts), dtype=np.int64),
+            )
+        edges = np.fromiter(self._slots.keys(), dtype=np.int64, count=n)
+        slots = np.fromiter(self._slots.values(), dtype=np.int64, count=n)
+        order = np.argsort(edges)
+        return edges[order], self._table[slots[order]].copy()
+
+    def seed_table(self, edges: np.ndarray, counts: np.ndarray) -> None:
+        """Bulk-insert per-edge counts (the sharded merge step).
+
+        Rows are inserted in the given order through the normal slot
+        machinery, so a capped table evicts deterministically when the
+        merged net set exceeds ``max_tracked_edges``.
+        """
+        for k in range(edges.size):
+            slot = self._acquire(int(edges[k]))
+            self._table[slot] += counts[k]
+
+    # ------------------------------------------------------------------
     # pass-level queries
     # ------------------------------------------------------------------
     def imbalance(self) -> float:

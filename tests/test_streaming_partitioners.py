@@ -264,17 +264,23 @@ class TestChunkedHyperPRAW:
 
     def test_state_consistency_after_chunked_pass(self, instance):
         from repro.core.state import StreamState
+        from repro.engine import (
+            DenseKernelState,
+            HyperPRAWScorer,
+            InMemorySource,
+            pass_kernel,
+        )
 
         p = 5
         init = np.arange(instance.num_vertices, dtype=np.int64) % p
         state = StreamState(instance, p, init)
-        HyperPRAW._stream_pass_chunked(
-            state,
-            uniform_cost_matrix(p),
-            1.0,
-            np.arange(instance.num_vertices, dtype=np.int64),
-            1,
-            37,
+        pass_kernel(
+            InMemorySource(instance, block_size=37).blocks(),
+            DenseKernelState.from_stream_state(state),
+            HyperPRAWScorer(uniform_cost_matrix(p), 1.0, state.expected_loads),
+            state.assignment,
+            restream=True,
+            score_mode="chunk",
         )
         state.consistency_check()
 
@@ -290,6 +296,130 @@ class TestChunkedHyperPRAW:
     def test_config_rejects_bad_chunk_size(self):
         with pytest.raises(ValueError, match="chunk_size"):
             HyperPRAWConfig(chunk_size=0)
+
+
+class TestShardedStreamer:
+    """Parallel sharded streaming: shard -> merge -> boundary restream."""
+
+    def test_workers1_matches_buffered_exactly(self, instance):
+        """One shard == the base partitioner, assignment for assignment."""
+        from repro.streaming import ShardedStreamer
+
+        cfg = HyperPRAWConfig(record_history=False)
+        ref = BufferedRestreamer(cfg, buffer_size=60).partition(instance, 4)
+        sharded = ShardedStreamer(
+            BufferedRestreamer(cfg, buffer_size=60), workers=1
+        ).partition(instance, 4)
+        assert np.array_equal(ref.assignment, sharded.assignment)
+        assert sharded.metadata["boundary_edges"] == 0
+
+    def test_workers1_matches_buffered_on_edge_weighted_graph(self, instance):
+        """Shard workers must monitor the *weighted* PC cost, or the
+        refinement rollback diverges from the base partitioner."""
+        from repro.hypergraph.model import Hypergraph
+        from repro.streaming import ShardedStreamer
+
+        rng = np.random.default_rng(5)
+        weighted = Hypergraph(
+            instance.num_vertices,
+            [edge.tolist() for edge in instance.iter_edges()],
+            edge_weights=rng.integers(1, 50, instance.num_edges).astype(float),
+            name="weighted",
+        )
+        cfg = HyperPRAWConfig(record_history=False)
+        ref = BufferedRestreamer(cfg, buffer_size=40).partition(weighted, 4)
+        sharded = ShardedStreamer(
+            BufferedRestreamer(cfg, buffer_size=40), workers=1
+        ).partition(weighted, 4)
+        assert np.array_equal(ref.assignment, sharded.assignment)
+
+    def test_workers1_matches_onepass_exactly(self, instance):
+        from repro.streaming import ShardedStreamer
+
+        ref = OnePassStreamer(chunk_size=64).partition(instance, 4)
+        sharded = ShardedStreamer(
+            OnePassStreamer(chunk_size=64), workers=1, chunk_size=64
+        ).partition(instance, 4)
+        assert np.array_equal(ref.assignment, sharded.assignment)
+
+    def test_multiworker_quality_and_balance(self, mesh_instance):
+        from repro.streaming import ShardedStreamer
+
+        p = 4
+        C = uniform_cost_matrix(p)
+        cfg = HyperPRAWConfig(record_history=False, max_iterations=40)
+        base = lambda: BufferedRestreamer(
+            cfg, buffer_size=mesh_instance.num_vertices // 4
+        )
+        single = ShardedStreamer(base(), workers=1, chunk_size=64).partition(
+            mesh_instance, p
+        )
+        multi = ShardedStreamer(base(), workers=2, chunk_size=64).partition(
+            mesh_instance, p
+        )
+        q1 = evaluate_partition(mesh_instance, single.assignment, p, C)
+        q2 = evaluate_partition(mesh_instance, multi.assignment, p, C)
+        assert (multi.assignment >= 0).all()
+        assert multi.metadata["shards"] == 2
+        assert multi.metadata["boundary_edges"] > 0
+        assert q2.imbalance <= 1.25 + 1e-9
+        # acceptance: multi-worker cut within 5% of single-worker
+        assert q2.hyperedge_cut <= q1.hyperedge_cut * 1.05
+
+    def test_multiworker_deterministic_for_fixed_seed(self, instance):
+        from repro.streaming import ShardedStreamer
+
+        cfg = HyperPRAWConfig(record_history=False)
+        runs = [
+            ShardedStreamer(
+                BufferedRestreamer(cfg, buffer_size=60), workers=2, chunk_size=32
+            )
+            .partition(instance, 4, seed=11)
+            .assignment
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_workers_knob_on_partitioners_and_config(self, instance):
+        """workers surfaces through ctor args and HyperPRAWConfig."""
+        r = BufferedRestreamer(
+            HyperPRAWConfig(record_history=False), buffer_size=60, workers=2
+        ).partition(instance, 4)
+        assert r.algorithm == "stream-sharded"
+        assert r.metadata["workers"] == 2
+        r = BufferedRestreamer(
+            HyperPRAWConfig(record_history=False, workers=2), buffer_size=60
+        ).partition(instance, 4)
+        assert r.algorithm == "stream-sharded"
+        r = OnePassStreamer(workers=2).partition(instance, 4)
+        assert r.algorithm == "stream-sharded"
+        assert r.metadata["base_algorithm"] == "stream-onepass"
+
+    def test_sharded_from_disk(self, instance, tmp_path):
+        from repro.streaming import ShardedStreamer
+
+        path = tmp_path / "h.hgr"
+        write_hmetis(instance, path)
+        cfg = HyperPRAWConfig(record_history=False, max_iterations=20)
+        with stream_hmetis(path, chunk_size=32) as stream:
+            r = ShardedStreamer(
+                BufferedRestreamer(cfg, buffer_size=50), workers=3
+            ).partition_stream(stream, 4)
+        assert (r.assignment >= 0).all()
+        assert r.metadata["shards"] == 3
+
+    def test_rejects_bad_params(self):
+        from repro.streaming import ShardedStreamer
+        from repro.partitioning.simple import RandomPartitioner
+
+        with pytest.raises(ValueError, match="workers"):
+            ShardedStreamer(workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            OnePassStreamer(workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            HyperPRAWConfig(workers=0)
+        with pytest.raises(TypeError, match="sharding contract"):
+            ShardedStreamer(RandomPartitioner())
 
 
 class TestBenchScenario:

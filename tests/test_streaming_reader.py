@@ -247,6 +247,85 @@ class TestMemoryBound:
         assert result.metadata["peak_resident_pins"] == stream.peak_resident_pins
 
 
+class TestPinBudget:
+    """Pin-budgeted chunk boundaries (ROADMAP item (e)): the resident
+    bound is cut by pins, not vertices, so hub-dominated vertex ranges
+    split into many small chunks."""
+
+    def test_hmetis_pin_budget_bounds_chunks(self, tmp_path):
+        hg = load_instance("stream_powerlaw_xl", scale=0.05)
+        path = tmp_path / "hub.hgr"
+        write_hmetis(hg, path)
+        budget = max(64, hg.num_pins // 40)
+        unbudgeted = stream_hmetis(path, chunk_size=256)
+        budgeted = stream_hmetis(path, chunk_size=256, pin_budget=budget)
+        plain_max = max(c.num_pins for c in unbudgeted)
+        budget_max = 0
+        total = 0
+        for chunk in budgeted:
+            budget_max = max(budget_max, chunk.num_pins)
+            total += chunk.num_pins
+        assert total == hg.num_pins  # nothing lost
+        # a chunk may exceed the budget only through one irreducible
+        # storage bucket (a hub vertex's own pins)
+        bucket_max = int(budgeted._spill.pins_per_chunk.max())
+        assert budget_max <= max(budget, bucket_max)
+        assert budget_max < plain_max  # the hub chunk actually split
+        assert budgeted.num_chunks > unbudgeted.num_chunks
+
+    def test_budgeted_stream_assembles_identically(self, tmp_path):
+        hg = load_instance("sparsine", scale=0.3)
+        path = tmp_path / "s.hgr"
+        write_hmetis(hg, path)
+        _assert_stream_matches(
+            stream_hmetis(path, chunk_size=64, pin_budget=100), read_hmetis(path)
+        )
+
+    def test_budgeted_matrix_market_assembles_identically(self, tmp_path):
+        m = sp.random(40, 30, density=0.2, random_state=5)
+        path = tmp_path / "m.mtx"
+        scipy.io.mmwrite(str(path), m)
+        ref = read_matrix_market(path)
+        _assert_stream_matches(
+            stream_matrix_market(path, chunk_size=16, pin_budget=32), ref
+        )
+
+    def test_in_memory_pin_budget(self):
+        hg = load_instance("stream_powerlaw_xl", scale=0.05)
+        stream = HypergraphChunkStream(hg, 256, pin_budget=128)
+        max_deg = int((hg.vertex_ptr[1:] - hg.vertex_ptr[:-1]).max())
+        chunks = list(stream)
+        assert sum(c.num_pins for c in chunks) == hg.num_pins
+        assert max(c.num_pins for c in chunks) <= max(128, max_deg)
+        assert assemble(HypergraphChunkStream(hg, 256, pin_budget=128)) == hg
+
+    def test_chunk_bounds_consistent_with_iteration(self, tmp_path):
+        hg = load_instance("sparsine", scale=0.2)
+        path = tmp_path / "s.hgr"
+        write_hmetis(hg, path)
+        stream = stream_hmetis(path, chunk_size=64, pin_budget=80)
+        for c, chunk in enumerate(stream):
+            start, stop = stream.chunk_bounds(c)
+            assert (chunk.start, chunk.stop) == (start, stop)
+        assert stream.chunk_bounds(stream.num_chunks - 1)[1] == hg.num_vertices
+
+    def test_iter_range_matches_full_iteration(self, tmp_path):
+        hg = load_instance("sparsine", scale=0.2)
+        path = tmp_path / "s.hgr"
+        write_hmetis(hg, path)
+        stream = stream_hmetis(path, chunk_size=32)
+        full = [c.vertex_edges.tolist() for c in stream]
+        lo, hi = 2, stream.num_chunks - 1
+        part = [c.vertex_edges.tolist() for c in stream.iter_range(lo, hi)]
+        assert part == full[lo:hi]
+
+    def test_rejects_bad_budget(self, tmp_path):
+        path = tmp_path / "t.hgr"
+        path.write_text("1 2\n1 2\n")
+        with pytest.raises(ValueError, match="pin_budget"):
+            stream_hmetis(path, pin_budget=0)
+
+
 class TestHypergraphChunkStream:
     def test_views_cover_hypergraph(self, tiny_hypergraph):
         stream = HypergraphChunkStream(tiny_hypergraph, chunk_size=4)
