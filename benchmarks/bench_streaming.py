@@ -7,6 +7,13 @@ reports how much the out-of-core path costs relative to the in-memory
 anchor — and how much the vectorised ``chunk_size`` hot path speeds up
 the in-memory restreamer itself.
 
+``test_ingest_vs_replay`` runs the chunk-store ladder
+(:func:`repro.bench.streaming.compare_replay`) on the same instance and
+asserts the acceptance criterion for the persistent binary chunk store:
+a memory-mapped store replay must beat re-ingesting the text file by at
+least 3x (in practice it is orders of magnitude — replay is page faults,
+re-ingest is a full parse).
+
 ``test_sharded_scaling`` runs the parallel sharded streaming ladder
 (:func:`repro.bench.streaming.compare_sharded`).  The worker counts come
 from ``REPRO_BENCH_WORKERS`` (comma-separated, default ``1,2,4``), so CI
@@ -19,7 +26,11 @@ hard test.
 
 import os
 
-from repro.bench.streaming import compare_sharded, compare_streaming
+from repro.bench.streaming import (
+    compare_replay,
+    compare_sharded,
+    compare_streaming,
+)
 from repro.hypergraph.suite import STREAMING_INSTANCE, load_instance
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
@@ -56,6 +67,27 @@ def test_streaming_comparison(benchmark, bench_ctx):
     benchmark.extra_info["chunked_speedup"] = round(
         anchor.wall_time_s / chunked.wall_time_s, 2
     )
+    print()
+    print(report.render())
+
+
+def test_ingest_vs_replay(benchmark, bench_ctx):
+    scale = 1.0 if FULL else 0.05
+    hg = load_instance(STREAMING_INSTANCE, scale=scale)
+    report = benchmark.pedantic(
+        lambda: compare_replay(hg, chunk_size=512 if FULL else 128),
+        rounds=1,
+        iterations=1,
+    )
+    for record in report.records:
+        benchmark.extra_info[f"wall_s[{record.step}]"] = round(
+            record.wall_time_s, 5
+        )
+    benchmark.extra_info["replay_speedup"] = round(report.replay_speedup, 1)
+    benchmark.extra_info["store_bytes"] = report.store_bytes
+    # The acceptance criterion for the persistent chunk store: replaying
+    # the binary store must beat re-parsing the text file by >= 3x.
+    assert report.replay_speedup >= 3.0
     print()
     print(report.render())
 

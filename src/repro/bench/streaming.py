@@ -25,6 +25,13 @@ sharded streaming (:class:`~repro.streaming.sharded.ShardedStreamer`):
 the same instance streamed at a ladder of worker counts, reporting
 wall-clock speedup over one worker and the quality drift (hyperedge cut
 and PC cost) the shard/merge/boundary-restream pipeline introduces.
+
+:func:`compare_replay` is the ingest-vs-replay ladder for the persistent
+binary chunk store (:mod:`repro.streaming.chunkstore`): text ingest,
+spill replay, text *re*-ingest (what every fresh invocation pays without
+a store), store conversion, store open and memory-mapped store replay —
+with ``replay_speedup`` (text re-ingest over store replay) as the
+headline number.
 """
 
 from __future__ import annotations
@@ -57,6 +64,9 @@ __all__ = [
     "ShardedRecord",
     "ShardedReport",
     "compare_sharded",
+    "ReplayRecord",
+    "ReplayReport",
+    "compare_replay",
 ]
 
 
@@ -324,6 +334,151 @@ class ShardedReport:
                 f"base={self.base_algorithm}, chunk={self.chunk_size}"
             ),
         )
+
+
+# ----------------------------------------------------------------------
+# chunk-store ingest-vs-replay ladder
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplayRecord:
+    """One step of the ingest-vs-replay ladder."""
+
+    step: str
+    wall_time_s: float
+    pins_per_s: float
+
+
+@dataclass
+class ReplayReport:
+    """The chunk-store ladder on one instance: how much replay saves."""
+
+    instance: str
+    num_pins: int
+    chunk_size: int
+    store_bytes: int
+    records: "list[ReplayRecord]"
+
+    def record(self, step: str) -> ReplayRecord:
+        for r in self.records:
+            if r.step == step:
+                return r
+        raise KeyError(f"no record for {step!r}")
+
+    @property
+    def replay_speedup(self) -> float:
+        """Text re-ingest wall time over memory-mapped store replay."""
+        replay = self.record("store-replay").wall_time_s
+        if replay == 0.0:
+            return float("inf")
+        return self.record("text-reingest").wall_time_s / replay
+
+    def render(self) -> str:
+        reingest = self.record("text-reingest").wall_time_s
+        rows = [
+            (
+                r.step,
+                r.wall_time_s,
+                f"{reingest / r.wall_time_s:.1f}x" if r.wall_time_s else "inf",
+                f"{r.pins_per_s:,.0f}",
+            )
+            for r in self.records
+        ]
+        return format_table(
+            ("step", "wall_s", "vs_text_reingest", "pins/s"),
+            rows,
+            title=(
+                f"chunk-store ingest vs replay — {self.instance}, "
+                f"{self.num_pins} pins, chunk={self.chunk_size}, "
+                f"store={self.store_bytes} bytes"
+            ),
+        )
+
+
+def compare_replay(
+    hg: Hypergraph,
+    *,
+    chunk_size: int = 512,
+    buffer_pins: "int | None" = None,
+    pin_budget: "int | None" = None,
+) -> ReplayReport:
+    """Measure what the persistent chunk store saves on ``hg``.
+
+    Ladder steps, each a timed full pass of the same pin structure:
+
+    * ``text-ingest`` — first parse of the hMetis file into spill files;
+    * ``spill-replay`` — one chunk iteration over the live spill stream
+      (what each extra restream pass costs *within* one invocation);
+    * ``text-reingest`` — parsing the file again (what a *fresh*
+      invocation pays without a store);
+    * ``store-write`` — materialising the store from the spill stream;
+    * ``store-open`` — manifest read + validation;
+    * ``store-replay`` — one memory-mapped chunk iteration over the
+      store (what a fresh invocation pays *with* a store).
+
+    ``buffer_pins`` defaults like :func:`compare_streaming`'s so the
+    ingest figures reflect the out-of-core configuration.
+    """
+    from repro.streaming.chunkstore import open_store
+
+    if buffer_pins is None:
+        buffer_pins = max(1024, 8 * chunk_size)
+    records: "list[ReplayRecord]" = []
+
+    def timed(step: str, fn):
+        t0 = time.perf_counter()
+        out = fn()
+        wall = time.perf_counter() - t0
+        records.append(
+            ReplayRecord(
+                step=step,
+                wall_time_s=wall,
+                pins_per_s=hg.num_pins / wall if wall else float("inf"),
+            )
+        )
+        return out
+
+    def drain(stream):
+        # Touch every pin array so memory-mapped replays actually fault
+        # their pages in — otherwise the mmap path would time an almost
+        # empty loop over lazy views, not a real replay pass.
+        touched = 0
+        for chunk in stream:
+            touched += int(chunk.vertex_edges.sum())
+        return stream
+
+    kwargs = dict(
+        chunk_size=chunk_size, buffer_pins=buffer_pins, pin_budget=pin_budget
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-replay-") as tmp:
+        path = os.path.join(tmp, f"{hg.name}.hgr")
+        write_hmetis(hg, path, write_weights=True)
+        store_dir = os.path.join(tmp, f"{hg.name}.chunkstore")
+        with timed("text-ingest", lambda: stream_hmetis(path, **kwargs)) as stream:
+            timed("spill-replay", lambda: drain(stream))
+            timed("store-write", lambda: stream.save(store_dir))
+        with timed("text-reingest", lambda: stream_hmetis(path, **kwargs)):
+            pass
+        store = timed("store-open", lambda: open_store(store_dir))
+        timed("store-replay", lambda: drain(store))
+        store_bytes = int(store.manifest["data_bytes"])
+
+    # Ladder order for the rendering; timings were taken in run order.
+    order = (
+        "text-ingest",
+        "spill-replay",
+        "text-reingest",
+        "store-write",
+        "store-open",
+        "store-replay",
+    )
+    records = sorted(records, key=lambda r: order.index(r.step))
+    return ReplayReport(
+        instance=hg.name,
+        num_pins=hg.num_pins,
+        chunk_size=chunk_size,
+        store_bytes=store_bytes,
+        records=records,
+    )
 
 
 def compare_sharded(

@@ -16,8 +16,9 @@ parallel sharded streamer — is a thin driver around one loop:
                                LRU presence table)
 
 * :mod:`~repro.engine.blocks` — :class:`VertexBlock` (the currency),
-  the :class:`VertexSource` protocol, in-memory/chunk-stream adapters
-  and shard-range splitting;
+  the :class:`VertexSource` protocol, in-memory/chunk-stream adapters,
+  :class:`ChunkStoreSource` (memory-mapped replay of a persistent
+  binary chunk store) and shard-range splitting;
 * :mod:`~repro.engine.kernel` — :func:`pass_kernel`, the single
   remaining implementation of Algorithm 1's pass body, with per-vertex
   (exact) and per-chunk (vectorised matmul) scoring modes;
@@ -29,6 +30,7 @@ parallel sharded streamer — is a thin driver around one loop:
 """
 
 from repro.engine.blocks import (
+    ChunkStoreSource,
     InMemorySource,
     VertexBlock,
     VertexSource,
@@ -46,6 +48,7 @@ __all__ = [
     "VertexBlock",
     "VertexSource",
     "InMemorySource",
+    "ChunkStoreSource",
     "block_of",
     "blocks_of",
     "segment_gather_index",

@@ -16,6 +16,9 @@ plus their weights.  :class:`VertexBlock` is that currency, and a
 * sharded ranges — :func:`shard_ranges` splits a chunk index range into
   contiguous per-worker shards; each worker then draws its blocks from
   ``stream.iter_range`` (see :mod:`repro.engine.parallel`).
+* persistent stores — :class:`ChunkStoreSource` replays a saved binary
+  chunk store (:mod:`repro.streaming.chunkstore`) as memory-mapped
+  zero-copy blocks, so restreaming passes skip text ingest entirely.
 
 Unlike :class:`~repro.streaming.reader.VertexChunk`, a block's vertex ids
 need not be contiguous — restream windows and shuffled orders carry an
@@ -35,6 +38,7 @@ __all__ = [
     "VertexBlock",
     "VertexSource",
     "InMemorySource",
+    "ChunkStoreSource",
     "block_of",
     "blocks_of",
     "segment_gather_index",
@@ -98,7 +102,11 @@ class VertexSource(Protocol):
 
 
 def block_of(chunk) -> VertexBlock:
-    """Adapt a contiguous :class:`~repro.streaming.reader.VertexChunk`."""
+    """Adapt a contiguous :class:`~repro.streaming.reader.VertexChunk`.
+
+    The chunk *is* the block — its CSR arrays are reused as-is; only the
+    explicit global-id array (``arange(start, stop)``) is added.
+    """
     return VertexBlock(
         ids=np.arange(chunk.start, chunk.stop, dtype=np.int64),
         vertex_ptr=chunk.vertex_ptr,
@@ -108,7 +116,12 @@ def block_of(chunk) -> VertexBlock:
 
 
 def blocks_of(chunks: Iterable) -> Iterator[VertexBlock]:
-    """Adapt an iterable of chunks (e.g. a ``ChunkStream``) lazily."""
+    """Adapt an iterable of chunks (e.g. a ``ChunkStream``) lazily.
+
+    Yields one :class:`VertexBlock` per chunk via :func:`block_of`; the
+    underlying stream controls chunk residency, so the adaptation adds
+    no memory beyond the id arrays.
+    """
     for chunk in chunks:
         yield block_of(chunk)
 
@@ -177,6 +190,48 @@ class InMemorySource:
                 vertex_edges=vedges[segment_gather_index(vptr[ids], degs)],
                 vertex_weights=weights[ids],
             )
+
+
+class ChunkStoreSource:
+    """Blocks replayed from a persistent on-disk chunk store.
+
+    The :class:`VertexSource` face of
+    :class:`~repro.streaming.chunkstore.ChunkStoreStream`: point it at a
+    store directory (written by ``ChunkStream.save``) and every
+    :meth:`blocks` call replays the stored chunks as memory-mapped
+    zero-copy blocks — no text parsing, no spill files.  Restreaming
+    drivers can call :meth:`blocks` once per pass; sharded workers pass
+    a chunk range so each worker maps only its shard.
+
+    Parameters
+    ----------
+    path:
+        store directory (see :func:`repro.streaming.chunkstore.
+        open_store`).
+    chunk_range:
+        optional ``(lo, hi)`` chunk-index range to replay (a shard);
+        ``None`` replays the whole store.
+    expected_digest:
+        optional source digest the store manifest must match.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        chunk_range: "tuple[int, int] | None" = None,
+        expected_digest: "str | None" = None,
+    ) -> None:
+        # Lazy import: repro.streaming drivers import this package.
+        from repro.streaming.chunkstore import open_store
+
+        self.stream = open_store(path, expected_digest=expected_digest)
+        self.chunk_range = chunk_range
+
+    def blocks(self) -> Iterator[VertexBlock]:
+        """Replay the stored chunks (or the configured range) as blocks."""
+        lo, hi = self.chunk_range or (0, self.stream.num_chunks)
+        return blocks_of(self.stream.iter_range(lo, hi))
 
 
 def shard_ranges(num_chunks: int, workers: int) -> "list[tuple[int, int]]":

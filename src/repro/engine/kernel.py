@@ -36,7 +36,13 @@ __all__ = ["pass_kernel", "apply_balance_cap"]
 def apply_balance_cap(
     values: np.ndarray, loads: np.ndarray, weight: float, cap: float
 ) -> None:
-    """Mask partitions the hard balance cap forbids (in place)."""
+    """Mask partitions the hard balance cap forbids (in place).
+
+    Sets ``values[j] = -inf`` wherever placing a vertex of ``weight``
+    would push ``loads[j]`` over ``cap``; when *every* partition is over
+    cap, only the emptiest survives (a stream must always be able to
+    place).
+    """
     full = loads + weight > cap
     if full.all():
         # Everything is over cap (tiny p or huge vertex): fall back to
@@ -57,9 +63,37 @@ def pass_kernel(
 ) -> None:
     """Run one pass of visit -> score -> place over ``blocks``.
 
-    ``assignment`` is indexed by global vertex id and updated in place;
-    when ``restream`` is set it must hold each visited vertex's current
-    partition on entry (the vertex is lifted out before scoring).
+    Parameters
+    ----------
+    blocks:
+        iterable of :class:`~repro.engine.blocks.VertexBlock` in stream
+        order (a :class:`~repro.engine.blocks.VertexSource`'s
+        ``blocks()``, ``blocks_of(chunk_stream)``, a single restream
+        window, ...).
+    state:
+        kernel state (see :mod:`repro.engine.states` for the protocol);
+        its ``loads`` and counts are mutated in place.
+    scorer:
+        value function (see :mod:`repro.engine.scorers`).
+    assignment:
+        length-``|V|`` partition vector indexed by *global* vertex id,
+        updated in place; when ``restream`` is set it must hold each
+        visited vertex's current partition on entry (the vertex is
+        lifted out before scoring).
+    restream:
+        ``True`` re-places already-assigned vertices (HyperPRAW
+        restreaming); ``False`` scores first-time arrivals.
+    score_mode:
+        ``"vertex"`` (exact, live state) or ``"chunk"`` (one matmul per
+        block against the block-start state — the vectorised hot path).
+    cap:
+        optional hard balance cap passed to :func:`apply_balance_cap`.
+
+    Returns
+    -------
+    None
+        the pass's effects are the in-place updates to ``state`` and
+        ``assignment``.
     """
     if score_mode not in ("vertex", "chunk"):
         raise ValueError(

@@ -32,13 +32,25 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.value import block_value_terms
-
 __all__ = ["HyperPRAWScorer", "FennelScorer"]
 
 
 class HyperPRAWScorer:
-    """Eq. 1 value function with a fixed ``alpha`` (one pass's worth)."""
+    """Eq. 1 value function with a fixed ``alpha`` (one pass's worth).
+
+    Parameters
+    ----------
+    cost_matrix:
+        ``(p x p)`` architecture cost matrix ``C`` (Section 4.2).
+    alpha:
+        load-penalty scale for this pass (the tempering schedule hands
+        the kernel a fresh scorer per pass).
+    expected_loads:
+        target load per partition, ``E(k)`` in Eq. 1 (length ``p``).
+    presence_threshold:
+        Eq. 3 threshold: a partition counts as holding a neighbour only
+        when its pin count ``X_j(v)`` reaches this value.
+    """
 
     def __init__(
         self,
@@ -58,6 +70,12 @@ class HyperPRAWScorer:
     def vertex_values(
         self, X: "np.ndarray | None", loads: np.ndarray, out: np.ndarray
     ) -> None:
+        """Write the vertex's length-``p`` Eq. 1 values into ``out``.
+
+        ``X`` is the vertex's per-partition neighbour-count vector
+        (``None`` for an isolated vertex: the communication term
+        vanishes); ``loads`` the live partition loads.
+        """
         if X is None:
             out[:] = 0.0
         else:
@@ -71,6 +89,15 @@ class HyperPRAWScorer:
         out -= pen
 
     def block_terms(self, X: np.ndarray) -> np.ndarray:
+        """Per-block communication terms — the vectorised hot path.
+
+        ``X`` stacks a whole block's neighbour counts (``m x p``);
+        returns the ``m x p`` state-independent part of Eq. 1 (one
+        matmul), to be combined per vertex by :meth:`chunk_values`.
+        """
+        # Lazy: repro.core's package init imports this package back.
+        from repro.core.value import block_value_terms
+
         T, n_neigh = block_value_terms(
             X, self.cost_matrix, presence_threshold=self.presence_threshold
         )
@@ -79,12 +106,22 @@ class HyperPRAWScorer:
     def chunk_values(
         self, terms: np.ndarray, loads: np.ndarray, out: np.ndarray
     ) -> None:
+        """Finish one block vertex: precomputed term row + live load penalty."""
         np.multiply(self._alpha_inv_expected, loads, out=out)
         np.subtract(terms, out, out=out)
 
 
 class FennelScorer:
-    """FENNEL's neighbour-count score with the power-law load penalty."""
+    """FENNEL's neighbour-count score with the power-law load penalty.
+
+    Parameters
+    ----------
+    alpha:
+        penalty scale (FENNEL's ``alpha``).
+    gamma:
+        penalty exponent, must be > 1 (the marginal-cost derivative
+        ``alpha * gamma * load^(gamma-1)`` is what the score subtracts).
+    """
 
     def __init__(self, alpha: float, gamma: float) -> None:
         if gamma <= 1.0:
@@ -98,6 +135,11 @@ class FennelScorer:
     def vertex_values(
         self, X: "np.ndarray | None", loads: np.ndarray, out: np.ndarray
     ) -> None:
+        """Write the vertex's length-``p`` FENNEL scores into ``out``.
+
+        ``X`` is the per-partition neighbour-count vector (``None`` for
+        an isolated vertex); ``loads`` the live partition loads.
+        """
         if X is None:
             out[:] = 0.0
         else:
@@ -105,9 +147,11 @@ class FennelScorer:
         out -= self._penalty(loads)
 
     def block_terms(self, X: np.ndarray) -> np.ndarray:
+        """FENNEL's block term is the neighbour counts themselves (``m x p``)."""
         return np.asarray(X, dtype=np.float64)
 
     def chunk_values(
         self, terms: np.ndarray, loads: np.ndarray, out: np.ndarray
     ) -> None:
+        """Finish one block vertex: neighbour-count row minus live penalty."""
         np.subtract(terms, self._penalty(loads), out=out)

@@ -77,13 +77,16 @@ class DenseKernelState:
     # per-vertex operations
     # ------------------------------------------------------------------
     def gather(self, edges: np.ndarray) -> np.ndarray:
+        """``X_j(v)``: per-partition counts summed over ``edges`` (length ``p``)."""
         return self.edge_counts[edges].sum(axis=0, dtype=np.float64)
 
     def remove(self, edges: np.ndarray, part: int, weight: float) -> None:
+        """Lift one vertex (incident ``edges``, ``weight``) off ``part``."""
         self.edge_counts[edges, part] -= 1
         self.loads[part] -= weight
 
     def place(self, edges: np.ndarray, part: int, weight: float) -> None:
+        """Place one vertex (incident ``edges``, ``weight``) onto ``part``."""
         self.edge_counts[edges, part] += 1
         self.loads[part] += weight
 
@@ -91,6 +94,11 @@ class DenseKernelState:
     # block operations (the vectorised chunk path)
     # ------------------------------------------------------------------
     def gather_block(self, edges: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+        """Stacked :meth:`gather` of a whole block (``m x p``), one reduceat.
+
+        ``edges`` is the block's concatenated incident-edge array and
+        ``ptr`` its local CSR offsets (``m + 1`` entries).
+        """
         m = ptr.size - 1
         X = np.zeros((m, self.num_parts), dtype=self.edge_counts.dtype)
         if edges.size:

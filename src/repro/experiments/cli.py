@@ -13,6 +13,15 @@ and runs the out-of-core streaming scenario::
     hyperpraw-repro stream --stream-input big.hgr   # partition a real file
     hyperpraw-repro stream --workers 4              # parallel sharded streaming
     hyperpraw-repro stream --pin-budget 1000000     # pin-bounded chunking
+    hyperpraw-repro stream --stream-input big.hgr --cache ~/.hyperpraw-cache
+                                                    # replay the binary chunk
+                                                    # store on the second run
+
+and converts a text hypergraph into a persistent binary chunk store
+(ingest once, restream many — see docs/formats.md)::
+
+    hyperpraw-repro convert --stream-input big.hgr
+    hyperpraw-repro convert --stream-input big.mtx --store big.chunkstore
 
 Every command accepts the shared world parameters (``--nodes``,
 ``--scale``, ``--seed``, ...) and prints the paper-style text rendering.
@@ -48,6 +57,7 @@ _COMMANDS = (
     "figure6",
     "ablations",
     "stream",
+    "convert",
     "all",
 )
 
@@ -119,6 +129,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="cut streamed chunk boundaries by resident pins instead of "
         "a fixed vertex count (hub-dominated graphs)",
     )
+    stream_group.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="chunk-store cache directory for --stream-input: the first "
+        "run converts the file into a persistent binary store, later "
+        "runs replay it and skip the text parser entirely",
+    )
+    stream_group.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="convert: output chunk-store directory "
+        "(default: <input>.chunkstore next to the input)",
+    )
     return parser
 
 
@@ -179,21 +204,39 @@ def _run_stream(ctx: ExperimentContext, args) -> str:
     return "\n\n".join(reports)
 
 
+def _opener_for(path: Path):
+    """The text-ingest constructor matching ``path``'s format."""
+    from repro.streaming import stream_hmetis, stream_matrix_market
+
+    return stream_matrix_market if path.suffix.lower() == ".mtx" else stream_hmetis
+
+
+def _open_input(path: Path, args):
+    """Open ``path`` as a chunk stream, through the store cache when asked.
+
+    Returns ``(stream, via)``; ``via`` says whether the text parser ran
+    (``"text ingest"``), the file was converted into the cache
+    (``"chunk store (converted)"``) or a cached store was replayed with
+    the parser skipped entirely (``"chunk store (replayed)"``).
+    """
+    opener = _opener_for(path)
+    kwargs = dict(chunk_size=args.chunk_size, pin_budget=args.pin_budget)
+    if args.cache:
+        from repro.streaming.chunkstore import cached_stream
+
+        stream, hit = cached_stream(path, args.cache, opener=opener, **kwargs)
+        via = "chunk store (replayed)" if hit else "chunk store (converted)"
+        return stream, via
+    return opener(path, **kwargs), "text ingest"
+
+
 def _stream_file(ctx: ExperimentContext, args) -> str:
     """Partition a file out-of-core and summarise the bounded-state run."""
-    from repro.streaming import (
-        BufferedRestreamer,
-        OnePassStreamer,
-        stream_hmetis,
-        stream_matrix_market,
-    )
+    from repro.streaming import BufferedRestreamer, OnePassStreamer
     from repro.core.config import HyperPRAWConfig
     from repro.utils.tables import format_kv
 
     path = Path(args.stream_input)
-    opener = (
-        stream_matrix_market if path.suffix.lower() == ".mtx" else stream_hmetis
-    )
     job = ctx.one_job()
     sections = []
 
@@ -209,18 +252,19 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
             workers=args.workers,
         )
 
-    for label, make_partitioner in (
-        (
-            "stream-onepass",
-            lambda stream: OnePassStreamer(
-                max_tracked_edges=args.max_tracked_edges, workers=args.workers
+    # One open serves both partitioners: streams are re-iterable, and a
+    # cached run then hashes/validates the source exactly once.
+    stream, via = _open_input(path, args)
+    with stream:
+        for label, make_partitioner in (
+            (
+                "stream-onepass",
+                lambda stream: OnePassStreamer(
+                    max_tracked_edges=args.max_tracked_edges, workers=args.workers
+                ),
             ),
-        ),
-        ("stream-buffered", buffered),
-    ):
-        with opener(
-            path, chunk_size=args.chunk_size, pin_budget=args.pin_budget
-        ) as stream:
+            ("stream-buffered", buffered),
+        ):
             result = make_partitioner(stream).partition_stream(
                 stream, ctx.num_parts, cost_matrix=job.cost_matrix, seed=ctx.seed
             )
@@ -228,6 +272,7 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
             sections.append(
                 format_kv(
                     {
+                        "input": via,
                         "vertices": stream.num_vertices,
                         "hyperedges": stream.num_edges,
                         "pins": stream.num_pins,
@@ -243,6 +288,59 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
                 )
             )
     return "\n\n".join(sections)
+
+
+def _run_convert(ctx: ExperimentContext, args) -> str:
+    """The ``convert`` command: text file -> persistent binary chunk store.
+
+    Ingests once through the matching text parser, saves the store, then
+    times one memory-mapped replay pass so the printout shows what later
+    restreams will cost (see docs/formats.md for the on-disk layout).
+    """
+    import time
+
+    from repro.streaming.chunkstore import open_store
+    from repro.utils.tables import format_kv
+
+    del ctx  # convert is purely an I/O transform; world params are moot
+    if not args.stream_input:
+        raise SystemExit("convert requires --stream-input PATH")
+    path = Path(args.stream_input)
+    store_dir = (
+        Path(args.store)
+        if args.store
+        else path.with_name(path.name + ".chunkstore")
+    )
+    opener = _opener_for(path)
+    t0 = time.perf_counter()
+    with opener(
+        path, chunk_size=args.chunk_size, pin_budget=args.pin_budget
+    ) as stream:
+        t_ingest = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        stream.save(store_dir)
+        t_save = time.perf_counter() - t1
+    store = open_store(store_dir)
+    t2 = time.perf_counter()
+    for chunk in store:
+        chunk.vertex_edges.sum()  # fault the mapped pages: a real pass
+    t_replay = time.perf_counter() - t2
+    data_bytes = int(store.manifest["data_bytes"])
+    return format_kv(
+        {
+            "store": str(store_dir),
+            "vertices": store.num_vertices,
+            "hyperedges": store.num_edges,
+            "pins": store.num_pins,
+            "chunks": store.num_chunks,
+            "data bytes": data_bytes,
+            "source digest": store.source_digest,
+            "text ingest [s]": t_ingest,
+            "store write [s]": t_save,
+            "store replay pass [s]": t_replay,
+        },
+        title=f"convert — {path.name} -> chunk store v{store.manifest['version']}",
+    )
 
 
 def _run_ablations(ctx: ExperimentContext) -> str:
@@ -271,6 +369,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "figure6": lambda: figure6.run(ctx).render(),
         "ablations": lambda: _run_ablations(ctx),
         "stream": lambda: _run_stream(ctx, args),
+        "convert": lambda: _run_convert(ctx, args),
     }
     if args.command == "all":
         for name in ("table1", "figure1", "figure3", "figure4", "figure5", "figure6"):

@@ -30,6 +30,14 @@ massive-scale placement of HYPE, arXiv:1810.11319 — makes explicit):
   and a final single-worker restream fixes the boundary vertices.  Both
   streaming partitioners surface it through a ``workers=N`` knob.
 
+* :mod:`~repro.streaming.chunkstore` — the **persistent binary chunk
+  store** (ingest once, restream many): ``ChunkStream.save(path)``
+  materialises any stream as raw little-endian CSR arrays under a JSON
+  manifest, and :class:`ChunkStoreStream` replays it with memory-mapped
+  zero-copy reads — restream passes and forked sharded workers skip the
+  text parser entirely.  :func:`cached_stream` is the convert-on-miss /
+  replay-on-hit contract behind the CLI's ``--cache``.
+
 All stream passes run on the shared engine
 (:func:`repro.engine.kernel.pass_kernel`); the readers additionally
 support *pin-budgeted* chunk boundaries (``pin_budget=...``) so
@@ -51,6 +59,15 @@ from repro.streaming.reader import (
     stream_hmetis,
     stream_matrix_market,
 )
+from repro.streaming.chunkstore import (
+    CHUNKSTORE_VERSION,
+    ChunkStoreError,
+    ChunkStoreStream,
+    cached_stream,
+    open_store,
+    source_digest,
+    write_store,
+)
 from repro.streaming.state import StreamingState, resolve_cost_matrix
 from repro.streaming.onepass import OnePassStreamer
 from repro.streaming.restream import BufferedRestreamer
@@ -66,6 +83,13 @@ __all__ = [
     "stream_hmetis",
     "stream_matrix_market",
     "assemble",
+    "CHUNKSTORE_VERSION",
+    "ChunkStoreError",
+    "ChunkStoreStream",
+    "write_store",
+    "open_store",
+    "source_digest",
+    "cached_stream",
     "StreamingState",
     "resolve_cost_matrix",
     "OnePassStreamer",

@@ -19,7 +19,11 @@ The pass itself is the shared engine kernel
 (:func:`repro.engine.kernel.pass_kernel` in place-only mode); with
 ``workers > 1`` the stream is split into contiguous chunk-range shards
 processed by forked workers and reconciled by
-:class:`~repro.streaming.sharded.ShardedStreamer`.
+:class:`~repro.streaming.sharded.ShardedStreamer`.  Any chunk stream
+feeds it — a text reader, an in-memory adapter, or a persistent binary
+chunk store replayed with
+:func:`~repro.streaming.chunkstore.open_store` (ingest once, stream
+many: the store path skips the text parser entirely).
 """
 
 from __future__ import annotations

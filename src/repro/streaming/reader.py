@@ -280,14 +280,20 @@ class ChunkStream:
     #: when chunking is non-uniform (pin-budgeted); ``None`` = uniform
     #: ``chunk_size`` arithmetic.
     _chunk_starts: "np.ndarray | None" = None
+    #: The text file this stream was ingested from, when there is one —
+    #: :meth:`save` records its digest so store replays can validate
+    #: cache freshness.
+    source_path: "Path | None" = None
 
     @property
     def num_chunks(self) -> int:
+        """Number of chunks one full iteration yields."""
         if self._chunk_starts is not None:
             return len(self._chunk_starts) - 1
         return -(-self.num_vertices // self.chunk_size)
 
     def chunk_bounds(self, c: int) -> "tuple[int, int]":
+        """Global vertex range ``[start, stop)`` covered by chunk ``c``."""
         if self._chunk_starts is not None:
             return int(self._chunk_starts[c]), int(self._chunk_starts[c + 1])
         start = c * self.chunk_size
@@ -299,6 +305,37 @@ class ChunkStream:
 
     def __iter__(self) -> Iterator[VertexChunk]:
         return self.iter_range(0, self.num_chunks)
+
+    def save(self, path: "str | Path") -> Path:
+        """Materialise this stream as a persistent binary chunk store.
+
+        One extra pass over the chunks writes the store described in
+        ``docs/formats.md`` — raw little-endian CSR arrays plus a JSON
+        manifest — so later invocations replay it with
+        :func:`~repro.streaming.chunkstore.open_store` (memory-mapped,
+        zero-copy) instead of re-ingesting text into temp spill files.
+
+        Parameters
+        ----------
+        path:
+            store directory, created if needed; overwritten if it
+            already holds a store.
+
+        Returns
+        -------
+        pathlib.Path
+            the store directory.
+        """
+        from repro.streaming.chunkstore import write_store
+
+        # A replayed store stream has a recorded digest but no source
+        # file; pass it through so re-saving never downgrades to null.
+        return write_store(
+            self,
+            path,
+            source_path=self.source_path,
+            digest=getattr(self, "source_digest", None),
+        )
 
     def close(self) -> None:
         """Release any temporary spill files (idempotent)."""
@@ -409,7 +446,8 @@ class HmetisChunkStream(_SpilledChunkStream):
     Shares header/edge-line/vertex-weight validation with
     :func:`repro.hypergraph.io.read_hmetis` — malformed files raise the
     same :class:`HypergraphFormatError` — but the file is consumed line by
-    line and pins go straight to the spill store.
+    line and pins go straight to the spill store.  Constructor parameters
+    are those of :func:`stream_hmetis`, the public entry point.
     """
 
     def __init__(
@@ -424,8 +462,15 @@ class HmetisChunkStream(_SpilledChunkStream):
         super().__init__(chunk_size, buffer_pins, pin_budget)
         path = Path(path)
         self.name = name or path.stem
-        with open(path, "r") as fh:
-            self._ingest(path, fh)
+        self.source_path = path
+        # A parser error mid-stream must not leak the spill directory:
+        # close (idempotent) before re-raising.
+        try:
+            with open(path, "r") as fh:
+                self._ingest(path, fh)
+        except BaseException:
+            self.close()
+            raise
 
     def _ingest(self, path: Path, fh) -> None:
         lines = _data_lines(fh)
@@ -503,7 +548,9 @@ class MatrixMarketChunkStream(_SpilledChunkStream):
     both triangles, explicit values are irrelevant (any stored entry is a
     pin) and all-zero nets are dropped with renumbering.  Dense ``array``
     files are rejected — streaming them would make every column a full
-    net, defeating the point of out-of-core ingestion.
+    net, defeating the point of out-of-core ingestion.  Constructor
+    parameters are those of :func:`stream_matrix_market`, the public
+    entry point.
     """
 
     def __init__(
@@ -524,8 +571,15 @@ class MatrixMarketChunkStream(_SpilledChunkStream):
         path = Path(path)
         self.name = name or path.stem
         self.model = model
-        with open(path, "r") as fh:
-            self._ingest(path, fh)
+        self.source_path = path
+        # A parser error mid-stream must not leak the spill directory:
+        # close (idempotent) before re-raising.
+        try:
+            with open(path, "r") as fh:
+                self._ingest(path, fh)
+        except BaseException:
+            self.close()
+            raise
 
     def _ingest(self, path: Path, fh) -> None:
         banner = fh.readline()
@@ -715,8 +769,27 @@ def stream_hmetis(
 ) -> HmetisChunkStream:
     """Open an hMetis file as a re-iterable chunk stream (one-pass ingest).
 
-    ``pin_budget`` cuts chunk boundaries by resident pins instead of a
-    fixed vertex count — the bound that matters on hub-dominated graphs.
+    Parameters
+    ----------
+    path:
+        the ``.hgr``/``.hmetis`` file; validated exactly as the strict
+        in-memory reader validates it.
+    chunk_size:
+        vertices per yielded chunk.
+    buffer_pins:
+        ingest buffer capacity in pins — the resident-memory knob of the
+        spill pass.
+    pin_budget:
+        cut chunk boundaries by resident pins instead of a fixed vertex
+        count — the bound that matters on hub-dominated graphs.
+    name:
+        stream name (default: the file stem).
+
+    Returns
+    -------
+    HmetisChunkStream
+        a re-iterable stream of :class:`VertexChunk` CSR slices; use
+        ``.save(path)`` to persist it as a binary chunk store.
     """
     return HmetisChunkStream(
         path,
@@ -738,8 +811,30 @@ def stream_matrix_market(
 ) -> MatrixMarketChunkStream:
     """Open a MatrixMarket coordinate file as a re-iterable chunk stream.
 
-    ``pin_budget`` cuts chunk boundaries by resident pins instead of a
-    fixed vertex count — the bound that matters on hub-dominated graphs.
+    Parameters
+    ----------
+    path:
+        the ``.mtx`` coordinate file (dense ``array`` files are
+        rejected).
+    model:
+        ``"row-net"`` (columns are vertices, rows are nets, the default)
+        or ``"column-net"`` (flipped).
+    chunk_size:
+        vertices per yielded chunk.
+    buffer_pins:
+        ingest buffer capacity in pins — the resident-memory knob of the
+        spill pass.
+    pin_budget:
+        cut chunk boundaries by resident pins instead of a fixed vertex
+        count — the bound that matters on hub-dominated graphs.
+    name:
+        stream name (default: the file stem).
+
+    Returns
+    -------
+    MatrixMarketChunkStream
+        a re-iterable stream of :class:`VertexChunk` CSR slices; use
+        ``.save(path)`` to persist it as a binary chunk store.
     """
     return MatrixMarketChunkStream(
         path,

@@ -31,6 +31,13 @@ equals Eq. 5 exactly when nothing has been evicted).
 With ``workers > 1`` the stream is split into contiguous chunk-range
 shards restreamed by forked workers and reconciled by
 :class:`~repro.streaming.sharded.ShardedStreamer`.
+
+Restreaming is exactly the access pattern the persistent chunk store
+(:mod:`repro.streaming.chunkstore`) exists for: every extra window pass
+re-iterates chunks, so feeding this partitioner a store replayed with
+:func:`~repro.streaming.chunkstore.open_store` turns each pass into
+memory-mapped reads instead of spill-file loads — and a *fresh*
+invocation skips text ingest altogether.
 """
 
 from __future__ import annotations

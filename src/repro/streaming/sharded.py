@@ -31,6 +31,14 @@ With ``workers=1`` there is one shard covering the whole stream, no
 boundary nets and no merge adjustments: the run is operation-for-
 operation identical to the base partitioner (asserted by tests).
 
+Stream source: any :class:`~repro.streaming.reader.ChunkStream` works,
+but a persistent chunk store
+(:class:`~repro.streaming.chunkstore.ChunkStoreStream`) is the natural
+partner — each forked worker's ``stream.iter_range`` memory-maps the
+store directly in its own process, so shards replay raw binary chunks
+with no text parsing and no spill-file re-reads per fork (and the
+driver's extra boundary-collection pass costs page faults, not parsing).
+
 Determinism: each shard receives a generator spawned from one
 ``SeedSequence`` (``seed -> spawn(workers)``), so runs are reproducible
 for a fixed ``(seed, workers)``.  Results differ across *worker counts*

@@ -1,0 +1,55 @@
+"""Documentation integrity: every relative link in README/docs resolves.
+
+This is what the CI ``docs`` job runs (alongside the chunk-store
+example): markdown links in README.md and docs/*.md that point at files
+in the repository must point at files that exist, and the README must
+actually link the docs tree.  External (http/https) links and intra-page
+anchors are out of scope — CI should not depend on the network.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for our hand-written markdown
+#: (no reference-style links, no angle-bracket targets in these files).
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _doc_files() -> "list[Path]":
+    return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+
+def _relative_links(path: Path) -> "list[str]":
+    targets = _LINK.findall(path.read_text())
+    return [
+        t
+        for t in targets
+        if not t.startswith(("http://", "https://", "mailto:", "#"))
+    ]
+
+
+def test_docs_tree_exists():
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "formats.md").is_file()
+
+
+@pytest.mark.parametrize("path", _doc_files(), ids=lambda p: p.name)
+def test_relative_links_resolve(path):
+    for target in _relative_links(path):
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        assert resolved.exists(), f"{path.name}: broken link -> {target}"
+
+
+def test_readme_links_docs_tree():
+    links = _relative_links(REPO / "README.md")
+    assert "docs/architecture.md" in links
+    assert "docs/formats.md" in links
+
+
+def test_example_is_referenced_and_present():
+    assert (REPO / "examples" / "chunkstore_restream.py").is_file()
+    assert "chunkstore_restream" in (REPO / "README.md").read_text()

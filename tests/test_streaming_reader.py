@@ -145,6 +145,38 @@ class TestHmetisStream:
             list(stream)
 
 
+class TestSpillCleanupOnError:
+    """A parser raising mid-ingest must not leak the spill directory."""
+
+    def _spill_dirs(self, root):
+        return [d for d in root.iterdir() if d.name.startswith("repro-stream-")]
+
+    def test_hmetis_failure_cleans_spill(self, tmp_path, monkeypatch):
+        spill_root = tmp_path / "spill"
+        spill_root.mkdir()
+        monkeypatch.setattr("tempfile.tempdir", str(spill_root))
+        path = tmp_path / "bad.hgr"
+        # valid header, one good edge line, then a malformed pin: the
+        # spill store exists (and holds pins) by the time the parser dies
+        path.write_text("2 9\n1 2 3\n4 x\n")
+        with pytest.raises(HypergraphFormatError):
+            stream_hmetis(path, buffer_pins=1)
+        assert self._spill_dirs(spill_root) == []
+
+    def test_matrix_market_failure_cleans_spill(self, tmp_path, monkeypatch):
+        spill_root = tmp_path / "spill"
+        spill_root.mkdir()
+        monkeypatch.setattr("tempfile.tempdir", str(spill_root))
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 3\n1 1 1\n2 2 1\n9 9 1\n"  # third entry out of range
+        )
+        with pytest.raises(HypergraphFormatError):
+            stream_matrix_market(path, buffer_pins=1)
+        assert self._spill_dirs(spill_root) == []
+
+
 class TestMatrixMarketStream:
     def _roundtrip(self, matrix, tmp_path, chunk_size=5, **mm_kwargs):
         path = tmp_path / "m.mtx"
