@@ -22,6 +22,13 @@ dedicated box measures the full ladder.  Meaningful speedup needs real
 cores: on a single-CPU machine expect ~1.0x (fork overhead included),
 which is why the scaling assertion lives in the bench report, not in a
 hard test.
+
+``test_sharded_boundary_payload`` is the acceptance scenario for the v2
+boundary-only merge payloads: on a *boundary-sparse* instance (the
+banded ``ABACUS_shell_hd`` mesh — most nets live entirely inside one
+shard's contiguous vertex range) shipping only locally detected boundary
+rows must cut the merge payload at least 2x against full-table shipping,
+at identical assignments.
 """
 
 import os
@@ -116,9 +123,48 @@ def test_sharded_scaling(benchmark, bench_ctx):
         benchmark.extra_info[f"cut_drift[w={record.workers}]"] = round(
             record.cut_drift, 4
         )
+        benchmark.extra_info[f"payload_B[w={record.workers}]"] = (
+            record.merge_payload_bytes
+        )
+        if record.pin_skew is not None:
+            benchmark.extra_info[f"pin_skew[w={record.workers}]"] = round(
+                record.pin_skew, 3
+            )
         # sanity, not scaling: every worker count must produce a full,
         # boundary-repaired assignment within the balance tolerance
         assert record.quality.imbalance <= 1.25 + 1e-9
         assert abs(record.cut_drift) <= 0.05
+    print()
+    print(report.render())
+
+
+def test_sharded_boundary_payload(benchmark, bench_ctx):
+    """Boundary-only payloads on a boundary-sparse instance: >= 2x less."""
+    scale = 1.0 if FULL else 0.3
+    hg = load_instance("ABACUS_shell_hd", scale=scale)
+    w = max(2, max(WORKERS))
+    report = benchmark.pedantic(
+        lambda: compare_sharded(
+            hg,
+            bench_ctx.num_parts,
+            workers=(w,),
+            chunk_size=512 if FULL else 64,
+            max_iterations=bench_ctx.max_iterations,
+            seed=bench_ctx.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record = report.record(w)
+    benchmark.extra_info["merge_payload_bytes"] = record.merge_payload_bytes
+    benchmark.extra_info["full_payload_bytes"] = record.full_payload_bytes
+    benchmark.extra_info["payload_reduction"] = round(
+        record.payload_reduction, 2
+    )
+    if record.pin_skew is not None:
+        benchmark.extra_info["pin_skew"] = round(record.pin_skew, 3)
+    # Acceptance: boundary-only merge payloads beat full-table shipping
+    # by >= 2x where the shard structure leaves most nets interior.
+    assert record.payload_reduction >= 2.0
     print()
     print(report.render())

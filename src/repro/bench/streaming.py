@@ -23,8 +23,11 @@ exactly that trade on a suite instance:
 :func:`compare_sharded` is the companion scaling scenario for parallel
 sharded streaming (:class:`~repro.streaming.sharded.ShardedStreamer`):
 the same instance streamed at a ladder of worker counts, reporting
-wall-clock speedup over one worker and the quality drift (hyperedge cut
-and PC cost) the shard/merge/boundary-restream pipeline introduces.
+wall-clock speedup over one worker, the quality drift (hyperedge cut
+and PC cost) the shard/merge/boundary-restream pipeline introduces, the
+merge payload bytes actually shipped over the worker pipes against what
+full-table shipping would have cost (``payload_reduction``), and the
+per-shard pin skew the pin-balanced ``shard_ranges`` achieve.
 
 :func:`compare_replay` is the ingest-vs-replay ladder for the persistent
 binary chunk store (:mod:`repro.streaming.chunkstore`): text ingest,
@@ -268,7 +271,7 @@ def compare_streaming(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ShardedRecord:
-    """One worker count's wall-clock / quality row."""
+    """One worker count's wall-clock / quality / payload row."""
 
     workers: int
     quality: PartitionQuality
@@ -277,10 +280,24 @@ class ShardedRecord:
     cut_drift: float
     boundary_vertices: int
     boundary_iterations: int
+    #: bytes actually shipped over the worker pipes at the merge
+    merge_payload_bytes: int = 0
+    #: bytes full-table shipping would have cost on the same run
+    full_payload_bytes: int = 0
+    #: max/mean per-shard pin count (1.0 = perfectly pin-balanced);
+    #: ``None`` when the stream could not report per-chunk pins
+    pin_skew: "float | None" = None
 
     @property
     def pc_cost(self) -> float:
         return self.quality.pc_cost
+
+    @property
+    def payload_reduction(self) -> float:
+        """How much boundary-only shipping saved vs full tables."""
+        if not self.merge_payload_bytes:
+            return float("inf") if self.full_payload_bytes else 1.0
+        return self.full_payload_bytes / self.merge_payload_bytes
 
 
 @dataclass
@@ -312,6 +329,9 @@ class ShardedReport:
                 r.quality.imbalance,
                 r.boundary_vertices,
                 r.boundary_iterations,
+                r.merge_payload_bytes,
+                f"{r.payload_reduction:.2f}x",
+                "n/a" if r.pin_skew is None else f"{r.pin_skew:.3f}",
             )
             for r in self.records
         ]
@@ -326,6 +346,9 @@ class ShardedReport:
                 "imbalance",
                 "boundary_v",
                 "boundary_it",
+                "payload_B",
+                "vs_full",
+                "pin_skew",
             ),
             rows,
             title=(
@@ -492,6 +515,8 @@ def compare_sharded(
     pin_budget: "int | None" = None,
     max_tracked_edges: "int | None" = None,
     max_iterations: int = 100,
+    payload: str = "boundary",
+    shard_by: str = "pins",
     seed: int = 0,
 ) -> ShardedReport:
     """Stream ``hg`` at a ladder of worker counts, sharing one spill file.
@@ -500,7 +525,10 @@ def compare_sharded(
     ``buffer_fraction * |V|`` vertices; ``cut_drift`` is each run's
     relative hyperedge-cut excess over the single-worker run (the
     acceptance metric for the sharded pipeline), and ``speedup`` its
-    single-worker wall-clock ratio.
+    single-worker wall-clock ratio.  Each record also carries the merge
+    payload bytes the run actually shipped, what full-table shipping
+    would have cost (``payload_reduction``), and the per-shard pin skew
+    (``payload`` / ``shard_by`` select the v2 knobs under test).
     """
     C = uniform_cost_matrix(num_parts) if cost_matrix is None else cost_matrix
     cfg = HyperPRAWConfig(max_iterations=max_iterations, record_history=False)
@@ -519,7 +547,9 @@ def compare_sharded(
                 base = BufferedRestreamer(
                     cfg, buffer_size=buffer, max_tracked_edges=max_tracked_edges
                 )
-                sharded = ShardedStreamer(base, workers=w)
+                sharded = ShardedStreamer(
+                    base, workers=w, payload=payload, shard_by=shard_by
+                )
                 base_name = base.name
                 t0 = time.perf_counter()
                 result = sharded.partition_stream(
@@ -529,6 +559,7 @@ def compare_sharded(
             quality = evaluate_partition(
                 hg, result.assignment, num_parts, C, algorithm=f"workers={w}"
             )
+            md = result.metadata
             records.append(
                 ShardedRecord(
                     workers=w,
@@ -536,8 +567,11 @@ def compare_sharded(
                     wall_time_s=wall,
                     speedup=0.0,  # filled in below, once the anchor exists
                     cut_drift=0.0,
-                    boundary_vertices=result.metadata["boundary_vertices"],
-                    boundary_iterations=result.metadata["boundary_iterations"],
+                    boundary_vertices=md["boundary_vertices"],
+                    boundary_iterations=md["boundary_iterations"],
+                    merge_payload_bytes=md["merge_payload_bytes"],
+                    full_payload_bytes=md["merge_full_payload_bytes"],
+                    pin_skew=md["shard_pin_skew"],
                 )
             )
 
@@ -559,6 +593,9 @@ def compare_sharded(
             ),
             boundary_vertices=r.boundary_vertices,
             boundary_iterations=r.boundary_iterations,
+            merge_payload_bytes=r.merge_payload_bytes,
+            full_payload_bytes=r.full_payload_bytes,
+            pin_skew=r.pin_skew,
         )
         for r in records
     ]

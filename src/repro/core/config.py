@@ -70,11 +70,23 @@ class HyperPRAWConfig:
         streaming partitioners (:class:`~repro.streaming.restream.
         BufferedRestreamer` and friends): the stream is split into
         ``workers`` contiguous chunk-range shards processed by forked
-        worker processes against snapshot presence tables, merged, and
-        boundary vertices restreamed by a single worker.  ``1``
-        (default) is plain sequential streaming.  Results are
-        reproducible for a fixed seed at a fixed ``workers``; they
-        differ *across* worker counts (the shard structure changes).
+        worker processes against snapshot presence tables, merged with
+        boundary-only payloads, and the boundary vertices restreamed
+        across the same worker pool (barrier rounds).  ``1`` (default)
+        is plain sequential streaming.  Results are reproducible for a
+        fixed seed at a fixed ``workers``; they differ *across* worker
+        counts (the shard structure changes).
+    shard_payload:
+        what sharded workers ship back at the merge: ``"boundary"``
+        (default) sends only locally detected boundary presence-table
+        rows, ``"full"`` whole tables (same assignments, more bytes —
+        kept for measurement).
+    shard_by:
+        sharded streaming boundary placement: ``"pins"`` (default)
+        rebalances shards by cumulative pin count when the uniform
+        chunk-count split would straggle (per-shard pin skew over
+        ``ShardedStreamer.PIN_SKEW_THRESHOLD``), ``"chunks"`` always
+        splits by chunk count.
     """
 
     imbalance_tolerance: float = 1.1
@@ -89,6 +101,8 @@ class HyperPRAWConfig:
     record_history: bool = True
     chunk_size: "int | None" = None
     workers: int = 1
+    shard_payload: str = "boundary"
+    shard_by: str = "pins"
 
     def __post_init__(self):
         if self.chunk_size is not None and self.chunk_size < 1:
@@ -97,6 +111,15 @@ class HyperPRAWConfig:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shard_payload not in ("boundary", "full"):
+            raise ValueError(
+                "shard_payload must be 'boundary' or 'full', "
+                f"got {self.shard_payload!r}"
+            )
+        if self.shard_by not in ("pins", "chunks"):
+            raise ValueError(
+                f"shard_by must be 'pins' or 'chunks', got {self.shard_by!r}"
+            )
         if self.imbalance_tolerance < 1.0:
             raise ValueError(
                 f"imbalance_tolerance must be >= 1.0, got {self.imbalance_tolerance}"

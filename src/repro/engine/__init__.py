@@ -38,9 +38,15 @@ from repro.engine.blocks import (
     blocks_of,
     segment_gather_index,
     shard_ranges,
+    shard_ranges_by_pins,
 )
 from repro.engine.kernel import apply_balance_cap, pass_kernel
-from repro.engine.parallel import fork_available, merge_shard_tables, run_tasks
+from repro.engine.parallel import (
+    ShardRounds,
+    fork_available,
+    merge_shard_tables,
+    run_tasks,
+)
 from repro.engine.scorers import FennelScorer, HyperPRAWScorer
 from repro.engine.states import DenseKernelState
 
@@ -53,6 +59,7 @@ __all__ = [
     "blocks_of",
     "segment_gather_index",
     "shard_ranges",
+    "shard_ranges_by_pins",
     "pass_kernel",
     "apply_balance_cap",
     "HyperPRAWScorer",
@@ -61,4 +68,5 @@ __all__ = [
     "fork_available",
     "run_tasks",
     "merge_shard_tables",
+    "ShardRounds",
 ]

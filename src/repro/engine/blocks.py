@@ -43,6 +43,7 @@ __all__ = [
     "blocks_of",
     "segment_gather_index",
     "shard_ranges",
+    "shard_ranges_by_pins",
 ]
 
 
@@ -250,5 +251,65 @@ def shard_ranges(num_chunks: int, workers: int) -> "list[tuple[int, int]]":
         hi = lo + base + (1 if k < extra else 0)
         if hi > lo:
             ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def shard_ranges_by_pins(
+    chunk_pins, workers: int
+) -> "list[tuple[int, int]]":
+    """Split chunks into contiguous ranges balancing *pins*, not counts.
+
+    Streaming cost is proportional to pins, and chunk pin counts can be
+    wildly skewed (hub-heavy prefixes), so equal chunk *counts* leave
+    stragglers.  Each cut lands where the cumulative pin count reaches a
+    fair share of what remains, with every shard guaranteed at least one
+    chunk.  ``workers`` is clamped to the chunk count, so the result has
+    exactly ``min(workers, len(chunk_pins))`` ranges.
+
+    Parameters
+    ----------
+    chunk_pins:
+        per-chunk pin counts, in chunk order (see
+        ``ChunkStream.chunk_pins``).
+    workers:
+        requested shard count.
+
+    Returns
+    -------
+    list[tuple[int, int]]
+        contiguous ``(lo, hi)`` chunk-index ranges covering every chunk.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    pins = np.asarray(chunk_pins, dtype=np.int64)
+    n = int(pins.size)
+    if n == 0:
+        return []
+    workers = min(workers, n)
+    total = int(pins.sum())
+    if total <= 0:
+        return shard_ranges(n, workers)
+    cum = np.cumsum(pins)
+    ranges: "list[tuple[int, int]]" = []
+    lo = 0
+    for k in range(workers):
+        remaining = workers - k
+        if remaining == 1:
+            hi = n
+        else:
+            done = int(cum[lo - 1]) if lo else 0
+            target = done + (total - done) / remaining
+            hi = int(np.searchsorted(cum, target, side="left")) + 1
+            # Cut at whichever adjacent chunk boundary lies closer to
+            # the fair share — always taking the crossing chunk would
+            # hand a hub-heavy prefix a systematic overshoot, the very
+            # skew this function exists to remove.
+            if hi - 1 > lo and (cum[hi - 1] - target) > (target - cum[hi - 2]):
+                hi -= 1
+            # every shard takes >= 1 chunk, and leaves >= 1 per remainder
+            hi = max(hi, lo + 1)
+            hi = min(hi, n - (remaining - 1))
+        ranges.append((lo, hi))
         lo = hi
     return ranges

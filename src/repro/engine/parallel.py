@@ -17,12 +17,23 @@ per range.  This module owns the process plumbing:
   one summed table plus the set of *boundary* hyperedges (nets touched
   by two or more shards — exactly the pins a shard could not see while
   streaming blind of its neighbours).
+* :class:`ShardRounds` — persistent shard workers driven through
+  barrier-synchronised message rounds.  The v2 sharded streamer keeps
+  each worker (and its full local presence table) *alive* after the
+  initial stream, so the boundary restream runs sharded too: per pass
+  the driver broadcasts a snapshot (alpha, global loads, merged boundary
+  rows), every worker restreams its own boundary vertices against it,
+  and the driver merges the returned deltas at the barrier.  Only
+  boundary information ever crosses a pipe.
 
-Determinism: shard execution order never matters (shards are disjoint
-and results are merged by shard index), and the caller hands each shard
-a generator spawned from one ``SeedSequence``, so ``workers=N`` runs are
-reproducible for a fixed seed.  Results *do* differ across different
-``N`` (the shard structure changes), not across runs.
+Determinism: shard execution order never matters (shards are disjoint,
+rounds are barrier-synchronised, and results are merged by shard index),
+and the caller hands each shard a generator spawned from one
+``SeedSequence``, so ``workers=N`` runs are reproducible for a fixed
+seed.  Results *do* differ across different ``N`` (the shard structure
+changes), not across runs.  The sequential (fork-less) fallback drives
+the same generators through the same rounds in shard order, so it
+produces identical results without parallelism.
 """
 
 from __future__ import annotations
@@ -31,7 +42,12 @@ import multiprocessing as mp
 
 import numpy as np
 
-__all__ = ["fork_available", "run_tasks", "merge_shard_tables"]
+__all__ = [
+    "fork_available",
+    "run_tasks",
+    "merge_shard_tables",
+    "ShardRounds",
+]
 
 
 def fork_available() -> bool:
@@ -87,6 +103,160 @@ def run_tasks(tasks, workers: int) -> list:
     if errors:
         raise RuntimeError(f"sharded streaming worker failed: {errors[0]}")
     return results
+
+
+def _serve_rounds(gen_fn, conn) -> None:
+    """Child-process loop: drive one shard generator over a pipe.
+
+    Sends the generator's first yield, then alternates ``recv`` (a round
+    message) with ``send`` (the next yield, or the generator's return
+    value when it finishes).  Every payload travels as ``(ok, value)``
+    so worker crashes surface in the parent.
+    """
+    try:
+        gen = gen_fn()
+        conn.send((True, next(gen)))
+        while True:
+            msg = conn.recv()
+            try:
+                out = gen.send(msg)
+            except StopIteration as stop:
+                conn.send((True, stop.value))
+                break
+            conn.send((True, out))
+    except EOFError:
+        pass  # driver hung up (e.g. tearing down after another crash)
+    except BaseException as exc:
+        try:
+            conn.send((False, repr(exc)))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+class ShardRounds:
+    """Drive shard generators through barrier-synchronised rounds.
+
+    Each task is a zero-argument callable returning a *generator*: the
+    generator's first yield is its phase-1 result, every subsequent
+    ``yield`` answers one round message, and its ``return`` value answers
+    the final (stop) message.  With ``workers > 1`` and fork available
+    each generator runs in its own forked process and messages travel
+    over duplex pipes; otherwise the generators are driven sequentially
+    in shard order — same messages, same order, identical results.
+
+    Usage::
+
+        pool = ShardRounds(tasks, workers)
+        first = pool.start()               # phase-1 results, in order
+        while ...:
+            replies = pool.exchange(msgs)  # one barrier round
+        finals = pool.stop(msgs)           # generator return values
+        pool.close()                       # idempotent teardown
+
+    A worker exception is re-raised in the driver as ``RuntimeError``
+    (after terminating the remaining workers).
+    """
+
+    def __init__(self, tasks, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._tasks = list(tasks)
+        self._forked = (
+            workers > 1 and len(self._tasks) > 1 and fork_available()
+        )
+        self._gens: "list | None" = None
+        self._procs: list = []
+        self._conns: list = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> list:
+        """Launch every shard; return their phase-1 results in order."""
+        if not self._forked:
+            self._gens = [task() for task in self._tasks]
+            return [next(gen) for gen in self._gens]
+        ctx = mp.get_context("fork")
+        for task in self._tasks:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_serve_rounds, args=(task, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        return self._collect()
+
+    def exchange(self, messages: list) -> list:
+        """One barrier round: send ``messages[k]`` to shard ``k``, collect
+        every shard's reply (in shard order)."""
+        return self._round(messages)
+
+    def stop(self, messages: list) -> list:
+        """Final round: send ``messages[k]``, collect each generator's
+        *return* value, and tear the pool down."""
+        if self._forked:
+            outs = self._round(messages)
+            self.close()
+            return outs
+        outs = []
+        for gen, msg in zip(self._gens, messages):
+            try:
+                gen.send(msg)
+            except StopIteration as stop_exc:
+                outs.append(stop_exc.value)
+            else:
+                raise RuntimeError(
+                    "shard generator yielded instead of finishing on stop"
+                )
+        return outs
+
+    def close(self) -> None:
+        """Tear down pipes and processes (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+        self._conns, self._procs = [], []
+
+    def __enter__(self) -> "ShardRounds":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _round(self, messages: list) -> list:
+        if not self._forked:
+            return [
+                gen.send(msg) for gen, msg in zip(self._gens, messages)
+            ]
+        # Send everything first so the shards compute concurrently, then
+        # collect at the barrier in shard order (deterministic merges).
+        for conn, msg in zip(self._conns, messages):
+            conn.send(msg)
+        return self._collect()
+
+    def _collect(self) -> list:
+        outs, errors = [], []
+        for conn in self._conns:
+            try:
+                ok, payload = conn.recv()
+            except EOFError:
+                ok, payload = False, "worker exited without a result"
+            outs.append(payload if ok else None)
+            if not ok:
+                errors.append(payload)
+        if errors:
+            self.close()
+            raise RuntimeError(f"sharded streaming worker failed: {errors[0]}")
+        return outs
 
 
 def merge_shard_tables(

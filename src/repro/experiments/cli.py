@@ -62,6 +62,17 @@ _COMMANDS = (
 )
 
 
+def _positive_int(value: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. ``--workers``)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hyperpraw-repro",
@@ -116,10 +127,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream_group.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help="parallel sharded streaming workers (>1 also prints the "
-        "worker-scaling report for suite instances)",
+        "worker-scaling report for suite instances; must be >= 1)",
+    )
+    stream_group.add_argument(
+        "--shard-payload",
+        choices=("boundary", "full"),
+        default="boundary",
+        help="what sharded workers ship at the merge: only their locally "
+        "detected boundary presence-table rows (default) or whole tables "
+        "(same assignments, more bytes — for measurement)",
+    )
+    stream_group.add_argument(
+        "--shard-by",
+        choices=("pins", "chunks"),
+        default="pins",
+        help="'pins' (default) rebalances sharded worker ranges by "
+        "cumulative pin count when the uniform split would straggle; "
+        "'chunks' always splits by chunk count",
     )
     stream_group.add_argument(
         "--pin-budget",
@@ -198,6 +225,8 @@ def _run_stream(ctx: ExperimentContext, args) -> str:
                 pin_budget=args.pin_budget,
                 max_tracked_edges=args.max_tracked_edges,
                 max_iterations=ctx.max_iterations,
+                payload=args.shard_payload,
+                shard_by=args.shard_by,
                 seed=ctx.seed,
             )
             reports.append(sharded.render())
@@ -246,7 +275,12 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
         fractions = tuple(args.buffer_fractions) or (0.125,)
         buffer = max(1, int(round(fractions[0] * stream.num_vertices)))
         return BufferedRestreamer(
-            HyperPRAWConfig(max_iterations=ctx.max_iterations, record_history=False),
+            HyperPRAWConfig(
+                max_iterations=ctx.max_iterations,
+                record_history=False,
+                shard_payload=args.shard_payload,
+                shard_by=args.shard_by,
+            ),
             buffer_size=buffer,
             max_tracked_edges=args.max_tracked_edges,
             workers=args.workers,
@@ -260,7 +294,10 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
             (
                 "stream-onepass",
                 lambda stream: OnePassStreamer(
-                    max_tracked_edges=args.max_tracked_edges, workers=args.workers
+                    max_tracked_edges=args.max_tracked_edges,
+                    workers=args.workers,
+                    shard_payload=args.shard_payload,
+                    shard_by=args.shard_by,
                 ),
             ),
             ("stream-buffered", buffered),

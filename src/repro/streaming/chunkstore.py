@@ -189,6 +189,14 @@ def write_store(
             )
         vertex_weights = put(stream.vertex_weights, _FLOAT)
         edge_weights = put(stream.edge_weights, _FLOAT)
+        # Optional section (additive field, no version bump): global
+        # per-edge pin counts, the prerequisite for the sharded
+        # streamer's local boundary detection on replay.
+        edge_degrees = (
+            put(stream.edge_degrees, _INT)
+            if stream.edge_degrees is not None
+            else None
+        )
 
     manifest = {
         "format": FORMAT_MARKER,
@@ -218,6 +226,7 @@ def write_store(
         "data_bytes": offset,
         "vertex_weights": vertex_weights,
         "edge_weights": edge_weights,
+        "edge_degrees": edge_degrees,
         "chunks": chunks_meta,
     }
     manifest_path.write_text(json.dumps(manifest, indent=1))
@@ -344,6 +353,12 @@ class ChunkStoreStream(ChunkStream):
                 manifest["vertex_weights"], _FLOAT
             )
             self.edge_weights = self._section(manifest["edge_weights"], _FLOAT)
+            # Optional (older stores lack it; compute_edge_degrees is the
+            # fallback for consumers that need degrees).
+            degrees_meta = manifest.get("edge_degrees")
+            if degrees_meta is not None:
+                self._check_section(degrees_meta, _INT, declared, "edge_degrees")
+                self.edge_degrees = self._section(degrees_meta, _INT)
         except ChunkStoreError:
             raise
         except (KeyError, TypeError, ValueError, IndexError) as exc:
@@ -377,6 +392,12 @@ class ChunkStoreStream(ChunkStream):
         lo = int(section["offset"])
         count = int(section["count"])
         return self._data()[lo : lo + count * dtype.itemsize].view(dtype)
+
+    def chunk_pins(self) -> np.ndarray:
+        """Per-chunk pin counts, straight from the manifest."""
+        return np.asarray(
+            [int(c["num_pins"]) for c in self._chunks_meta], dtype=np.int64
+        )
 
     def iter_range(self, lo: int, hi: int) -> Iterator[VertexChunk]:
         """Yield chunks ``lo <= c < hi`` as zero-copy memmap views."""

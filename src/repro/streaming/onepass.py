@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.base import Partitioner
 from repro.core.result import PartitionResult
 from repro.core.schedule import initial_alpha_from_counts
-from repro.engine import HyperPRAWScorer, blocks_of, pass_kernel
+from repro.engine import FennelScorer, HyperPRAWScorer, blocks_of, pass_kernel
 from repro.hypergraph.model import Hypergraph
 from repro.streaming.reader import (
     DEFAULT_CHUNK_SIZE,
@@ -78,11 +78,30 @@ class OnePassStreamer(Partitioner):
         against the chunk-start state with one matmul
         (:func:`~repro.core.value.block_value_terms`) — faster, with
         intra-chunk staleness in the communication term.
+    scorer:
+        value function: ``"eq1"`` (default) is HyperPRAW's
+        architecture-aware Eq. 1; ``"fennel"`` swaps in the FENNEL
+        neighbour-count score with the power-law load penalty — the
+        single-pass baseline HyperPRAW descends from, now available
+        against bounded out-of-core state (pair with ``alpha="fennel"``
+        for the literal formula).
+    gamma:
+        FENNEL load-penalty exponent (only used with
+        ``scorer="fennel"``).
     workers:
         parallel sharded streaming: split the stream into ``workers``
-        contiguous chunk ranges, place each in a forked worker against
-        its own presence table, merge, and restream the boundary
-        vertices.  ``1`` (default) is the plain sequential streamer.
+        contiguous chunk ranges (pin-balanced; see ``shard_by``), place
+        each in a forked worker against its own presence table, merge
+        boundary-only payloads, and restream the boundary vertices
+        across the same worker pool.  ``1`` (default) is the plain
+        sequential streamer.
+    shard_payload:
+        ``"boundary"`` (default) or ``"full"`` — what sharded workers
+        ship at the merge (see :class:`~repro.streaming.sharded.
+        ShardedStreamer`).
+    shard_by:
+        ``"pins"`` (default) or ``"chunks"`` — how sharded worker
+        ranges are balanced.
     """
 
     name = "stream-onepass"
@@ -96,7 +115,11 @@ class OnePassStreamer(Partitioner):
         balance_slack: "float | None" = 1.2,
         max_tracked_edges: "int | None" = None,
         score_mode: str = "vertex",
+        scorer: str = "eq1",
+        gamma: float = 1.5,
         workers: int = 1,
+        shard_payload: str = "boundary",
+        shard_by: str = "pins",
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -110,6 +133,12 @@ class OnePassStreamer(Partitioner):
             raise ValueError(
                 f"score_mode must be 'vertex' or 'chunk', got {score_mode!r}"
             )
+        if scorer not in ("eq1", "fennel"):
+            raise ValueError(
+                f"scorer must be 'eq1' or 'fennel', got {scorer!r}"
+            )
+        if gamma <= 1.0:
+            raise ValueError(f"gamma must be > 1, got {gamma}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.chunk_size = int(chunk_size)
@@ -118,7 +147,11 @@ class OnePassStreamer(Partitioner):
         self.balance_slack = balance_slack
         self.max_tracked_edges = max_tracked_edges
         self.score_mode = score_mode
+        self.scorer = scorer
+        self.gamma = float(gamma)
         self.workers = int(workers)
+        self.shard_payload = shard_payload
+        self.shard_by = shard_by
 
     # ------------------------------------------------------------------
     def partition(
@@ -148,7 +181,12 @@ class OnePassStreamer(Partitioner):
         if self.workers > 1:
             from repro.streaming.sharded import ShardedStreamer
 
-            return ShardedStreamer(self, workers=self.workers).partition_stream(
+            return ShardedStreamer(
+                self,
+                workers=self.workers,
+                payload=self.shard_payload,
+                shard_by=self.shard_by,
+            ).partition_stream(
                 stream, num_parts, cost_matrix=cost_matrix, seed=seed
             )
         if num_parts < 1:
@@ -177,6 +215,7 @@ class OnePassStreamer(Partitioner):
             metadata={
                 "single_pass": True,
                 "score_mode": self.score_mode,
+                "scorer": self.scorer,
                 "alpha": stats["alpha"],
                 "balance_slack": self.balance_slack,
                 "max_tracked_edges": self.max_tracked_edges,
@@ -199,12 +238,16 @@ class OnePassStreamer(Partitioner):
         """Scorer/schedule parameters for the sharded driver's merge and
         boundary restream.  The one-pass streamer has no schedule of its
         own, so the boundary fix-up borrows the paper-default
-        :class:`~repro.core.config.HyperPRAWConfig` schedule."""
+        :class:`~repro.core.config.HyperPRAWConfig` schedule — but keeps
+        this streamer's *value function* (``scorer``/``gamma``), so a
+        FENNEL-scored run is polished under the FENNEL objective."""
         from repro.core.config import HyperPRAWConfig
 
         cfg = HyperPRAWConfig()
         return {
             "alpha_mode": self.alpha,
+            "scorer": self.scorer,
+            "gamma": self.gamma,
             "presence_threshold": self.presence_threshold,
             "max_tracked_edges": self.max_tracked_edges,
             "imbalance_tolerance": cfg.imbalance_tolerance,
@@ -253,9 +296,12 @@ class OnePassStreamer(Partitioner):
             if self.balance_slack is not None
             else None
         )
-        scorer = HyperPRAWScorer(
-            C, alpha, state.expected_loads, self.presence_threshold
-        )
+        if self.scorer == "fennel":
+            scorer = FennelScorer(alpha, self.gamma)
+        else:
+            scorer = HyperPRAWScorer(
+                C, alpha, state.expected_loads, self.presence_threshold
+            )
         pass_kernel(
             blocks_of(chunks),
             state,

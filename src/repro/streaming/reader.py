@@ -276,6 +276,13 @@ class ChunkStream:
     #: Optional pin budget per chunk; when set, chunk boundaries are cut
     #: by resident pins rather than a fixed vertex count.
     pin_budget: "int | None" = None
+    #: Global per-hyperedge pin counts (deduplicated), ``None`` when the
+    #: source cannot provide them cheaply.  O(|E|) scalar metadata like
+    #: ``edge_weights`` — within the documented memory bound.  The
+    #: sharded streamer uses them for *local* boundary detection: a net
+    #: whose locally observed pins fall short of its global degree must
+    #: have pins in another shard.
+    edge_degrees: "np.ndarray | None" = None
     #: Explicit chunk boundaries (vertex indices, length num_chunks + 1)
     #: when chunking is non-uniform (pin-budgeted); ``None`` = uniform
     #: ``chunk_size`` arithmetic.
@@ -298,6 +305,42 @@ class ChunkStream:
             return int(self._chunk_starts[c]), int(self._chunk_starts[c + 1])
         start = c * self.chunk_size
         return start, min(start + self.chunk_size, self.num_vertices)
+
+    def chunk_starts(self) -> np.ndarray:
+        """All chunk boundaries as one array (length ``num_chunks + 1``)."""
+        if self._chunk_starts is not None:
+            return self._chunk_starts
+        return np.minimum(
+            np.arange(self.num_chunks + 1, dtype=np.int64) * self.chunk_size,
+            self.num_vertices,
+        )
+
+    def chunk_pins(self) -> "np.ndarray | None":
+        """Per-chunk pin counts (length ``num_chunks``), ``None`` if unknown.
+
+        Pin-balanced sharding (:func:`repro.engine.blocks.
+        shard_ranges_by_pins`) uses these to cut shard boundaries by
+        cumulative pins instead of chunk count, so hub-heavy prefixes no
+        longer straggle.
+        """
+        return None
+
+    def compute_edge_degrees(self) -> np.ndarray:
+        """Per-edge global pin counts, counted with one extra pass.
+
+        Fallback for streams that did not record :attr:`edge_degrees` at
+        ingest (e.g. a chunk store written before the field existed);
+        the result is cached on the stream.
+        """
+        if self.edge_degrees is None:
+            degrees = np.zeros(self.num_edges, dtype=np.int64)
+            for chunk in self:
+                if chunk.vertex_edges.size:
+                    degrees += np.bincount(
+                        chunk.vertex_edges, minlength=self.num_edges
+                    )
+            self.edge_degrees = degrees
+        return self.edge_degrees
 
     def iter_range(self, lo: int, hi: int) -> Iterator[VertexChunk]:
         """Yield chunks ``lo <= c < hi`` only (sharded streaming)."""
@@ -410,6 +453,18 @@ class _SpilledChunkStream(ChunkStream):
             spill.pins_per_chunk, sizes, self.pin_budget, self.chunk_size
         )
 
+    def chunk_pins(self) -> "np.ndarray | None":
+        """Per-chunk spilled pin counts (exact once ingest deduplicated)."""
+        if self._spill is None:
+            return None
+        per_bucket = self._spill.pins_per_chunk
+        if self._chunk_buckets is None:
+            return per_bucket.copy()
+        return np.asarray(
+            [int(per_bucket[lo:hi].sum()) for lo, hi in self._chunk_buckets],
+            dtype=np.int64,
+        )
+
     def iter_range(self, lo: int, hi: int) -> Iterator[VertexChunk]:
         if self._spill is None:
             raise RuntimeError("stream is closed")
@@ -487,6 +542,7 @@ class HmetisChunkStream(_SpilledChunkStream):
         self.num_vertices = num_vertices
         self.num_edges = num_edges
         self.edge_weights = np.ones(num_edges, dtype=np.float64)
+        self.edge_degrees = np.zeros(num_edges, dtype=np.int64)
         self.vertex_weights = np.ones(num_vertices, dtype=np.float64)
         spill = self._make_spill(num_vertices)
 
@@ -501,6 +557,7 @@ class HmetisChunkStream(_SpilledChunkStream):
                 arr = np.unique(np.asarray(pins, dtype=np.int64))
                 spill.add(arr, edges_seen)
                 self.num_pins += arr.size
+                self.edge_degrees[edges_seen] = arr.size
                 edges_seen += 1
             elif header.has_vertex_weights and weights_seen < num_vertices:
                 self.vertex_weights[weights_seen] = parse_hmetis_vertex_weight(
@@ -689,13 +746,24 @@ class MatrixMarketChunkStream(_SpilledChunkStream):
         # Coordinate files may legally repeat an entry (mmread sums them;
         # the hypergraph keeps one pin), so the running entry count
         # overstates pins.  Recount deduplicated, one spill bucket at a
-        # time — still bounded memory.
+        # time — still bounded memory.  The same pass yields the exact
+        # per-bucket pin counts (overwriting the raw spilled tallies used
+        # for pin-budget grouping) and the global per-edge degrees.
         self.num_pins = 0
+        self.edge_degrees = np.zeros(self.num_edges, dtype=np.int64)
         for c in range(spill.num_buckets):
             vertices, edges = spill.load(c)
+            spill.pins_per_chunk[c] = 0
             if vertices.size:
-                pairs = vertices * np.int64(raw_edges) + edges
-                self.num_pins += int(np.unique(pairs).size)
+                pairs = np.unique(vertices * np.int64(raw_edges) + edges)
+                uniq_edges = pairs % raw_edges
+                if self._edge_remap is not None:
+                    uniq_edges = self._edge_remap[uniq_edges]
+                self.edge_degrees += np.bincount(
+                    uniq_edges, minlength=self.num_edges
+                )
+                spill.pins_per_chunk[c] = pairs.size
+                self.num_pins += int(pairs.size)
         self._note_resident(spill.peak_buffered_pins)
 
 
@@ -729,6 +797,7 @@ class HypergraphChunkStream(ChunkStream):
         self.num_edges = hg.num_edges
         self.num_pins = hg.num_pins
         self.edge_weights = hg.edge_weights
+        self.edge_degrees = np.diff(hg.edge_ptr)
         self.vertex_weights = hg.vertex_weights
         self.total_vertex_weight = hg.total_vertex_weight()
         if pin_budget is not None:
@@ -739,6 +808,10 @@ class HypergraphChunkStream(ChunkStream):
                 degs, np.ones(hg.num_vertices, dtype=np.int64),
                 pin_budget, self.chunk_size,
             )
+
+    def chunk_pins(self) -> np.ndarray:
+        """Exact per-chunk pin counts from the resident CSR pointers."""
+        return np.diff(self.hg.vertex_ptr[self.chunk_starts()])
 
     def iter_range(self, lo: int, hi: int) -> Iterator[VertexChunk]:
         vptr, vedges = self.hg.vertex_ptr, self.hg.vertex_edges

@@ -201,7 +201,12 @@ class BufferedRestreamer(Partitioner):
         if self.workers > 1:
             from repro.streaming.sharded import ShardedStreamer
 
-            return ShardedStreamer(self, workers=self.workers).partition_stream(
+            return ShardedStreamer(
+                self,
+                workers=self.workers,
+                payload=self.config.shard_payload,
+                shard_by=self.config.shard_by,
+            ).partition_stream(
                 stream, num_parts, cost_matrix=cost_matrix, seed=seed
             )
         if num_parts < 1:
@@ -262,6 +267,7 @@ class BufferedRestreamer(Partitioner):
         cfg = self.config
         return {
             "alpha_mode": cfg.alpha_initial,
+            "scorer": "eq1",
             "presence_threshold": cfg.presence_threshold,
             "max_tracked_edges": self.max_tracked_edges,
             "imbalance_tolerance": cfg.imbalance_tolerance,

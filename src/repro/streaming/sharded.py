@@ -1,43 +1,62 @@
-"""Parallel sharded streaming (ROADMAP item (a)).
+"""Parallel sharded streaming, v2 (ROADMAP items (a), (f), (g), (h)).
 
 :class:`ShardedStreamer` scales a streaming partitioner across CPU cores
-in three phases:
+in three phases, every one of them sharded:
 
-1. **Shard** — the chunk stream is split into ``workers`` contiguous
-   chunk ranges (:func:`repro.engine.blocks.shard_ranges`).  Each shard
-   is streamed by its *base* partitioner (:class:`~repro.streaming.
-   restream.BufferedRestreamer` by default, or a
-   :class:`~repro.streaming.onepass.OnePassStreamer`) in a forked worker
-   process, against its own snapshot presence table and a shard-scoped
-   load target (``shard_weight / p``) — workers never synchronise, which
-   is where the speedup comes from and why they stream blind of each
-   other's placements.
-2. **Merge** — per-shard loads are summed and the presence tables
-   reconciled into one bounded :class:`~repro.streaming.state.
-   StreamingState` (:func:`repro.engine.parallel.merge_shard_tables`).
-   Nets tracked by two or more shards are the *boundary* hyperedges —
-   exactly the pins whose placement each worker scored with incomplete
-   information.
-3. **Boundary restream** — a final single worker re-streams every vertex
-   incident to a boundary net against the merged global state, running
-   the full HyperPRAW schedule over the boundary window (Eq. 1 kernel
-   passes with alpha tempering while over the imbalance tolerance, then
-   refinement with rollback) — a single fixed-alpha pass is *not*
+1. **Shard** — the chunk stream is split into contiguous chunk ranges,
+   with a *straggler guard*: when the uniform chunk-count split leaves
+   per-shard pin totals skewed beyond :data:`ShardedStreamer.
+   PIN_SKEW_THRESHOLD` (hub-heavy prefixes), it is replaced by the
+   pin-balanced cut (:func:`repro.engine.blocks.shard_ranges_by_pins`);
+   near-uniform streams keep their boundaries, because a moved cut
+   changes what every worker streams blind of for almost no balance
+   gain.  Each shard is streamed by its *base* partitioner
+   (:class:`~repro.streaming.restream.BufferedRestreamer` by default, or
+   a :class:`~repro.streaming.onepass.OnePassStreamer`) in a forked
+   worker process, against its own snapshot presence table and a
+   shard-scoped load target (``shard_weight / p``) — workers never
+   synchronise while streaming, which is where the speedup comes from
+   and why they stream blind of each other's placements.
+2. **Merge, boundary-only** — workers detect their boundary nets
+   *locally*: a net whose locally observed pin count falls short of its
+   global degree (``stream.edge_degrees``, O(|E|) scalar metadata
+   recorded at ingest and persisted by the chunk store) must have pins
+   in another shard.  Only those presence-table rows, the load vector
+   and the shard's assignment slice cross the pipe (``payload="full"``
+   ships whole tables, for measurement); the driver sums loads and
+   reconciles the shipped rows — nets shipped by two or more shards are
+   the *boundary* hyperedges, exactly the pins each worker scored with
+   incomplete information.  Payload bytes are surfaced in the result
+   metadata.
+3. **Sharded boundary restream** — boundary vertices partition by chunk
+   range like everything else, so the fix-up runs across the *same*
+   worker pool instead of one serial worker: per pass the driver
+   broadcasts a snapshot (alpha, global loads, merged boundary rows),
+   every worker restreams its own boundary vertices against it (its
+   interior nets stay in its local table, never shipped), and the driver
+   merges the returned deltas at the barrier, running the full HyperPRAW
+   schedule — alpha tempering while over the imbalance tolerance, then
+   refinement with rollback — a single fixed-alpha pass is *not*
    enough: from a balanced merged state the communication term dominates
    and collapses the partition, exactly the failure mode Algorithm 1's
    tempering exists to prevent.
 
 With ``workers=1`` there is one shard covering the whole stream, no
 boundary nets and no merge adjustments: the run is operation-for-
-operation identical to the base partitioner (asserted by tests).
+operation identical to the base partitioner (asserted by golden tests).
+And because the boundary restream is defined by barrier rounds against
+snapshots, the fork-less sequential fallback produces identical results
+— payload mode changes *bytes shipped*, never assignments (asserted by
+the invariant tests).
 
 Stream source: any :class:`~repro.streaming.reader.ChunkStream` works,
 but a persistent chunk store
 (:class:`~repro.streaming.chunkstore.ChunkStoreStream`) is the natural
 partner — each forked worker's ``stream.iter_range`` memory-maps the
 store directly in its own process, so shards replay raw binary chunks
-with no text parsing and no spill-file re-reads per fork (and the
-driver's extra boundary-collection pass costs page faults, not parsing).
+with no text parsing and no spill-file re-reads per fork, and the store
+manifest carries both the per-chunk pin counts (pin-balanced shards) and
+the per-edge degrees (local boundary detection).
 
 Determinism: each shard receives a generator spawned from one
 ``SeedSequence`` (``seed -> spawn(workers)``), so runs are reproducible
@@ -48,19 +67,22 @@ for a fixed ``(seed, workers)``.  Results differ across *worker counts*
 from __future__ import annotations
 
 import time
+import warnings
 
 import numpy as np
 
 from repro.core.base import Partitioner
 from repro.core.schedule import TemperingSchedule, initial_alpha_from_counts
 from repro.engine import (
+    FennelScorer,
     HyperPRAWScorer,
+    ShardRounds,
     VertexBlock,
     merge_shard_tables,
     pass_kernel,
-    run_tasks,
     segment_gather_index,
     shard_ranges,
+    shard_ranges_by_pins,
 )
 from repro.core.result import PartitionResult
 from repro.hypergraph.model import Hypergraph
@@ -75,6 +97,39 @@ from repro.utils.rng import spawn_generators
 __all__ = ["ShardedStreamer"]
 
 
+def _boundary_scorer(
+    C: np.ndarray, alpha: float, expected_loads: np.ndarray, profile: dict
+):
+    """The boundary restream's value function, matched to the base's.
+
+    A FENNEL-scored base must be polished with the FENNEL objective —
+    fixing it up under Eq. 1 would contaminate the baseline the scorer
+    knob exists to reproduce.  Profiles that predate the ``scorer`` key
+    default to Eq. 1 (every base before the knob existed).
+    """
+    if profile.get("scorer") == "fennel":
+        return FennelScorer(alpha, profile["gamma"])
+    return HyperPRAWScorer(
+        C, alpha, expected_loads, profile["presence_threshold"]
+    )
+
+
+def _table_cost(
+    counts: np.ndarray,
+    cost_matrix: np.ndarray,
+    edges: np.ndarray,
+    edge_weights: "np.ndarray | None",
+) -> float:
+    """``sum_e w_e c_e^T C c_e`` over explicit table rows (driver side)."""
+    if counts.shape[0] == 0:
+        return 0.0
+    c = counts.astype(np.float64)
+    per_edge = np.einsum("ep,pq,eq->e", c, cost_matrix, c)
+    if edge_weights is not None:
+        per_edge = per_edge * edge_weights[edges]
+    return float(per_edge.sum())
+
+
 class ShardedStreamer(Partitioner):
     """Parallel sharded wrapper around a streaming partitioner.
 
@@ -86,26 +141,49 @@ class ShardedStreamer(Partitioner):
         :class:`BufferedRestreamer` (default) or
         :class:`OnePassStreamer`.
     workers:
-        number of shards / forked worker processes.  On platforms
-        without the ``fork`` start method the shards run sequentially
-        in-process (identical results, no parallelism).
+        number of shards / forked worker processes.  Clamped (with a
+        warning) to the stream's chunk count.  On platforms without the
+        ``fork`` start method the shards run sequentially in-process
+        (identical results, no parallelism).
     boundary_max_iterations:
         cap on boundary-restream schedule passes.  The merge already
         leaves the partition globally consistent and balanced; the
-        boundary restream is quality polish whose serial cost eats into
-        the parallel speedup, and measured on ``stream_powerlaw_xl`` the
-        default of 8 captures the cut quality of an unbounded schedule
-        to within a fraction of a percent at a quarter of its cost.
-        ``None`` defers to the base partitioner's ``max_iterations``
-        profile; ``0`` disables the fix-up entirely.
+        boundary restream is quality polish whose per-pass barrier eats
+        into the parallel speedup, and measured on ``stream_powerlaw_xl``
+        the default of 8 captures the cut quality of an unbounded
+        schedule to within a fraction of a percent at a quarter of its
+        cost.  ``None`` defers to the base partitioner's
+        ``max_iterations`` profile; ``0`` disables the fix-up entirely.
     chunk_size:
         chunking used when adapting an in-memory hypergraph.
+    payload:
+        ``"boundary"`` (default) ships only locally detected boundary
+        presence-table rows over the worker pipes; ``"full"`` ships
+        whole tables (the v1 behaviour, kept for measurement — the
+        assignment is identical either way, only
+        ``merge_payload_bytes`` changes).
+    shard_by:
+        ``"pins"`` (default) guards against stragglers: the chunk-count
+        split is replaced with the pin-balanced cut when its per-shard
+        pin skew exceeds :data:`PIN_SKEW_THRESHOLD` (and falls back to
+        chunk counts when the stream cannot report per-chunk pins);
+        ``"chunks"`` always uses the chunk-count split.
     """
 
     name = "stream-sharded"
 
     #: default boundary-restream pass cap (see ``boundary_max_iterations``)
     DEFAULT_BOUNDARY_MAX_ITERATIONS = 8
+
+    #: ``shard_by="pins"`` is a *straggler guard*: the chunk-count split
+    #: is replaced with the pin-balanced one only when its per-shard pin
+    #: skew (max/mean) exceeds this threshold.  Shard boundaries are
+    #: also quality-sensitive (a moved cut changes what every worker
+    #: streams blind of), so near-uniform streams — where pin balancing
+    #: buys almost nothing — keep their boundaries; hub-heavy prefixes
+    #: (the motivating case, e.g. ``stream_powerlaw_xl`` at skew ~1.5)
+    #: get rebalanced.
+    PIN_SKEW_THRESHOLD = 1.25
 
     def __init__(
         self,
@@ -114,6 +192,8 @@ class ShardedStreamer(Partitioner):
         workers: int = 1,
         boundary_max_iterations: "int | None" = DEFAULT_BOUNDARY_MAX_ITERATIONS,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        payload: str = "boundary",
+        shard_by: str = "pins",
     ) -> None:
         if base is None:
             from repro.streaming.restream import BufferedRestreamer
@@ -133,10 +213,20 @@ class ShardedStreamer(Partitioner):
             )
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if payload not in ("boundary", "full"):
+            raise ValueError(
+                f"payload must be 'boundary' or 'full', got {payload!r}"
+            )
+        if shard_by not in ("pins", "chunks"):
+            raise ValueError(
+                f"shard_by must be 'pins' or 'chunks', got {shard_by!r}"
+            )
         self.base = base
         self.workers = int(workers)
         self.boundary_max_iterations = boundary_max_iterations
         self.chunk_size = int(chunk_size)
+        self.payload = payload
+        self.shard_by = shard_by
 
     # ------------------------------------------------------------------
     def partition(
@@ -154,6 +244,51 @@ class ShardedStreamer(Partitioner):
             stream, num_parts, cost_matrix=cost_matrix, seed=seed
         )
 
+    # ------------------------------------------------------------------
+    def _shard_ranges(
+        self, stream: ChunkStream
+    ) -> "tuple[list[tuple[int, int]], list[int] | None, str]":
+        """Shard the chunk index range; returns ``(ranges, pins, how)``.
+
+        ``pins`` is the per-shard pin total when the stream reports
+        per-chunk pins, else ``None``.  ``how`` records which split won:
+        ``"pins"`` when the chunk-count split would straggle (pin skew
+        over :data:`PIN_SKEW_THRESHOLD`) and the pin-balanced cut
+        replaced it, ``"chunks"`` otherwise.  ``workers`` greater than
+        the chunk count is clamped with a warning — empty shards would
+        only fork idle processes.
+        """
+        n = stream.num_chunks
+        workers = self.workers
+        if workers > n:
+            warnings.warn(
+                f"workers={workers} exceeds the stream's {n} chunks; "
+                f"clamping to {n} shards",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            workers = max(1, n)
+        chunk_pins = stream.chunk_pins() if self.shard_by == "pins" else None
+        ranges = shard_ranges(n, workers)
+        if chunk_pins is None or len(chunk_pins) != n:
+            return ranges, None, "chunks"
+
+        def shard_pins(rs):
+            return [int(np.sum(chunk_pins[lo:hi])) for lo, hi in rs]
+
+        def skew(totals):
+            mean = sum(totals) / len(totals)
+            return max(totals) / mean if mean else 1.0
+
+        pins = shard_pins(ranges)
+        if skew(pins) <= self.PIN_SKEW_THRESHOLD:
+            # Straggler guard only: the uniform split is already close
+            # to pin-balanced, and moving a shard boundary for marginal
+            # gain churns what every worker streams blind of.
+            return ranges, pins, "chunks"
+        ranges = shard_ranges_by_pins(chunk_pins, workers)
+        return ranges, shard_pins(ranges), "pins"
+
     def partition_stream(
         self,
         stream: ChunkStream,
@@ -162,7 +297,8 @@ class ShardedStreamer(Partitioner):
         cost_matrix: "np.ndarray | None" = None,
         seed=None,
     ) -> PartitionResult:
-        """Shard, stream in parallel, merge, restream the boundary."""
+        """Shard, stream in parallel, merge boundary-only payloads, then
+        restream the boundary across the same worker pool."""
         if num_parts < 1:
             raise ValueError(f"num_parts must be >= 1, got {num_parts}")
         if num_parts > stream.num_vertices:
@@ -173,8 +309,9 @@ class ShardedStreamer(Partitioner):
         p = num_parts
         C, aware = resolve_cost_matrix(cost_matrix, p)
         profile = self.base._shard_profile()
-        ranges = shard_ranges(stream.num_chunks, self.workers)
-        rngs = spawn_generators(seed, len(ranges))
+        ranges, shard_pins, sharded_by = self._shard_ranges(stream)
+        nshards = len(ranges)
+        rngs = spawn_generators(seed, nshards)
         counts = (stream.num_vertices, stream.num_edges)
         vertex_weights = stream.vertex_weights
         edge_w = stream.edge_weights if profile["use_edge_weights"] else None
@@ -182,76 +319,167 @@ class ShardedStreamer(Partitioner):
             (stream.chunk_bounds(lo)[0], stream.chunk_bounds(hi - 1)[1])
             for lo, hi in ranges
         ]
+        boundary_ship = self.payload == "boundary" and nshards > 1
+        edge_degrees = None
+        if boundary_ship:
+            # Local boundary detection needs global degrees; degreed
+            # readers record them at ingest, anything else pays one
+            # extra (read-only) counting pass.
+            edge_degrees = stream.edge_degrees
+            if edge_degrees is None:
+                edge_degrees = stream.compute_edge_degrees()
+        total_weight = stream.total_vertex_weight
 
-        # Phase 1: stream disjoint chunk ranges (forked workers).  Each
-        # task closes over the live stream object — fork-inherited, never
-        # pickled — and returns only plain arrays.
-        def make_task(k: int):
-            def task() -> dict:
-                lo, hi = ranges[k]
-                v_lo, v_hi = vertex_bounds[k]
-                shard_weight = float(vertex_weights[v_lo:v_hi].sum())
-                local = np.full(stream.num_vertices, -1, dtype=np.int64)
-                state, stats = self.base._run_shard(
-                    stream.iter_range(lo, hi),
-                    p,
-                    C,
-                    local,
-                    stream_counts=counts,
-                    shard_weight=shard_weight,
-                    edge_weights=edge_w,
-                    rng=rngs[k],
+        # Each task closes over the live stream object — fork-inherited,
+        # never pickled — and exchanges only plain arrays and scalars.
+        tasks = [
+            self._make_shard_task(
+                k,
+                stream=stream,
+                ranges=ranges,
+                vertex_bounds=vertex_bounds,
+                num_parts=p,
+                C=C,
+                counts=counts,
+                vertex_weights=vertex_weights,
+                edge_w=edge_w,
+                rng=rngs[k],
+                profile=profile,
+                edge_degrees=edge_degrees,
+                boundary_ship=boundary_ship,
+                total_weight=total_weight,
+            )
+            for k in range(nshards)
+        ]
+
+        pool = ShardRounds(tasks, self.workers)
+        try:
+            results = pool.start()
+
+            # Phase 2: merge — loads sum exactly; shipped rows reconcile;
+            # nets shipped by two or more shards flag the boundary.
+            assignment = np.full(stream.num_vertices, -1, dtype=np.int64)
+            for (v_lo, v_hi), res in zip(vertex_bounds, results):
+                assignment[v_lo:v_hi] = res["assignment"]
+            global_loads = np.sum(
+                [res["loads"] for res in results], axis=0
+            ).astype(np.float64)
+            all_edges, all_counts, boundary = merge_shard_tables(
+                [(res["edges"], res["table"]) for res in results], p
+            )
+            merge_payload_bytes = sum(res["payload_bytes"] for res in results)
+            full_payload_bytes = sum(
+                res["full_payload_bytes"] for res in results
+            )
+
+            # Phase 3: sharded boundary restream — snapshot-table rounds
+            # with a merge barrier per pass, schedule run by the driver.
+            max_boundary = (
+                self.boundary_max_iterations
+                if self.boundary_max_iterations is not None
+                else profile["max_iterations"]
+            )
+            boundary_iterations = 0
+            boundary_payload_bytes = 0
+            rollback = False
+            # Merged global rows for the boundary nets — the restream
+            # rounds' shared snapshot, and the driver's share of the
+            # monitored cost either way.
+            bound_counts = all_counts[
+                np.searchsorted(all_edges, boundary)
+            ].copy()
+            if nshards > 1 and boundary.size and max_boundary > 0:
+                alpha0 = initial_alpha_from_counts(
+                    counts[0], counts[1], p, profile["alpha_mode"]
                 )
-                edges, table = state.export_table()
-                return {
-                    "assignment": local[v_lo:v_hi],
-                    "loads": state.loads,
-                    "edges": edges,
-                    "table": table,
-                    "evictions": state.evictions,
-                    "peak_tracked": state.peak_tracked_edges,
-                    "stats": stats,
-                }
+                schedule = TemperingSchedule(
+                    alpha=alpha0,
+                    tempering_update=profile["alpha_update"],
+                    refinement_factor=profile["refinement_factor"],
+                )
+                best_cost = np.inf
+                record_best = False
+                damp = True  # over tolerance until a pass proves otherwise
+                for it in range(1, max_boundary + 1):
+                    ctl = {
+                        "alpha": schedule.alpha,
+                        "loads": global_loads.copy(),
+                        "boundary_edges": boundary,
+                        "boundary_counts": bound_counts.copy(),
+                        "record_best": record_best,
+                        "damp": damp,
+                    }
+                    record_best = False
+                    broadcast_bytes = (
+                        boundary.nbytes
+                        + bound_counts.nbytes
+                        + global_loads.nbytes
+                    )
+                    replies = pool.exchange([("pass", ctl)] * nshards)
+                    boundary_iterations = it
+                    for reply in replies:
+                        global_loads += reply["delta_loads"]
+                        bound_counts[reply["edge_sel"]] += reply["delta_counts"]
+                        boundary_payload_bytes += (
+                            broadcast_bytes + reply["payload_bytes"]
+                        )
+                    # Capped tables can under-report phase-1 rows, so a
+                    # real move off an undercounted part may dip below
+                    # zero — clamp, exactly as the bounded state does.
+                    np.maximum(bound_counts, 0, out=bound_counts)
+                    imb = float(
+                        global_loads.max() / (global_loads.sum() / p)
+                    )
+                    # Damping is a tempering-phase device: once within
+                    # tolerance, refinement's comm-driven moves are small
+                    # and should score undamped (damping there just
+                    # suppresses cut improvements); it re-engages the
+                    # moment balance is lost again.
+                    damp = imb > profile["imbalance_tolerance"]
+                    if damp:
+                        schedule.after_pass(within_tolerance=False)
+                        continue
+                    cost = _table_cost(
+                        bound_counts, C, boundary, edge_w
+                    ) + sum(reply["interior_cost"] for reply in replies)
+                    if not profile["refinement"]:
+                        break  # the current pass is the answer
+                    if cost < best_cost:
+                        best_cost = cost
+                        record_best = True  # snapshot before the next pass
+                        schedule.after_pass(within_tolerance=True)
+                        continue
+                    rollback = True  # refinement stopped improving
+                    break
 
-            return task
+            finals = pool.stop(
+                [("stop", {"rollback": rollback, "boundary_edges": boundary})]
+                * nshards
+            )
+        finally:
+            pool.close()
 
-        results = run_tasks([make_task(k) for k in range(len(ranges))], self.workers)
-
-        # Phase 2: merge — loads sum exactly; presence tables reconcile
-        # into one global table; multi-shard nets flag the boundary.
-        assignment = np.full(stream.num_vertices, -1, dtype=np.int64)
-        for (v_lo, v_hi), res in zip(vertex_bounds, results):
-            assignment[v_lo:v_hi] = res["assignment"]
-        merged = StreamingState(
-            p,
-            expected_loads=np.full(p, stream.total_vertex_weight / p),
-            max_tracked_edges=profile["max_tracked_edges"],
-        )
-        edges, table, boundary = merge_shard_tables(
-            [(res["edges"], res["table"]) for res in results], p
-        )
-        merged.seed_table(edges, table)
-        merged.loads[:] = np.sum([res["loads"] for res in results], axis=0)
-
-        # Phase 3: single-worker restream of the boundary vertices, under
-        # the full HyperPRAW schedule (tempering + refinement rollback).
         boundary_vertices = 0
-        boundary_iterations = 0
-        max_boundary = (
-            self.boundary_max_iterations
-            if self.boundary_max_iterations is not None
-            else profile["max_iterations"]
+        interior_cost = 0.0
+        evictions = 0
+        peak_tracked = 0
+        for (v_lo, v_hi), fin in zip(vertex_bounds, finals):
+            assignment[v_lo:v_hi] = fin["assignment"]
+            global_loads += fin["delta_loads"]
+            if bound_counts.shape[0]:
+                bound_counts[fin["edge_sel"]] += fin["delta_counts"]
+            boundary_vertices += fin["boundary_vertices"]
+            interior_cost += fin["interior_cost"]
+            evictions += fin["evictions"]
+            peak_tracked = max(peak_tracked, fin["peak_tracked"])
+        if bound_counts.shape[0]:
+            np.maximum(bound_counts, 0, out=bound_counts)
+
+        monitored_cost = (
+            _table_cost(bound_counts, C, boundary, stream.edge_weights)
+            + interior_cost
         )
-        if len(ranges) > 1 and boundary.size and max_boundary > 0:
-            block = _boundary_block(stream, boundary)
-            boundary_vertices = block.num_vertices
-            alpha0 = initial_alpha_from_counts(
-                counts[0], counts[1], p, profile["alpha_mode"]
-            )
-            boundary_iterations = _restream_boundary(
-                block, merged, C, assignment, alpha0, profile,
-                max_boundary, edge_w,
-            )
+        imbalance = float(global_loads.max() / (global_loads.sum() / p))
 
         return PartitionResult(
             assignment=assignment,
@@ -260,99 +488,267 @@ class ShardedStreamer(Partitioner):
             metadata={
                 "base_algorithm": self.base.name,
                 "workers": self.workers,
-                "shards": len(ranges),
+                "shards": nshards,
                 "shard_chunk_ranges": ranges,
+                "sharded_by": sharded_by,
+                "shard_pins": shard_pins,
+                "shard_pin_skew": (
+                    float(max(shard_pins) / (sum(shard_pins) / len(shard_pins)))
+                    if shard_pins and sum(shard_pins)
+                    else None
+                ),
+                "payload": self.payload,
+                "merge_payload_bytes": int(merge_payload_bytes),
+                "merge_full_payload_bytes": int(full_payload_bytes),
+                "boundary_payload_bytes": int(boundary_payload_bytes),
                 "boundary_edges": int(boundary.size),
                 "boundary_vertices": int(boundary_vertices),
                 "boundary_iterations": int(boundary_iterations),
                 "max_tracked_edges": profile["max_tracked_edges"],
-                "peak_tracked_edges": max(
-                    [merged.peak_tracked_edges]
-                    + [res["peak_tracked"] for res in results]
-                ),
-                "evictions": merged.evictions
-                + sum(res["evictions"] for res in results),
-                "monitored_pc_cost": merged.pc_cost(
-                    C, edge_weights=stream.edge_weights
-                ),
+                "peak_tracked_edges": peak_tracked,
+                "evictions": evictions,
+                "monitored_pc_cost": monitored_cost,
                 "peak_resident_pins": stream.peak_resident_pins,
                 "architecture_aware": aware,
-                "imbalance": merged.imbalance(),
+                "imbalance": imbalance,
                 "wall_time_s": time.perf_counter() - t_start,
             },
         )
 
+    # ------------------------------------------------------------------
+    def _make_shard_task(
+        self,
+        k: int,
+        *,
+        stream: ChunkStream,
+        ranges,
+        vertex_bounds,
+        num_parts: int,
+        C: np.ndarray,
+        counts,
+        vertex_weights: np.ndarray,
+        edge_w: "np.ndarray | None",
+        rng,
+        profile: dict,
+        edge_degrees: "np.ndarray | None",
+        boundary_ship: bool,
+        total_weight: float,
+    ):
+        """One shard's generator: stream, ship, then answer restream rounds.
 
-def _restream_boundary(
-    block: VertexBlock,
-    state: StreamingState,
-    C: np.ndarray,
-    assignment: np.ndarray,
-    alpha0: float,
-    profile: dict,
-    max_iterations: int,
-    edge_weights: "np.ndarray | None",
-) -> int:
-    """Algorithm 1's outer loop over the boundary window.
+        Protocol (driven by :class:`~repro.engine.parallel.ShardRounds`):
+        first yield is the phase-1 payload; each ``("pass", ctl)`` message
+        answers with that round's deltas; ``("stop", ctl)`` triggers the
+        optional rollback and returns the final payload.
+        """
+        base = self.base
+        p = num_parts
 
-    Kernel passes with alpha tempering while over the imbalance
-    tolerance, then refinement while the monitored cost improves, with
-    rollback to the best pass when it degrades — the same schedule the
-    restreamer runs per window.  Returns the pass count.
-    """
-    schedule = TemperingSchedule(
-        alpha=alpha0,
-        tempering_update=profile["alpha_update"],
-        refinement_factor=profile["refinement_factor"],
-    )
-    best: "np.ndarray | None" = None
-    best_cost = np.inf
-    iterations = 0
-    for it in range(1, max_iterations + 1):
-        scorer = HyperPRAWScorer(
-            C, schedule.alpha, state.expected_loads,
-            profile["presence_threshold"],
-        )
-        pass_kernel(
-            (block,), state, scorer, assignment, restream=True,
-            score_mode="vertex",
-        )
-        iterations = it
-        within = state.imbalance() <= profile["imbalance_tolerance"]
-        if not within:
-            schedule.after_pass(within_tolerance=False)
-            continue
-        cost = state.pc_cost(C, edge_weights=edge_weights)
-        if not profile["refinement"]:
-            best, best_cost = assignment[block.ids].copy(), cost
-            break
-        if cost < best_cost:
-            best, best_cost = assignment[block.ids].copy(), cost
-            schedule.after_pass(within_tolerance=True)
-            continue
-        break  # refinement stopped improving: roll back below
-    if best is not None:
-        current = assignment[block.ids]
-        for i in np.flatnonzero(current != best):
-            v = int(block.ids[i])
-            edges = block.edges_of(i)
-            state.remove(edges, int(current[i]), block.vertex_weights[i])
-            state.place(edges, int(best[i]), block.vertex_weights[i])
-            assignment[v] = int(best[i])
-    return iterations
+        def shard():
+            lo, hi = ranges[k]
+            v_lo, v_hi = vertex_bounds[k]
+            shard_weight = float(vertex_weights[v_lo:v_hi].sum())
+            local = np.full(stream.num_vertices, -1, dtype=np.int64)
+            state, stats = base._run_shard(
+                stream.iter_range(lo, hi),
+                p,
+                C,
+                local,
+                stream_counts=counts,
+                shard_weight=shard_weight,
+                edge_weights=edge_w,
+                rng=rng,
+            )
+            edges, table = state.export_table()
+            loads_bytes = state.loads.nbytes
+            full_bytes = edges.nbytes + table.nbytes + loads_bytes
+            if boundary_ship:
+                # Local boundary detection: a net whose locally observed
+                # pins fall short of its global degree has pins in some
+                # other shard.  LRU undercounts only widen the candidate
+                # set (safe), and single-shard candidates are discarded
+                # by the driver's occurrence >= 2 rule.
+                ship = table.sum(axis=1) < edge_degrees[edges]
+                ship_edges, ship_table = edges[ship], table[ship]
+            else:
+                ship_edges, ship_table = edges, table
+            msg = yield {
+                "assignment": local[v_lo:v_hi],
+                "loads": state.loads.copy(),
+                "edges": ship_edges,
+                "table": ship_table,
+                "payload_bytes": int(
+                    ship_edges.nbytes + ship_table.nbytes + loads_bytes
+                ),
+                "full_payload_bytes": int(full_bytes),
+                "stats": stats,
+            }
+
+            # -------- sharded boundary restream rounds --------
+            block: "VertexBlock | None" = None
+            scaled_block: "VertexBlock | None" = None
+            my_edges = np.empty(0, dtype=np.int64)
+            my_sel = np.empty(0, dtype=np.int64)
+            pin_rows = np.empty(0, dtype=np.int64)
+            pin_owner = np.empty(0, dtype=np.int64)
+            best: "np.ndarray | None" = None
+            loads_after = state.loads.copy()
+            nshards = len(ranges)
+
+            def move_deltas(prev: np.ndarray, new: np.ndarray) -> np.ndarray:
+                """Boundary-row deltas from the block's actual moves.
+
+                Derived from the assignment change, *not* from table
+                rows: a capped LRU table can evict an overlaid boundary
+                row mid-pass, and a row-difference would then report
+                ``-snapshot`` and erase real pins from the driver's
+                merged counts.  Moves are eviction-proof.
+                """
+                delta = np.zeros((my_edges.size, p), dtype=np.int64)
+                if pin_rows.size:
+                    np.subtract.at(delta, (pin_rows, prev[pin_owner]), 1)
+                    np.add.at(delta, (pin_rows, new[pin_owner]), 1)
+                return delta
+
+            while msg[0] == "pass":
+                ctl = msg[1]
+                if block is None:
+                    boundary = ctl["boundary_edges"]
+                    block = _boundary_block(stream, boundary, lo, hi)
+                    # Boundary nets with pins in this shard are exactly
+                    # the boundary nets its boundary vertices touch.
+                    my_edges = (
+                        np.intersect1d(boundary, block.vertex_edges)
+                        if block.num_vertices
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    my_sel = np.searchsorted(boundary, my_edges)
+                    # Per-pin scatter indices for move_deltas: which
+                    # boundary row and which block vertex each pin of
+                    # the block belongs to.
+                    pin_mask = np.isin(block.vertex_edges, my_edges)
+                    pin_rows = np.searchsorted(
+                        my_edges, block.vertex_edges[pin_mask]
+                    )
+                    pin_owner = np.repeat(
+                        np.arange(block.num_vertices, dtype=np.int64),
+                        np.diff(block.vertex_ptr),
+                    )[pin_mask]
+                    # The fix-up scores against global targets, not the
+                    # shard-scoped ones phase 1 streamed with.
+                    state.expected_loads = np.full(p, total_weight / p)
+                    # Mean-field damping: every shard restreams against
+                    # the same loads snapshot simultaneously, so each
+                    # scores its own moves scaled by the shard count —
+                    # anticipating that the other shards make similar
+                    # moves — or the synchronised overshoot oscillates
+                    # and tempering never reaches tolerance.  Deltas are
+                    # normalised back before they reach the driver.
+                    scaled_block = VertexBlock(
+                        ids=block.ids,
+                        vertex_ptr=block.vertex_ptr,
+                        vertex_edges=block.vertex_edges,
+                        vertex_weights=block.vertex_weights * nshards,
+                    )
+                if ctl["record_best"] and block.num_vertices:
+                    best = local[block.ids].copy()
+                # Overlay the driver's merged snapshot: global counts for
+                # the boundary nets this shard touches, global loads.
+                state.set_rows(my_edges, ctl["boundary_counts"][my_sel])
+                state.loads[:] = ctl["loads"]
+                prev = local[block.ids].copy() if block.num_vertices else None
+                damp = ctl["damp"]
+                if block.num_vertices:
+                    scorer = _boundary_scorer(
+                        C, ctl["alpha"], state.expected_loads, profile
+                    )
+                    pass_kernel(
+                        (scaled_block if damp else block,),
+                        state, scorer, local, restream=True,
+                        score_mode="vertex",
+                    )
+                if damp:
+                    # Normalise the scaled movement back to true weight.
+                    state.loads[:] = ctl["loads"] + (
+                        state.loads - ctl["loads"]
+                    ) / nshards
+                loads_after = state.loads.copy()
+                delta_counts = (
+                    move_deltas(prev, local[block.ids])
+                    if block.num_vertices
+                    else np.zeros((0, p), dtype=np.int64)
+                )
+                msg = yield {
+                    "delta_loads": loads_after - ctl["loads"],
+                    "edge_sel": my_sel,
+                    "delta_counts": delta_counts,
+                    "interior_cost": state.pc_cost(
+                        C, edge_weights=edge_w, exclude_edges=boundary
+                    ),
+                    "payload_bytes": int(
+                        my_sel.nbytes + delta_counts.nbytes + loads_after.nbytes
+                    ),
+                }
+
+            # -------- stop: optional rollback, final payload --------
+            ctl = msg[1]
+            boundary = ctl["boundary_edges"]
+            prev = (
+                local[block.ids].copy()
+                if block is not None and block.num_vertices
+                else None
+            )
+            if (
+                ctl["rollback"]
+                and best is not None
+                and block is not None
+                and block.num_vertices
+            ):
+                current = local[block.ids]
+                for i in np.flatnonzero(current != best):
+                    v = int(block.ids[i])
+                    e_v = block.edges_of(i)
+                    state.remove(e_v, int(current[i]), block.vertex_weights[i])
+                    state.place(e_v, int(best[i]), block.vertex_weights[i])
+                    local[v] = int(best[i])
+            return {
+                "assignment": local[v_lo:v_hi],
+                "delta_loads": state.loads - loads_after,
+                "edge_sel": my_sel,
+                "delta_counts": (
+                    move_deltas(prev, local[block.ids])
+                    if prev is not None
+                    else np.zeros((0, p), dtype=np.int64)
+                ),
+                "interior_cost": state.pc_cost(
+                    C,
+                    edge_weights=stream.edge_weights,
+                    exclude_edges=boundary,
+                ),
+                "boundary_vertices": (
+                    int(block.num_vertices) if block is not None else 0
+                ),
+                "evictions": state.evictions,
+                "peak_tracked": state.peak_tracked_edges,
+            }
+
+        return shard
 
 
-def _boundary_block(stream: ChunkStream, boundary_edges: np.ndarray) -> VertexBlock:
-    """Collect every vertex incident to a boundary net into one block.
+def _boundary_block(
+    stream: ChunkStream, boundary_edges: np.ndarray, lo: int, hi: int
+) -> VertexBlock:
+    """Collect this shard's vertices incident to a boundary net.
 
-    One extra (cheap, read-only) pass over the stream; ``boundary_edges``
-    must be sorted ascending (as :func:`merge_shard_tables` returns it).
+    One extra (cheap, read-only) pass over chunks ``[lo, hi)``;
+    ``boundary_edges`` must be sorted ascending (as
+    :func:`~repro.engine.parallel.merge_shard_tables` returns it).
     """
     ids_parts: "list[np.ndarray]" = []
     deg_parts: "list[np.ndarray]" = []
     edge_parts: "list[np.ndarray]" = []
     weight_parts: "list[np.ndarray]" = []
-    for chunk in stream:
+    for chunk in stream.iter_range(lo, hi):
         if chunk.vertex_edges.size == 0:
             continue
         hit = np.isin(chunk.vertex_edges, boundary_edges)

@@ -245,6 +245,33 @@ class StreamingState:
             slot = self._acquire(int(edges[k]))
             self._table[slot] += counts[k]
 
+    def rows(self, edges: np.ndarray) -> np.ndarray:
+        """Current count rows for ``edges`` (``len(edges) x p`` copy).
+
+        Untracked edges yield zero rows.  A bookkeeping read — delta
+        computation for the sharded boundary exchange — so it does *not*
+        touch the LRU order.
+        """
+        out = np.zeros((edges.size, self.num_parts), dtype=np.int64)
+        slots = self._slots
+        for k, e in enumerate(edges.tolist()):
+            slot = slots.get(e)
+            if slot is not None:
+                out[k] = self._table[slot]
+        return out
+
+    def set_rows(self, edges: np.ndarray, counts: np.ndarray) -> None:
+        """Overwrite the rows for ``edges`` with ``counts``.
+
+        The sharded boundary restream overlays the driver's merged
+        global counts onto each worker's local table at the start of
+        every round; rows are (re)acquired through the normal slot
+        machinery, creating them if needed.
+        """
+        for k in range(edges.size):
+            slot = self._acquire(int(edges[k]))
+            self._table[slot] = counts[k]
+
     # ------------------------------------------------------------------
     # pass-level queries
     # ------------------------------------------------------------------
@@ -256,7 +283,11 @@ class StreamingState:
         return float(self.loads.max() / mean)
 
     def pc_cost(
-        self, cost_matrix: np.ndarray, *, edge_weights: "np.ndarray | None" = None
+        self,
+        cost_matrix: np.ndarray,
+        *,
+        edge_weights: "np.ndarray | None" = None,
+        exclude_edges: "np.ndarray | None" = None,
     ) -> float:
         """Monitored partitioning communication cost over *tracked* nets.
 
@@ -264,12 +295,20 @@ class StreamingState:
         with ``c_e`` the per-partition pin counts of ``e`` — so the table
         rows are all that is needed.  Exact when the table is unbounded;
         a lower-bound estimate once eviction has discarded nets.
+        ``exclude_edges`` drops those nets from the sum — the sharded
+        boundary exchange accounts boundary rows at the driver, so
+        workers report only their *interior* contribution.
         """
         n = len(self._slots)
         if n == 0:
             return 0.0
         edges = np.fromiter(self._slots.keys(), dtype=np.int64, count=n)
         slots = np.fromiter(self._slots.values(), dtype=np.int64, count=n)
+        if exclude_edges is not None and exclude_edges.size:
+            keep = ~np.isin(edges, exclude_edges)
+            edges, slots = edges[keep], slots[keep]
+            if edges.size == 0:
+                return 0.0
         counts = self._table[slots].astype(np.float64)
         per_edge = np.einsum("ep,pq,eq->e", counts, cost_matrix, counts)
         if edge_weights is not None:

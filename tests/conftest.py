@@ -11,6 +11,8 @@ Conventions
 
 from __future__ import annotations
 
+import tempfile
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,18 @@ from repro.architecture.topology import archer_like_topology, flat_topology
 from repro.hypergraph.model import Hypergraph
 from repro.hypergraph.suite import load_instance
 from repro.simcomm.network import LinkModel
+
+
+@pytest.fixture(autouse=True)
+def _private_tempdir(tmp_path, monkeypatch):
+    """Route ``tempfile`` allocations into the per-test ``tmp_path``.
+
+    Spill stores (``repro-stream-*``) and bench scratch directories are
+    created through ``tempfile``; pinning its base to the test's own
+    directory means no test ever shares mutable ``/tmp`` state with
+    another, keeping the suite safe for ``pytest -n auto``.
+    """
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
 
 
 @pytest.fixture
