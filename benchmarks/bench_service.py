@@ -1,0 +1,53 @@
+"""Benchmark: the streaming partition service over a real socket.
+
+Runs :func:`repro.bench.service.compare_service` against an in-process
+:class:`~repro.service.app.PartitionService` on an ephemeral port and
+attaches the traffic figures to ``extra_info``: per-instance
+upload-to-result and replay-to-result latency (the digest-reuse
+speedup), and sync requests-per-second on the replay hot path with
+concurrent client threads.
+
+Reduced sizes by default (CI smoke finishes in seconds);
+``REPRO_BENCH_FULL=1`` scales the ladder up and
+``REPRO_BENCH_CLIENTS=N`` sets the throughput phase's client thread
+count (default 4).
+"""
+
+import os
+
+from repro.bench.service import compare_service
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", "4"))
+
+
+def test_service_traffic(benchmark):
+    report = benchmark.pedantic(
+        lambda: compare_service(
+            scale=0.3 if FULL else 0.05,
+            k=8,
+            chunk_size=512 if FULL else 128,
+            threads=CLIENTS,
+            requests=64 if FULL else 16,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for record in report.records:
+        benchmark.extra_info[f"upload_s[{record.instance}]"] = round(
+            record.upload_partition_s, 4
+        )
+        benchmark.extra_info[f"replay_s[{record.instance}]"] = round(
+            record.replay_partition_s, 4
+        )
+        benchmark.extra_info[f"reuse[{record.instance}]"] = round(
+            record.replay_speedup, 2
+        )
+    benchmark.extra_info["rps"] = round(report.throughput.rps, 2)
+    benchmark.extra_info["rps_threads"] = report.throughput.threads
+    # The service must actually serve: every request completes, and the
+    # digest-reuse path must never lose to re-uploading the text.
+    assert report.throughput.errors == 0
+    assert all(r.replay_partition_s > 0 for r in report.records)
+    print()
+    print(report.render())

@@ -18,10 +18,11 @@ _readme = _here / "README.md"
 
 setup(
     name="hyperpraw-repro",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of HyperPRAW: architecture-aware hypergraph "
-        "restreaming partitioning (ICPP 2019), with out-of-core streaming"
+        "restreaming partitioning (ICPP 2019), with out-of-core streaming "
+        "and an HTTP partition service (hyperpraw-repro serve)"
     ),
     long_description=_readme.read_text() if _readme.exists() else "",
     long_description_content_type="text/markdown",

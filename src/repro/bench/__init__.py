@@ -17,11 +17,21 @@ cut traffic lands on — fully determines runtime.
 * :func:`~repro.bench.streaming.compare_streaming` — the streamed vs
   in-memory scenario: quality / peak-memory / runtime of the
   :mod:`repro.streaming` partitioners against the in-memory anchor.
+* :func:`~repro.bench.service.compare_service` — the HTTP traffic
+  scenario: upload-to-result latency, digest-reuse speedup and sync
+  requests-per-second against an in-process
+  :mod:`repro.service` server.
 """
 
 from repro.bench.synthetic import SyntheticBenchmark, BenchmarkOutcome, partition_traffic
 from repro.bench.runner import ExperimentRunner, JobContext, RunRecord
 from repro.bench.streaming import StreamingRecord, StreamingReport, compare_streaming
+from repro.bench.service import (
+    ServiceRecord,
+    ServiceReport,
+    ServiceThroughput,
+    compare_service,
+)
 
 __all__ = [
     "SyntheticBenchmark",
@@ -33,4 +43,8 @@ __all__ = [
     "StreamingRecord",
     "StreamingReport",
     "compare_streaming",
+    "ServiceRecord",
+    "ServiceReport",
+    "ServiceThroughput",
+    "compare_service",
 ]

@@ -1,0 +1,307 @@
+"""Service scenario: requests-per-second and upload-to-result latency.
+
+The HTTP layer (:mod:`repro.service`) exists to serve traffic, so its
+bench measures traffic, not kernels — everything over a real socket
+against an in-process :class:`~repro.service.app.PartitionService` on an
+ephemeral port:
+
+1. **Latency ladder** (:func:`compare_service`): each synthetic suite
+   instance is rendered to hMetis bytes and pushed through the three
+   paths a client pays for — ``POST /v1/stores`` (pure streamed text
+   ingest into the digest-keyed chunk store), ``POST /v1/partitions``
+   with a fresh body (upload-to-result: ingest + store publish + sync
+   partition), and ``POST /v1/partitions?store=<digest>`` (the re-serve
+   hot path: mmap store replay, no text parse).  ``replay_speedup`` =
+   upload-to-result over replay-to-result — the figure that justifies
+   digest reuse.
+2. **Throughput** (:class:`ServiceThroughput`): concurrent client
+   threads hammer the replay hot path on the smallest instance;
+   ``rps`` is completed requests over wall time.
+
+Everything is stdlib ``urllib`` + ``threading`` — the bench must run
+wherever the service runs, i.e. with no dependencies beyond the repo's.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.hypergraph.io import write_hmetis
+from repro.hypergraph.suite import load_instance
+from repro.service.app import PartitionService
+from repro.service.handlers import ServiceConfig
+from repro.utils.tables import format_kv, format_table
+
+__all__ = [
+    "ServiceRecord",
+    "ServiceThroughput",
+    "ServiceReport",
+    "compare_service",
+]
+
+#: Default ladder: three differently-shaped suite instances (mesh,
+#: banded shell, unstructured) — enough spread to see parse cost scale.
+DEFAULT_INSTANCES = ("2cubes_sphere", "ABACUS_shell_hd", "sparsine")
+
+
+def _post(url: str, data: "bytes | None") -> dict:
+    req = urllib.request.Request(url, data=data, method="POST")
+    with urllib.request.urlopen(req) as resp:
+        return json.load(resp)
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One instance's latency figures, all over the wire.
+
+    ``store_ingest_s`` is ``POST /v1/stores`` (parse + store publish);
+    ``upload_partition_s`` is a body-carrying sync partition (the first
+    request a client ever pays); ``replay_partition_s`` the same
+    partition re-requested by digest (no parse).
+    """
+
+    instance: str
+    num_vertices: int
+    num_edges: int
+    num_pins: int
+    upload_bytes: int
+    store_ingest_s: float
+    upload_partition_s: float
+    replay_partition_s: float
+
+    @property
+    def replay_speedup(self) -> float:
+        """Upload-to-result over replay-to-result (>1 = reuse pays)."""
+        return self.upload_partition_s / max(self.replay_partition_s, 1e-9)
+
+
+@dataclass(frozen=True)
+class ServiceThroughput:
+    """Concurrent sync-partition throughput on the replay hot path."""
+
+    instance: str
+    threads: int
+    requests: int
+    wall_s: float
+    errors: int
+
+    @property
+    def rps(self) -> float:
+        return self.requests / max(self.wall_s, 1e-9)
+
+
+@dataclass
+class ServiceReport:
+    """Latency ladder + throughput, with the repo's text rendering."""
+
+    k: int
+    partitioner: str
+    records: "list[ServiceRecord]"
+    throughput: ServiceThroughput
+
+    def record(self, instance: str) -> ServiceRecord:
+        for r in self.records:
+            if r.instance == instance:
+                return r
+        raise KeyError(f"no record for {instance!r}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                r.instance,
+                r.num_vertices,
+                r.num_pins,
+                r.upload_bytes,
+                f"{r.store_ingest_s:.4f}",
+                f"{r.upload_partition_s:.4f}",
+                f"{r.replay_partition_s:.4f}",
+                f"{r.replay_speedup:.2f}x",
+            )
+            for r in self.records
+        ]
+        table = format_table(
+            (
+                "instance",
+                "vertices",
+                "pins",
+                "bytes",
+                "store_s",
+                "upload->result_s",
+                "replay->result_s",
+                "reuse",
+            ),
+            rows,
+            title=(
+                f"service latency ladder — k={self.k}, "
+                f"partitioner={self.partitioner}, sync over HTTP"
+            ),
+        )
+        t = self.throughput
+        kv = format_kv(
+            {
+                "instance": t.instance,
+                "client threads": t.threads,
+                "requests": t.requests,
+                "errors": t.errors,
+                "wall [s]": t.wall_s,
+                "requests/s": round(t.rps, 2),
+            },
+            title="service throughput — sync partitions via store replay",
+        )
+        return f"{table}\n\n{kv}"
+
+
+def compare_service(
+    instances: "tuple[str, ...] | None" = None,
+    *,
+    scale: float = 0.05,
+    k: int = 8,
+    partitioner: str = "onepass",
+    chunk_size: int = 256,
+    threads: int = 4,
+    requests: int = 32,
+    seed: int = 0,
+    config: "ServiceConfig | None" = None,
+) -> ServiceReport:
+    """Run the full service scenario against an in-process server.
+
+    Parameters
+    ----------
+    instances:
+        suite instance names for the latency ladder (default
+        :data:`DEFAULT_INSTANCES`).
+    scale:
+        suite loader scale (0.05 keeps a laptop run in seconds; CI
+        smoke uses less).
+    k / partitioner / chunk_size / seed:
+        the partition request every measurement issues.
+    threads / requests:
+        throughput phase: total sync requests spread over concurrent
+        client threads, all hitting the smallest instance's store.
+    config:
+        service overrides; the port is always forced ephemeral.
+
+    Returns
+    -------
+    ServiceReport
+        latency records per instance plus the throughput figure.
+    """
+    names = tuple(instances) if instances else DEFAULT_INSTANCES
+    base_cfg = config or ServiceConfig()
+    cfg = ServiceConfig(
+        host=base_cfg.host,
+        port=0,
+        cache_dir=base_cfg.cache_dir,
+        workers=base_cfg.workers,
+        default_chunk_size=chunk_size,
+        default_buffer_pins=base_cfg.default_buffer_pins,
+    )
+    # The scratch dir holds the rendered .hgr files; a failed run (bad
+    # partition, socket error) must not leak it.
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-service-"))
+    try:
+        return _run_scenario(
+            cfg, names, scale, k, partitioner, threads, requests, seed, scratch
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _run_scenario(
+    cfg: ServiceConfig,
+    names: "tuple[str, ...]",
+    scale: float,
+    k: int,
+    partitioner: str,
+    threads: int,
+    requests: int,
+    seed: int,
+    scratch: Path,
+) -> ServiceReport:
+    """The measured body of :func:`compare_service` (scratch is owned
+    by the caller)."""
+    records: "list[ServiceRecord]" = []
+    with PartitionService(cfg) as svc:
+        partition_url = (
+            f"{svc.url}/v1/partitions?k={k}&partitioner={partitioner}"
+            f"&sync=1&seed={seed}"
+        )
+        smallest: "tuple[int, str, bytes] | None" = None
+        for name in names:
+            hg = load_instance(name, scale=scale)
+            hgr = scratch / f"{name}.hgr"
+            write_hmetis(hg, hgr)
+            raw = hgr.read_bytes()
+            if smallest is None or len(raw) < smallest[0]:
+                smallest = (len(raw), name, raw)
+
+            t0 = time.perf_counter()
+            store = _post(f"{svc.url}/v1/stores?name={name}", raw)
+            store_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            upload_job = _post(f"{partition_url}&name={name}", raw)
+            upload_s = time.perf_counter() - t0
+            assert upload_job["status"] == "done", upload_job
+
+            t0 = time.perf_counter()
+            replay_job = _post(f"{partition_url}&store={store['digest']}", None)
+            replay_s = time.perf_counter() - t0
+            assert replay_job["status"] == "done", replay_job
+
+            records.append(
+                ServiceRecord(
+                    instance=name,
+                    num_vertices=store["num_vertices"],
+                    num_edges=store["num_edges"],
+                    num_pins=store["num_pins"],
+                    upload_bytes=len(raw),
+                    store_ingest_s=store_s,
+                    upload_partition_s=upload_s,
+                    replay_partition_s=replay_s,
+                )
+            )
+
+        # Throughput: hammer the replay hot path on the smallest input.
+        _, small_name, small_raw = smallest
+        digest = _post(f"{svc.url}/v1/stores?name={small_name}", small_raw)[
+            "digest"
+        ]
+        url = f"{partition_url}&store={digest}"
+        per_thread = -(-requests // threads)
+        total = per_thread * threads
+        errors = [0] * threads
+
+        def client(i: int) -> None:
+            for _ in range(per_thread):
+                try:
+                    _post(url, None)
+                except Exception:  # noqa: BLE001 — counted, not raised
+                    errors[i] += 1
+
+        workers = [
+            threading.Thread(target=client, args=(i,)) for i in range(threads)
+        ]
+        t0 = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        wall = time.perf_counter() - t0
+        throughput = ServiceThroughput(
+            instance=small_name,
+            threads=threads,
+            requests=total,
+            wall_s=wall,
+            errors=sum(errors),
+        )
+    return ServiceReport(
+        k=k, partitioner=partitioner, records=records, throughput=throughput
+    )

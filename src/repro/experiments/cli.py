@@ -23,6 +23,12 @@ and converts a text hypergraph into a persistent binary chunk store
     hyperpraw-repro convert --stream-input big.hgr
     hyperpraw-repro convert --stream-input big.mtx --store big.chunkstore
 
+and boots the streaming partition service (upload hypergraphs over
+HTTP, poll for assignments — see docs/service.md)::
+
+    hyperpraw-repro serve --port 8080 --cache-dir ~/.hyperpraw-cache
+    hyperpraw-repro serve --port 0 --workers 4   # ephemeral port, 4 job workers
+
 Every command accepts the shared world parameters (``--nodes``,
 ``--scale``, ``--seed``, ...) and prints the paper-style text rendering.
 The console script is installed by ``pip install -e .`` (see setup.py);
@@ -58,6 +64,7 @@ _COMMANDS = (
     "ablations",
     "stream",
     "convert",
+    "serve",
     "all",
 )
 
@@ -71,6 +78,19 @@ def _positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return parsed
+
+
+def _resolved_dir(value: str) -> str:
+    """argparse type for directory flags: normalise once, at parse time.
+
+    A relative directory would otherwise resolve against the CWD at each
+    *use* site (``cached_stream`` calls ``store_dir_for`` per open, the
+    service resolves its cache at startup), so a ``convert`` in one
+    directory and a later ``stream --cache`` from another would silently
+    talk to different stores.  Pinning the absolute path here makes the
+    invocation directory the one and only anchor.
+    """
+    return str(Path(value).expanduser().resolve())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,9 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     stream_group.add_argument(
         "--workers",
         type=_positive_int,
-        default=1,
-        help="parallel sharded streaming workers (>1 also prints the "
-        "worker-scaling report for suite instances; must be >= 1)",
+        default=None,
+        help="stream/convert: parallel sharded streaming workers (>1 also "
+        "prints the worker-scaling report for suite instances; default 1). "
+        "serve: size of the async partition job pool (default 2)",
     )
     stream_group.add_argument(
         "--shard-payload",
@@ -159,17 +180,43 @@ def build_parser() -> argparse.ArgumentParser:
     stream_group.add_argument(
         "--cache",
         default=None,
+        type=_resolved_dir,
         metavar="DIR",
         help="chunk-store cache directory for --stream-input: the first "
         "run converts the file into a persistent binary store, later "
-        "runs replay it and skip the text parser entirely",
+        "runs replay it and skip the text parser entirely (resolved "
+        "against the invocation directory once, at parse time)",
     )
     stream_group.add_argument(
         "--store",
         default=None,
+        type=_resolved_dir,
         metavar="DIR",
         help="convert: output chunk-store directory "
         "(default: <input>.chunkstore next to the input)",
+    )
+    serve_group = parser.add_argument_group(
+        "serve", "streaming partition service (docs/service.md)"
+    )
+    serve_group.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    serve_group.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="serve: TCP port; 0 binds an ephemeral port and prints it",
+    )
+    serve_group.add_argument(
+        "--cache-dir",
+        default=None,
+        type=_resolved_dir,
+        metavar="DIR",
+        help="serve: persistent directory for digest-keyed chunk stores "
+        "(default: a private temp directory dropped on exit); --workers "
+        "sets the partition worker pool",
     )
     return parser
 
@@ -380,6 +427,22 @@ def _run_convert(ctx: ExperimentContext, args) -> str:
     )
 
 
+def _run_serve(args) -> int:
+    """The ``serve`` command: boot the streaming partition service.
+
+    Blocks until interrupted.  ``--workers`` (the shared flag) sizes the
+    async partition worker pool, defaulting to the service's own default
+    (2) when not passed; per-request sharded streaming still rides on
+    the ``workers=`` query parameter (docs/service.md).
+    """
+    from repro.service import ServiceConfig, serve
+
+    kwargs = dict(host=args.host, port=args.port, cache_dir=args.cache_dir)
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    return serve(ServiceConfig(**kwargs))
+
+
 def _run_ablations(ctx: ExperimentContext) -> str:
     parts = [
         ablations.refinement_factor_sweep(ctx).render(),
@@ -396,6 +459,10 @@ def _run_ablations(ctx: ExperimentContext) -> str:
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.workers is None:
+        args.workers = 1  # sequential-streaming default for stream/convert
     ctx = context_from_args(args)
     runners = {
         "table1": lambda: table1.run(ctx).render(),

@@ -1,0 +1,81 @@
+"""Streaming partition service: the library as HTTP traffic.
+
+HyperPRAW's premise is that partitioning is a *preprocessing service*
+for parallel applications — a hypergraph comes in, an architecture-aware
+assignment comes out.  This package is that deployment shape (ROADMAP
+item (b); the standalone-component framing of HYPE, arXiv:1810.11319,
+and the limited-memory streaming of arXiv:2103.05394), built entirely on
+the stdlib (``http.server`` + threads) so the repo's no-new-dependencies
+rule holds:
+
+* :mod:`~repro.service.app` — :class:`PartitionService`, the threading
+  HTTP server; request bodies are framed (``Content-Length`` or
+  chunked) into byte-block iterators and fed *directly* into the
+  streaming readers, so an upload is parsed as it arrives and is never
+  materialised — the service inherits the readers' O(buffer + chunk)
+  resident-pin bound.
+* :mod:`~repro.service.handlers` — :class:`ServiceHandlers`, the route
+  logic: uploads land in a **digest-keyed persistent chunk store**
+  (:mod:`repro.streaming.chunkstore`), every partition run replays the
+  memory-mapped store, and ``store=<digest>`` re-partitions skip text
+  parsing entirely (observable via the ``text_ingests`` /
+  ``store_replays`` counters).
+* :mod:`~repro.service.jobs` — :class:`JobStore`: async partition jobs
+  on a fixed worker-thread pool, polled by id; ``sync=1`` runs inline.
+* :mod:`~repro.service.openapi` — the handwritten OpenAPI contract
+  served at ``/v1/openapi.json`` and diffed against ``docs/service.md``
+  by the test suite.
+* :mod:`~repro.service.errors` — the error taxonomy and JSON envelope.
+
+Routes: ``POST /v1/partitions``, ``GET /v1/partitions/<id>``,
+``GET /v1/partitions/<id>/assignment``, ``POST /v1/stores``,
+``GET /v1/healthz``, ``GET /v1/openapi.json`` — full reference in
+``docs/service.md``; quickstart in ``examples/service_quickstart.py``;
+CLI entry ``hyperpraw-repro serve``.
+"""
+
+from repro.service.app import PartitionService, make_server, serve
+from repro.service.errors import (
+    BadRequest,
+    Conflict,
+    InvalidUpload,
+    LengthRequired,
+    MethodNotAllowed,
+    NotFound,
+    PayloadTooLarge,
+    ServiceError,
+    error_body,
+)
+from repro.service.handlers import (
+    PARTITIONERS,
+    ServiceConfig,
+    ServiceHandlers,
+    UPLOAD_FORMATS,
+    json_safe,
+)
+from repro.service.jobs import JOB_STATUSES, Job, JobStore
+from repro.service.openapi import openapi_spec
+
+__all__ = [
+    "PartitionService",
+    "make_server",
+    "serve",
+    "ServiceConfig",
+    "ServiceHandlers",
+    "PARTITIONERS",
+    "UPLOAD_FORMATS",
+    "json_safe",
+    "Job",
+    "JobStore",
+    "JOB_STATUSES",
+    "openapi_spec",
+    "ServiceError",
+    "BadRequest",
+    "InvalidUpload",
+    "NotFound",
+    "MethodNotAllowed",
+    "LengthRequired",
+    "PayloadTooLarge",
+    "Conflict",
+    "error_body",
+]

@@ -1,0 +1,123 @@
+"""Service error taxonomy and the wire shape of error responses.
+
+Every failure the HTTP layer reports is a :class:`ServiceError` carrying
+an HTTP status and a stable machine-readable ``code``; the handler layer
+raises them and :mod:`repro.service.app` turns them into the JSON error
+envelope documented in ``docs/service.md``::
+
+    {"error": {"code": "invalid_upload", "message": "<upload>:3: ..."}}
+
+Malformed hypergraph uploads surface the *parser's* message verbatim —
+the streaming readers validate socket-fed bytes exactly as strictly as
+files, so the client sees the same line-accurate diagnostics the CLI
+prints.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "BadRequest",
+    "InvalidUpload",
+    "NotFound",
+    "MethodNotAllowed",
+    "LengthRequired",
+    "PayloadTooLarge",
+    "Conflict",
+    "error_body",
+]
+
+
+class ServiceError(Exception):
+    """Base class for every error the service reports over HTTP.
+
+    Parameters
+    ----------
+    message:
+        human-readable description, returned verbatim in the body.
+    status:
+        HTTP status code override (subclasses carry sensible defaults).
+    code:
+        machine-readable error code override (stable across releases;
+        clients should branch on it, not on the message).
+    """
+
+    status: int = 500
+    code: str = "internal"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: "int | None" = None,
+        code: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        if status is not None:
+            self.status = int(status)
+        if code is not None:
+            self.code = code
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+
+class BadRequest(ServiceError):
+    """A request parameter is missing, ill-typed or out of range (400)."""
+
+    status = 400
+    code = "bad_request"
+
+
+class InvalidUpload(BadRequest):
+    """The uploaded hypergraph failed format validation (400).
+
+    The message is the streaming parser's own diagnostic — same text a
+    malformed file produces locally.
+    """
+
+    code = "invalid_upload"
+
+
+class NotFound(ServiceError):
+    """No such route, job or store (404)."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowed(ServiceError):
+    """The route exists but not for this HTTP method (405)."""
+
+    status = 405
+    code = "method_not_allowed"
+
+
+class LengthRequired(ServiceError):
+    """An upload arrived with neither Content-Length nor chunked framing (411)."""
+
+    status = 411
+    code = "length_required"
+
+
+class PayloadTooLarge(ServiceError):
+    """The upload exceeds the configured ``max_body_bytes`` cap (413)."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+class Conflict(ServiceError):
+    """The resource exists but is not in a state the request needs (409).
+
+    E.g. requesting the assignment body of a job that has not finished.
+    """
+
+    status = 409
+    code = "conflict"
+
+
+def error_body(exc: ServiceError) -> dict:
+    """The JSON error envelope for ``exc`` (spec: ``Error`` schema)."""
+    return {"error": {"code": exc.code, "message": exc.message}}

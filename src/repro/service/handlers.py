@@ -1,0 +1,651 @@
+"""Route logic of the streaming partition service.
+
+:class:`ServiceHandlers` is the service's brain, deliberately decoupled
+from :mod:`http.server` so tests and benchmarks can drive it without a
+socket: every handler takes parsed query parameters (and, for uploads,
+an iterable of body byte blocks) and returns ``(status, body)``.  The
+HTTP adapter in :mod:`repro.service.app` owns wire concerns only.
+
+The data path is the whole point: an upload's byte blocks are fed
+*directly* into the streaming text readers
+(:func:`~repro.streaming.reader.stream_hmetis` /
+:func:`~repro.streaming.reader.stream_matrix_market` — which accept any
+iterable byte source) while a SHA-256 runs over the same blocks, so the
+service never materialises the file; the parsed stream is then published
+into a digest-keyed persistent chunk store
+(:mod:`repro.streaming.chunkstore`) and every partition run — including
+re-partitions of the same upload with different ``k``/scorer via
+``store=<digest>`` — replays the memory-mapped store instead of
+re-parsing text.  The ``text_ingests`` / ``store_replays`` counters in
+``GET /v1/healthz`` make that observable (and testable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.architecture.bandwidth import archer_like_bandwidth
+from repro.architecture.cost import cost_matrix_from_bandwidth
+from repro.architecture.topology import archer_like_topology
+from repro.core.config import HyperPRAWConfig
+from repro.hypergraph.io import HypergraphFormatError
+from repro.service.errors import (
+    BadRequest,
+    Conflict,
+    InvalidUpload,
+    NotFound,
+)
+from repro.service.jobs import Job, JobStore
+from repro.service.openapi import SERVICE_VERSION, openapi_spec
+from repro.streaming.chunkstore import ChunkStoreError, open_store, write_store
+from repro.streaming.reader import (
+    DEFAULT_BUFFER_PINS,
+    DEFAULT_CHUNK_SIZE,
+    stream_hmetis,
+    stream_matrix_market,
+)
+from repro.streaming.onepass import OnePassStreamer
+from repro.streaming.restream import BufferedRestreamer
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceHandlers",
+    "PARTITIONERS",
+    "UPLOAD_FORMATS",
+    "json_safe",
+]
+
+#: Upload formats the service parses, mapped to their stream opener.
+UPLOAD_FORMATS = {
+    "hmetis": stream_hmetis,
+    "mtx": stream_matrix_market,
+}
+
+#: Registered partitioners (the ``partitioner=`` request knob).
+#: ``sharded`` is the buffered restreamer fanned out across forked
+#: workers (``workers`` >= 2, see ShardedStreamer).
+PARTITIONERS = ("onepass", "buffered", "sharded")
+
+#: Query parameters that shape an upload's ingest.
+_UPLOAD_PARAMS = frozenset(
+    ("format", "model", "chunk_size", "buffer_pins", "pin_budget", "name")
+)
+
+#: Query parameters ``POST /v1/partitions`` understands.
+_PARTITION_PARAMS = _UPLOAD_PARAMS | frozenset(
+    (
+        "k",
+        "partitioner",
+        "scorer",
+        "gamma",
+        "workers",
+        "shard_payload",
+        "shard_by",
+        "buffer_fraction",
+        "buffer_size",
+        "max_tracked_edges",
+        "max_iterations",
+        "seed",
+        "cost",
+        "sync",
+        "store",
+    )
+)
+
+#: Blocks per slice when streaming an assignment body.
+_ASSIGNMENT_SLICE = 1 << 16
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (everything per-request rides on the query).
+
+    Attributes
+    ----------
+    host / port:
+        bind address; port ``0`` asks the OS for an ephemeral port
+        (tests and benchmarks use this).
+    cache_dir:
+        root directory for digest-keyed chunk stores; ``None`` creates a
+        private temporary directory that lives as long as the service.
+        A persistent directory survives restarts: re-uploads of known
+        bytes skip straight to the stored chunks.
+    workers:
+        partition worker threads draining the async job queue.
+    default_chunk_size / default_buffer_pins:
+        ingest defaults when an upload does not pass ``chunk_size`` /
+        ``buffer_pins`` — the resident-memory knobs of the out-of-core
+        bound.
+    max_body_bytes:
+        reject uploads whose ``Content-Length`` exceeds this (``None``
+        disables the cap).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    cache_dir: "str | Path | None" = None
+    workers: int = 2
+    default_chunk_size: int = DEFAULT_CHUNK_SIZE
+    default_buffer_pins: int = DEFAULT_BUFFER_PINS
+    max_body_bytes: "int | None" = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.default_chunk_size < 1:
+            raise ValueError(
+                f"default_chunk_size must be >= 1, got {self.default_chunk_size}"
+            )
+        if self.default_buffer_pins < 1:
+            raise ValueError(
+                f"default_buffer_pins must be >= 1, got {self.default_buffer_pins}"
+            )
+
+
+# ----------------------------------------------------------------------
+# parameter parsing
+# ----------------------------------------------------------------------
+def _reject_unknown(params: dict, allowed: frozenset, where: str) -> None:
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise BadRequest(
+            f"unknown parameter(s) for {where}: {', '.join(unknown)} "
+            f"(accepted: {', '.join(sorted(allowed))})"
+        )
+
+
+def _get_int(
+    params: dict,
+    key: str,
+    default: "int | None",
+    *,
+    minimum: "int | None" = None,
+) -> "int | None":
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise BadRequest(f"{key} must be an integer, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise BadRequest(f"{key} must be >= {minimum}, got {value}")
+    return value
+
+
+def _get_float(
+    params: dict, key: str, default: float, *, lo: float, hi: float
+) -> float:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise BadRequest(f"{key} must be a number, got {raw!r}") from None
+    if not (lo < value <= hi):
+        raise BadRequest(f"{key} must be in ({lo}, {hi}], got {value}")
+    return value
+
+
+def _get_choice(params: dict, key: str, choices: tuple, default: str) -> str:
+    value = params.get(key, default)
+    if value not in choices:
+        raise BadRequest(
+            f"{key} must be one of {', '.join(choices)}, got {value!r}"
+        )
+    return value
+
+
+def _get_bool(params: dict, key: str) -> bool:
+    raw = params.get(key, "")
+    if raw in ("", "0", "false", "no"):
+        return False
+    if raw in ("1", "true", "yes"):
+        return True
+    raise BadRequest(f"{key} must be one of 1/true/yes/0/false/no, got {raw!r}")
+
+
+def _normalise_digest(raw: str) -> str:
+    """Canonical ``"sha256:<hex>"`` form (bare hex accepted)."""
+    value = raw.lower()
+    if value.startswith("sha256:"):
+        value = value[len("sha256:"):]
+    if len(value) != 64 or any(c not in "0123456789abcdef" for c in value):
+        raise BadRequest(
+            f"store must be a sha256 digest ('sha256:<64 hex>'), got {raw!r}"
+        )
+    return f"sha256:{value}"
+
+
+def json_safe(obj):
+    """Recursively coerce ``obj`` into JSON-serialisable builtins.
+
+    NumPy scalars become Python scalars, arrays become lists, and
+    anything else unserialisable falls back to ``str`` — partitioner
+    metadata goes straight into job documents without per-field
+    curation.
+    """
+    if isinstance(obj, dict):
+        return {str(k): json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_safe(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [json_safe(v) for v in obj.tolist()]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return str(obj)
+
+
+def _cost_matrix(kind: str, k: int, seed: int) -> "np.ndarray | None":
+    """The communication cost matrix a request partitions against.
+
+    ``uniform`` (``None``) makes Eq. 1's communication term
+    architecture-oblivious; ``archer`` profiles an ARCHER-like machine
+    of ``ceil(k / 24)`` nodes and normalises its first ``k`` units'
+    bandwidths into the paper's cost matrix — the architecture-aware
+    configuration, deterministic per seed.
+    """
+    if kind == "uniform":
+        return None
+    topo = archer_like_topology(num_nodes=max(1, -(-k // 24)))
+    bw, _lat = archer_like_bandwidth(topo).matrices(seed=seed)
+    return cost_matrix_from_bandwidth(bw[:k, :k])
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+class ServiceHandlers:
+    """Implements every documented route against a config and a job pool.
+
+    Parameters
+    ----------
+    config:
+        the :class:`ServiceConfig`; ``cache_dir=None`` allocates a
+        private temp directory removed by :meth:`close`.
+
+    Notes
+    -----
+    All handlers return ``(status, body_dict)`` except
+    :meth:`get_assignment`, which returns ``(status, content_type,
+    block_iterator)`` so the HTTP layer can stream the assignment
+    without building one giant string.  Handlers raise
+    :class:`~repro.service.errors.ServiceError` for every client-visible
+    failure.
+    """
+
+    def __init__(self, config: "ServiceConfig | None" = None) -> None:
+        self.config = config or ServiceConfig()
+        self.jobs = JobStore(self.config.workers)
+        self._started_at = time.time()
+        self._stats_lock = threading.Lock()
+        self.stats = {"uploads": 0, "text_ingests": 0, "store_replays": 0}
+        if self.config.cache_dir is None:
+            self._own_cache = Path(tempfile.mkdtemp(prefix="repro-service-"))
+            cache_root = self._own_cache
+        else:
+            self._own_cache = None
+            cache_root = Path(self.config.cache_dir).expanduser().resolve()
+        self.stores_dir = cache_root / "stores"
+        self.stores_dir.mkdir(parents=True, exist_ok=True)
+
+    def close(self) -> None:
+        """Stop the worker pool and drop a service-owned cache directory."""
+        self.jobs.close()
+        if self._own_cache is not None:
+            shutil.rmtree(self._own_cache, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # store plumbing
+    # ------------------------------------------------------------------
+    def store_dir(self, digest: str) -> Path:
+        """The chunk-store directory for a source digest."""
+        return self.stores_dir / f"{digest.split(':', 1)[1]}.chunkstore"
+
+    def _bump(self, key: str) -> None:
+        with self._stats_lock:
+            self.stats[key] += 1
+
+    @staticmethod
+    def _store_info(stream, digest: str, **extra) -> dict:
+        """The StoreInfo document (spec schema) for any chunk stream.
+
+        The single place the shape is spelled out: upload-sourced and
+        store-sourced ``source`` documents must never diverge.
+        """
+        info = {
+            "digest": digest,
+            "name": stream.name,
+            "num_vertices": stream.num_vertices,
+            "num_edges": stream.num_edges,
+            "num_pins": stream.num_pins,
+            "num_chunks": stream.num_chunks,
+            "chunk_size": stream.chunk_size,
+            "pin_budget": stream.pin_budget,
+        }
+        info.update(extra)
+        return info
+
+    def _store_summary(self, digest: str) -> dict:
+        """StoreInfo fields read from an existing store's manifest."""
+        try:
+            stream = open_store(self.store_dir(digest))
+        except ChunkStoreError as exc:
+            raise NotFound(f"no chunk store for digest {digest!r}") from exc
+        with stream:
+            return self._store_info(stream, digest)
+
+    def _publish_store(self, stream, digest: str) -> bool:
+        """Persist ``stream`` under its digest key; ``False`` if present.
+
+        Written to a hidden sibling then renamed into place, so
+        concurrent identical uploads race safely: one rename wins, the
+        loser discards its copy, readers only ever see complete stores.
+        """
+        store_dir = self.store_dir(digest)
+        if store_dir.exists():
+            return False
+        tmp = self.stores_dir / f".ingest-{uuid.uuid4().hex}"
+        write_store(stream, tmp, digest=digest)
+        try:
+            tmp.rename(store_dir)
+            return True
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+            return False
+
+    def ingest_upload(self, params: dict, body) -> dict:
+        """Stream ``body`` through a text reader into the chunk store.
+
+        The blocks are hashed as they are parsed — one pass, bounded
+        resident pins, no temp copy of the text — and the parsed stream
+        is published under its digest.  Returns the StoreInfo dict
+        (``created`` says whether a new store was written).
+
+        Raises
+        ------
+        BadRequest
+            missing body or ill-formed parameters.
+        InvalidUpload
+            the parser rejected the bytes (message passed through).
+        """
+        if body is None:
+            raise BadRequest(
+                "an upload body is required (or reference a previous "
+                "upload with store=<digest>)"
+            )
+        fmt = _get_choice(params, "format", tuple(UPLOAD_FORMATS), "hmetis")
+        kwargs = {
+            "chunk_size": _get_int(
+                params, "chunk_size", self.config.default_chunk_size, minimum=1
+            ),
+            "buffer_pins": _get_int(
+                params, "buffer_pins", self.config.default_buffer_pins, minimum=1
+            ),
+            "pin_budget": _get_int(params, "pin_budget", None, minimum=1),
+            "name": params.get("name"),
+        }
+        if fmt == "mtx":
+            kwargs["model"] = _get_choice(
+                params, "model", ("row-net", "column-net"), "row-net"
+            )
+        elif "model" in params:
+            raise BadRequest("model only applies to format=mtx uploads")
+
+        hasher = hashlib.sha256()
+        received = 0
+
+        def hashed_blocks():
+            nonlocal received
+            for block in body:
+                if block:
+                    hasher.update(block)
+                    received += len(block)
+                    yield block
+
+        self._bump("uploads")
+        try:
+            stream = UPLOAD_FORMATS[fmt](hashed_blocks(), **kwargs)
+        except HypergraphFormatError as exc:
+            raise InvalidUpload(str(exc)) from exc
+        self._bump("text_ingests")
+        with stream:
+            digest = f"sha256:{hasher.hexdigest()}"
+            created = self._publish_store(stream, digest)
+            return self._store_info(
+                stream,
+                digest,
+                created=created,
+                upload_bytes=received,
+                peak_resident_pins=int(stream.peak_resident_pins),
+            )
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def create_store(self, params: dict, body) -> "tuple[int, dict]":
+        """``POST /v1/stores`` — upload straight into the chunk store."""
+        _reject_unknown(params, _UPLOAD_PARAMS, "POST /v1/stores")
+        info = self.ingest_upload(params, body)
+        return (201 if info["created"] else 200), info
+
+    def create_partition(self, params: dict, body) -> "tuple[int, dict]":
+        """``POST /v1/partitions`` — upload (or store reference) to job.
+
+        The body streams through ingest into the digest-keyed store;
+        the partition itself always replays the store.  With ``sync=1``
+        the job runs on the request thread and the finished record is
+        returned with status 200; otherwise the job is queued and a 202
+        points the client at the poll URL.
+        """
+        _reject_unknown(params, _PARTITION_PARAMS, "POST /v1/partitions")
+        spec = self._partition_spec(params)
+        if spec["store"] is not None:
+            digest = spec["store"]
+            source = self._store_summary(digest)  # NotFound if absent
+            source["created"] = False
+            source["via"] = "store"
+        else:
+            source = self.ingest_upload(params, body)
+            source["via"] = "upload"
+            digest = source["digest"]
+        if spec["k"] > source["num_vertices"]:
+            raise BadRequest(
+                f"cannot split {source['num_vertices']} vertices into "
+                f"{spec['k']} parts"
+            )
+        request_doc = {
+            key: spec[key]
+            for key in (
+                "k",
+                "partitioner",
+                "scorer",
+                "workers",
+                "buffer_fraction",
+                "buffer_size",
+                "max_tracked_edges",
+                "max_iterations",
+                "seed",
+                "cost",
+            )
+        }
+        request_doc["source"] = source
+        job = self.jobs.create(request_doc, digest=digest)
+        fn = self._job_fn(digest, spec)
+        if spec["sync"]:
+            self.jobs.run(job, fn)
+            return 200, job.to_json()
+        self.jobs.submit(job, fn)
+        return 202, job.to_json()
+
+    def get_partition(self, job_id: str) -> "tuple[int, dict]":
+        """``GET /v1/partitions/<id>`` — poll a job's status/metrics."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise NotFound(f"no partition job {job_id!r}")
+        return 200, job.to_json()
+
+    def get_assignment(self, job_id: str):
+        """``GET /v1/partitions/<id>/assignment`` — the vector, streamed.
+
+        Returns ``(200, "text/plain", block_iterator)``; line ``v``
+        holds the partition id of vertex ``v``.  The iterator yields
+        bounded slices so the HTTP layer never builds the full body.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise NotFound(f"no partition job {job_id!r}")
+        if job.status != "done":
+            raise Conflict(
+                f"job {job_id} is {job.status}; the assignment exists "
+                "only once status is 'done'"
+            )
+        assignment = job.assignment
+
+        def blocks():
+            for lo in range(0, assignment.size, _ASSIGNMENT_SLICE):
+                part = assignment[lo : lo + _ASSIGNMENT_SLICE]
+                yield ("\n".join(map(str, part)) + "\n").encode()
+
+        return 200, "text/plain; charset=utf-8", blocks()
+
+    def healthz(self) -> "tuple[int, dict]":
+        """``GET /v1/healthz`` — liveness plus observable counters."""
+        stores = sum(
+            1 for p in self.stores_dir.glob("*.chunkstore") if p.is_dir()
+        )
+        with self._stats_lock:
+            stats = dict(self.stats)
+        return 200, {
+            "status": "ok",
+            "version": SERVICE_VERSION,
+            "uptime_s": time.time() - self._started_at,
+            "workers": self.jobs.workers,
+            "jobs": self.jobs.counts(),
+            "stores": stores,
+            "stats": stats,
+        }
+
+    def openapi(self) -> "tuple[int, dict]":
+        """``GET /v1/openapi.json`` — the handwritten API contract."""
+        return 200, openapi_spec()
+
+    # ------------------------------------------------------------------
+    # partition spec + job body
+    # ------------------------------------------------------------------
+    def _partition_spec(self, params: dict) -> dict:
+        """Validate the partitioning knobs (400 on any bad value)."""
+        partitioner = _get_choice(params, "partitioner", PARTITIONERS, "onepass")
+        scorer = _get_choice(params, "scorer", ("eq1", "fennel"), "eq1")
+        if scorer == "fennel" and partitioner != "onepass":
+            raise BadRequest(
+                "scorer=fennel is only available with partitioner=onepass "
+                "(the restreamers score with Eq. 1)"
+            )
+        workers = _get_int(
+            params,
+            "workers",
+            2 if partitioner == "sharded" else 1,
+            minimum=1,
+        )
+        if partitioner == "sharded" and workers < 2:
+            raise BadRequest("partitioner=sharded needs workers >= 2")
+        k = _get_int(params, "k", None, minimum=1)
+        if k is None:
+            raise BadRequest("k (number of partitions) is required")
+        spec = {
+            "k": k,
+            "partitioner": partitioner,
+            "scorer": scorer,
+            "gamma": _get_float(params, "gamma", 1.5, lo=1.0, hi=16.0),
+            "workers": workers,
+            "shard_payload": _get_choice(
+                params, "shard_payload", ("boundary", "full"), "boundary"
+            ),
+            "shard_by": _get_choice(
+                params, "shard_by", ("pins", "chunks"), "pins"
+            ),
+            "buffer_fraction": _get_float(
+                params, "buffer_fraction", 0.25, lo=0.0, hi=1.0
+            ),
+            "buffer_size": _get_int(params, "buffer_size", None, minimum=1),
+            "max_tracked_edges": _get_int(
+                params, "max_tracked_edges", None, minimum=1
+            ),
+            "max_iterations": _get_int(params, "max_iterations", 20, minimum=1),
+            "seed": _get_int(params, "seed", 20190805),
+            "cost": _get_choice(params, "cost", ("uniform", "archer"), "uniform"),
+            "sync": _get_bool(params, "sync"),
+            "store": (
+                _normalise_digest(params["store"]) if "store" in params else None
+            ),
+        }
+        return spec
+
+    def build_partitioner(self, spec: dict, num_vertices: int):
+        """Instantiate the requested partitioner for an instance size."""
+        if spec["partitioner"] == "onepass":
+            return OnePassStreamer(
+                scorer=spec["scorer"],
+                gamma=spec["gamma"],
+                workers=spec["workers"],
+                shard_payload=spec["shard_payload"],
+                shard_by=spec["shard_by"],
+                max_tracked_edges=spec["max_tracked_edges"],
+            )
+        config = HyperPRAWConfig(
+            max_iterations=spec["max_iterations"],
+            record_history=False,
+            shard_payload=spec["shard_payload"],
+            shard_by=spec["shard_by"],
+        )
+        buffer_size = spec["buffer_size"] or max(
+            1, int(round(spec["buffer_fraction"] * num_vertices))
+        )
+        return BufferedRestreamer(
+            config,
+            buffer_size=buffer_size,
+            max_tracked_edges=spec["max_tracked_edges"],
+            workers=spec["workers"],
+        )
+
+    def _job_fn(self, digest: str, spec: dict):
+        """The deferred partition body: replay the store, run, report.
+
+        Every run opens its own :class:`ChunkStoreStream` (mmap replay —
+        the text parser never runs here), so concurrent jobs over one
+        upload share pages, not Python state.
+        """
+
+        def run():
+            self._bump("store_replays")
+            stream = open_store(self.store_dir(digest))
+            with stream:
+                partitioner = self.build_partitioner(spec, stream.num_vertices)
+                result = partitioner.partition_stream(
+                    stream,
+                    spec["k"],
+                    cost_matrix=_cost_matrix(spec["cost"], spec["k"], spec["seed"]),
+                    seed=spec["seed"],
+                )
+                metrics = json_safe(result.metadata)
+                metrics["algorithm"] = result.algorithm
+                metrics["num_vertices"] = stream.num_vertices
+                metrics["num_edges"] = stream.num_edges
+                metrics["num_pins"] = stream.num_pins
+                metrics["peak_resident_pins"] = int(stream.peak_resident_pins)
+            return result.assignment, spec["k"], metrics
+
+        return run

@@ -1,0 +1,195 @@
+"""Asynchronous partition jobs: records, store, and the worker pool.
+
+``POST /v1/partitions`` returns before the partitioner runs; the work
+lands here.  :class:`Job` is the persistent record a client polls
+(``GET /v1/partitions/<id>``); :class:`JobStore` owns the records plus a
+fixed pool of daemon worker threads draining a FIFO queue.  Partitioning
+releases the GIL for long NumPy stretches and the sharded partitioners
+fork their own processes, so a small thread pool overlaps real work.
+
+Lifecycle::
+
+    queued ──► running ──► done
+                   └─────► failed
+
+Jobs are kept in memory for the lifetime of the service (the hypergraph
+bytes themselves live in the on-disk chunk store, keyed by digest — see
+:mod:`repro.service.handlers`); ``sync`` requests execute the same job
+function inline on the request thread and return the finished record.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Job", "JobStore", "JOB_STATUSES"]
+
+#: Every state a job can report, in lifecycle order.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One partition request's full lifecycle record.
+
+    Attributes
+    ----------
+    id:
+        opaque hex identifier, unique per service instance.
+    status:
+        one of :data:`JOB_STATUSES`.
+    request:
+        the validated request parameters, echoed back to the client.
+    digest:
+        ``"sha256:..."`` of the uploaded source bytes — the key under
+        which the ingest landed in the chunk store, reusable via
+        ``POST /v1/partitions?store=<digest>``.
+    created_at / started_at / finished_at:
+        UNIX timestamps; ``None`` until the phase is reached.
+    error:
+        ``{"code", "message"}`` when ``status == "failed"``.
+    metrics:
+        JSON-safe run metrics (partitioner metadata, timings, peak
+        resident pins) when ``status == "done"``.
+    assignment:
+        the partition vector (``int`` array, length ``num_vertices``);
+        streamed to clients line by line, never inlined in job JSON.
+    num_parts:
+        the ``k`` the assignment maps into.
+    """
+
+    id: str
+    request: dict
+    digest: "str | None" = None
+    status: str = "queued"
+    created_at: float = field(default_factory=time.time)
+    started_at: "float | None" = None
+    finished_at: "float | None" = None
+    error: "dict | None" = None
+    metrics: "dict | None" = None
+    assignment: "np.ndarray | None" = None
+    num_parts: "int | None" = None
+
+    def to_json(self) -> dict:
+        """The client-facing job document (spec: ``Job`` schema)."""
+        doc = {
+            "id": self.id,
+            "status": self.status,
+            "request": self.request,
+            "digest": self.digest,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "metrics": self.metrics,
+            "links": {
+                "self": f"/v1/partitions/{self.id}",
+                "assignment": f"/v1/partitions/{self.id}/assignment",
+            },
+        }
+        return doc
+
+
+class JobStore:
+    """Thread-safe job registry plus a fixed worker pool.
+
+    Parameters
+    ----------
+    workers:
+        worker thread count (>= 1).  Each worker pops one queued job at
+        a time and runs its job function to completion; queue order is
+        FIFO, so the pool bounds concurrent partition runs at
+        ``workers``.
+
+    Notes
+    -----
+    A job function takes no arguments and returns
+    ``(assignment, num_parts, metrics)``; any exception it raises marks
+    the job ``failed`` with the exception text (the service never dies
+    with a worker).
+    """
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._jobs: "dict[str, Job]" = {}
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"partition-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    def create(self, request: dict, *, digest: "str | None" = None) -> Job:
+        """Register a new ``queued`` job (not yet scheduled)."""
+        job = Job(id=uuid.uuid4().hex[:16], request=request, digest=digest)
+        with self._lock:
+            self._jobs[job.id] = job
+        return job
+
+    def submit(self, job: Job, fn) -> Job:
+        """Queue ``fn`` to run ``job`` on the worker pool (async path)."""
+        self._queue.put((job, fn))
+        return job
+
+    def run(self, job: Job, fn) -> Job:
+        """Run ``fn`` inline on the calling thread (the ``sync=1`` path)."""
+        self._execute(job, fn)
+        return job
+
+    def get(self, job_id: str) -> "Job | None":
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def counts(self) -> dict:
+        """``{status: n}`` over every job the service has seen."""
+        with self._lock:
+            out = {status: 0 for status in JOB_STATUSES}
+            for job in self._jobs.values():
+                out[job.status] += 1
+        return out
+
+    def close(self) -> None:
+        """Stop the workers after the queue drains (idempotent)."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout=30)
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            job, fn = item
+            self._execute(job, fn)
+
+    def _execute(self, job: Job, fn) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        try:
+            assignment, num_parts, metrics = fn()
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            job.error = {"code": type(exc).__name__, "message": str(exc)}
+            job.status = "failed"
+        else:
+            job.assignment = np.asarray(assignment)
+            job.num_parts = int(num_parts)
+            job.metrics = metrics
+            job.status = "done"
+        finally:
+            job.finished_at = time.time()

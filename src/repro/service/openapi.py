@@ -1,0 +1,494 @@
+"""The service's API contract: a handwritten OpenAPI 3.0 document.
+
+This dict is the **single source of truth** for the HTTP surface:
+``GET /v1/openapi.json`` serves it verbatim, ``docs/service.md`` is
+diffed against it by ``tests/test_docs.py`` (every route, method,
+status code and schema field in the doc must match the spec, and vice
+versa), and the service tests assert the routes it declares are the
+routes the app dispatches.
+
+It is deliberately *handwritten* — no framework introspection — so the
+contract changes only when a human edits this file, and a drifted
+implementation fails tests instead of silently republishing itself.
+"""
+
+from __future__ import annotations
+
+import copy
+
+__all__ = ["openapi_spec", "OPENAPI_VERSION", "SERVICE_VERSION"]
+
+OPENAPI_VERSION = "3.0.3"
+
+#: The service's own version: reported in the spec's ``info.version``
+#: and by ``GET /v1/healthz``.  Single-sourced here; a test pins it to
+#: the ``version=`` in setup.py so a one-sided bump fails CI.
+SERVICE_VERSION = "0.3.0"
+
+_ERROR_SCHEMA = {
+    "type": "object",
+    "description": "Error envelope returned by every non-2xx response.",
+    "properties": {
+        "error": {
+            "type": "object",
+            "properties": {
+                "code": {
+                    "type": "string",
+                    "description": "stable machine-readable error code",
+                },
+                "message": {
+                    "type": "string",
+                    "description": "human-readable diagnostic (parser "
+                    "messages pass through verbatim)",
+                },
+            },
+            "required": ["code", "message"],
+        }
+    },
+    "required": ["error"],
+}
+
+_STORE_INFO_SCHEMA = {
+    "type": "object",
+    "description": "A persisted, digest-keyed binary chunk store.",
+    "properties": {
+        "digest": {
+            "type": "string",
+            "description": "sha256:<hex> over the uploaded source bytes; "
+            "the reuse key for store=<digest> re-partitions",
+        },
+        "created": {
+            "type": "boolean",
+            "description": "true when this request wrote a new store, "
+            "false when the digest was already present",
+        },
+        "name": {"type": "string", "description": "stream/instance name"},
+        "num_vertices": {"type": "integer"},
+        "num_edges": {"type": "integer"},
+        "num_pins": {"type": "integer"},
+        "num_chunks": {"type": "integer"},
+        "chunk_size": {"type": "integer"},
+        "pin_budget": {"type": "integer", "nullable": True},
+        "upload_bytes": {
+            "type": "integer",
+            "description": "raw bytes received (absent on store= reuse)",
+        },
+        "peak_resident_pins": {
+            "type": "integer",
+            "description": "ingest high-water mark of pins resident in "
+            "memory — the out-of-core bound the service guarantees",
+        },
+    },
+    "required": ["digest", "num_vertices", "num_edges", "num_pins"],
+}
+
+_JOB_SCHEMA = {
+    "type": "object",
+    "description": "A partition job's lifecycle record.",
+    "properties": {
+        "id": {"type": "string", "description": "opaque job identifier"},
+        "status": {
+            "type": "string",
+            "enum": ["queued", "running", "done", "failed"],
+        },
+        "request": {
+            "type": "object",
+            "description": "validated request echo: k, partitioner, "
+            "scorer, workers, buffer_fraction, buffer_size, "
+            "max_tracked_edges, max_iterations, seed, cost, and the "
+            "source StoreInfo",
+        },
+        "digest": {
+            "type": "string",
+            "description": "chunk-store key of the job's input",
+        },
+        "created_at": {"type": "number"},
+        "started_at": {"type": "number", "nullable": True},
+        "finished_at": {"type": "number", "nullable": True},
+        "error": {
+            "type": "object",
+            "nullable": True,
+            "description": "{code, message} when status is failed",
+        },
+        "metrics": {
+            "type": "object",
+            "nullable": True,
+            "description": "JSON-safe partitioner metadata when done: "
+            "algorithm, wall_time_s, imbalance, monitored_pc_cost, "
+            "peak_tracked_edges, peak_resident_pins, num_vertices, "
+            "num_edges, num_pins, ...",
+        },
+        "links": {
+            "type": "object",
+            "description": "self + assignment URLs",
+            "properties": {
+                "self": {"type": "string"},
+                "assignment": {"type": "string"},
+            },
+        },
+    },
+    "required": ["id", "status", "request", "links"],
+}
+
+_HEALTH_SCHEMA = {
+    "type": "object",
+    "description": "Service liveness and observable counters.",
+    "properties": {
+        "status": {"type": "string", "enum": ["ok"]},
+        "version": {"type": "string"},
+        "uptime_s": {"type": "number"},
+        "workers": {"type": "integer"},
+        "jobs": {
+            "type": "object",
+            "description": "job count per status (queued/running/done/failed)",
+        },
+        "stores": {
+            "type": "integer",
+            "description": "chunk stores currently in the cache",
+        },
+        "stats": {
+            "type": "object",
+            "description": "uploads, text_ingests, store_replays counters "
+            "— store_replays without text_ingests is the digest-reuse "
+            "hit path",
+        },
+    },
+    "required": ["status", "jobs", "stats"],
+}
+
+
+def _q(name, schema, description, required=False):
+    param = {
+        "name": name,
+        "in": "query",
+        "schema": schema,
+        "description": description,
+    }
+    if required:
+        param["required"] = True
+    return param
+
+
+_UPLOAD_PARAMETERS = [
+    _q(
+        "format",
+        {"type": "string", "enum": ["hmetis", "mtx"], "default": "hmetis"},
+        "upload format: hMetis (.hgr) or MatrixMarket coordinate (.mtx)",
+    ),
+    _q(
+        "model",
+        {"type": "string", "enum": ["row-net", "column-net"], "default": "row-net"},
+        "hypergraph model for format=mtx (rejected otherwise)",
+    ),
+    _q(
+        "chunk_size",
+        {"type": "integer", "default": 1024, "minimum": 1},
+        "vertices per streamed chunk (the ingest/replay granularity)",
+    ),
+    _q(
+        "buffer_pins",
+        {"type": "integer", "default": 65536, "minimum": 1},
+        "ingest spill-buffer capacity in pins — the resident-memory knob",
+    ),
+    _q(
+        "pin_budget",
+        {"type": "integer", "minimum": 1},
+        "cut chunk boundaries by resident pins instead of a fixed "
+        "vertex count (hub-dominated graphs)",
+    ),
+    _q("name", {"type": "string"}, "stream name recorded in the store"),
+]
+
+_PARTITION_PARAMETERS = [
+    _q(
+        "k",
+        {"type": "integer", "minimum": 1},
+        "number of partitions",
+        required=True,
+    ),
+    _q(
+        "partitioner",
+        {
+            "type": "string",
+            "enum": ["onepass", "buffered", "sharded"],
+            "default": "onepass",
+        },
+        "registered streaming partitioner",
+    ),
+    _q(
+        "scorer",
+        {"type": "string", "enum": ["eq1", "fennel"], "default": "eq1"},
+        "value function (fennel is onepass-only)",
+    ),
+    _q(
+        "gamma",
+        {"type": "number", "default": 1.5},
+        "FENNEL load-penalty exponent (scorer=fennel)",
+    ),
+    _q(
+        "workers",
+        {"type": "integer", "minimum": 1},
+        "parallel sharded streaming workers (default 1; sharded "
+        "defaults to 2 and requires >= 2)",
+    ),
+    _q(
+        "shard_payload",
+        {"type": "string", "enum": ["boundary", "full"], "default": "boundary"},
+        "what sharded workers ship at the merge",
+    ),
+    _q(
+        "shard_by",
+        {"type": "string", "enum": ["pins", "chunks"], "default": "pins"},
+        "how sharded worker ranges are balanced",
+    ),
+    _q(
+        "buffer_fraction",
+        {"type": "number", "default": 0.25},
+        "BufferedRestreamer window as a fraction of |V| (buffered/sharded)",
+    ),
+    _q(
+        "buffer_size",
+        {"type": "integer", "minimum": 1},
+        "explicit BufferedRestreamer window in vertices (overrides "
+        "buffer_fraction)",
+    ),
+    _q(
+        "max_tracked_edges",
+        {"type": "integer", "minimum": 1},
+        "presence-table cap (absent = unbounded / exact)",
+    ),
+    _q(
+        "max_iterations",
+        {"type": "integer", "default": 20, "minimum": 1},
+        "restreaming pass cap per window",
+    ),
+    _q("seed", {"type": "integer", "default": 20190805}, "deterministic seed"),
+    _q(
+        "cost",
+        {"type": "string", "enum": ["uniform", "archer"], "default": "uniform"},
+        "communication cost matrix: uniform or an ARCHER-like profiled "
+        "machine (architecture-aware)",
+    ),
+    _q(
+        "sync",
+        {"type": "string", "enum": ["1", "0"], "default": "0"},
+        "run on the request thread and return the finished job (small "
+        "graphs); otherwise the job is queued",
+    ),
+    _q(
+        "store",
+        {"type": "string"},
+        "partition a previous upload by digest instead of sending a "
+        "body — replays the mmap chunk store, no text parse",
+    ),
+] + _UPLOAD_PARAMETERS
+
+_UPLOAD_BODY = {
+    "description": "The hypergraph text bytes (hMetis or MatrixMarket "
+    "coordinate), raw in the request body; Content-Length or chunked "
+    "transfer encoding required.  The service parses the body as it "
+    "arrives — the file is never materialised.",
+    "required": False,
+    "content": {
+        "text/plain": {"schema": {"type": "string", "format": "binary"}},
+        "application/octet-stream": {
+            "schema": {"type": "string", "format": "binary"}
+        },
+    },
+}
+
+
+def _error_response(description):
+    return {
+        "description": description,
+        "content": {
+            "application/json": {
+                "schema": {"$ref": "#/components/schemas/Error"}
+            }
+        },
+    }
+
+
+def _json_response(description, ref):
+    return {
+        "description": description,
+        "content": {
+            "application/json": {"schema": {"$ref": ref}}
+        },
+    }
+
+
+_SPEC = {
+    "openapi": OPENAPI_VERSION,
+    "info": {
+        "title": "HyperPRAW streaming partition service",
+        "version": SERVICE_VERSION,
+        "description": (
+            "Upload a hypergraph (hMetis or MatrixMarket), stream it "
+            "through the out-of-core readers into an architecture-aware "
+            "streaming partitioner, and poll for the assignment.  "
+            "Uploads land in a digest-keyed persistent chunk store, so "
+            "re-partitioning the same bytes with different parameters "
+            "replays memory-mapped chunks instead of re-parsing text."
+        ),
+    },
+    "paths": {
+        "/v1/partitions": {
+            "post": {
+                "operationId": "createPartition",
+                "summary": "Upload a hypergraph (or reference a stored "
+                "digest) and start a partition job",
+                "parameters": copy.deepcopy(_PARTITION_PARAMETERS),
+                "requestBody": copy.deepcopy(_UPLOAD_BODY),
+                "responses": {
+                    "200": _json_response(
+                        "sync=1: the finished job record (status done "
+                        "or failed)",
+                        "#/components/schemas/Job",
+                    ),
+                    "202": _json_response(
+                        "job accepted and queued; poll links.self",
+                        "#/components/schemas/Job",
+                    ),
+                    "400": _error_response(
+                        "bad parameter or malformed upload "
+                        "(codes bad_request / invalid_upload)"
+                    ),
+                    "404": _error_response("store= digest has no chunk store"),
+                    "411": _error_response(
+                        "body without Content-Length or chunked framing"
+                    ),
+                    "413": _error_response(
+                        "body exceeds the configured max_body_bytes cap"
+                    ),
+                },
+            }
+        },
+        "/v1/partitions/{job_id}": {
+            "get": {
+                "operationId": "getPartition",
+                "summary": "Poll a partition job's status and metrics",
+                "parameters": [
+                    {
+                        "name": "job_id",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "string"},
+                        "description": "id returned by POST /v1/partitions",
+                    }
+                ],
+                "responses": {
+                    "200": _json_response(
+                        "the job record", "#/components/schemas/Job"
+                    ),
+                    "404": _error_response("unknown job id"),
+                },
+            }
+        },
+        "/v1/partitions/{job_id}/assignment": {
+            "get": {
+                "operationId": "getAssignment",
+                "summary": "Stream the finished assignment, one partition "
+                "id per line (line v = vertex v)",
+                "parameters": [
+                    {
+                        "name": "job_id",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "string"},
+                        "description": "id of a job with status done",
+                    }
+                ],
+                "responses": {
+                    "200": {
+                        "description": "the assignment vector as "
+                        "newline-separated integers, streamed",
+                        "content": {
+                            "text/plain": {"schema": {"type": "string"}}
+                        },
+                    },
+                    "404": _error_response("unknown job id"),
+                    "409": _error_response(
+                        "job exists but is not done (queued, running or "
+                        "failed)"
+                    ),
+                },
+            }
+        },
+        "/v1/stores": {
+            "post": {
+                "operationId": "createStore",
+                "summary": "Upload a hypergraph into the digest-keyed "
+                "chunk store without partitioning it",
+                "parameters": copy.deepcopy(_UPLOAD_PARAMETERS),
+                "requestBody": copy.deepcopy(_UPLOAD_BODY),
+                "responses": {
+                    "201": _json_response(
+                        "a new chunk store was written",
+                        "#/components/schemas/StoreInfo",
+                    ),
+                    "200": _json_response(
+                        "identical bytes were already stored (created: "
+                        "false)",
+                        "#/components/schemas/StoreInfo",
+                    ),
+                    "400": _error_response(
+                        "bad parameter or malformed upload"
+                    ),
+                    "411": _error_response(
+                        "body without Content-Length or chunked framing"
+                    ),
+                    "413": _error_response(
+                        "body exceeds the configured max_body_bytes cap"
+                    ),
+                },
+            }
+        },
+        "/v1/healthz": {
+            "get": {
+                "operationId": "healthz",
+                "summary": "Liveness, job counts and ingest/replay counters",
+                "responses": {
+                    "200": _json_response(
+                        "service is up", "#/components/schemas/Health"
+                    )
+                },
+            }
+        },
+        "/v1/openapi.json": {
+            "get": {
+                "operationId": "openapi",
+                "summary": "This document",
+                "responses": {
+                    "200": {
+                        "description": "the OpenAPI contract",
+                        "content": {
+                            "application/json": {"schema": {"type": "object"}}
+                        },
+                    }
+                },
+            }
+        },
+    },
+    "components": {
+        "schemas": {
+            "Error": _ERROR_SCHEMA,
+            "StoreInfo": _STORE_INFO_SCHEMA,
+            "Job": _JOB_SCHEMA,
+            "Health": _HEALTH_SCHEMA,
+        }
+    },
+}
+
+
+def openapi_spec() -> dict:
+    """A deep copy of the service's OpenAPI document.
+
+    Returns
+    -------
+    dict
+        the full OpenAPI 3.0 spec; a fresh copy each call, so callers
+        (including the route handler serialising it) can never mutate
+        the contract.
+    """
+    return copy.deepcopy(_SPEC)

@@ -30,6 +30,8 @@ check that chunked and whole-file reads agree bit for bit.
 
 from __future__ import annotations
 
+import io
+import os
 import shutil
 import tempfile
 import weakref
@@ -110,6 +112,76 @@ def _pin_budget_groups(
         starts.append(vpos)
         ranges.append((lo, u))
     return np.asarray(starts, dtype=np.int64), ranges
+
+
+class _ByteBlockReader(io.RawIOBase):
+    """Raw stream over an iterator of ``bytes`` blocks (socket body, pipe).
+
+    The bridge between push-style byte sources and the pull-style text
+    ingest loop: blocks of any size come in, ``readinto`` hands them out,
+    and :class:`io.TextIOWrapper` on top restores the line discipline the
+    parsers expect.  Nothing is accumulated — resident bytes are one
+    block plus the wrapper's buffer.
+    """
+
+    def __init__(self, blocks: Iterator[bytes]) -> None:
+        self._blocks = blocks
+        self._pending = memoryview(b"")
+
+    def readable(self) -> bool:
+        return True
+
+    def readinto(self, buf) -> int:
+        while not self._pending:
+            try:
+                block = next(self._blocks)
+            except StopIteration:
+                return 0
+            self._pending = memoryview(bytes(block))
+        n = min(len(buf), len(self._pending))
+        buf[:n] = self._pending[:n]
+        self._pending = self._pending[n:]
+        return n
+
+
+def _open_text_source(
+    source, *, label: "str | None" = None
+) -> "tuple[object, str, Path | None, bool]":
+    """Adapt ``source`` into the text line stream the ingest pass reads.
+
+    ``source`` may be a filesystem path, an open text file, an open
+    binary file, a single ``bytes`` object, or an iterable of ``bytes``
+    blocks (an HTTP request body, a pipe) — the last three are what let
+    a socket feed a :class:`ChunkStream` without the upload ever
+    touching the filesystem as text.
+
+    Returns ``(fh, label, source_path, owns)``: the text file object to
+    ingest from, the label error messages cite, the filesystem path when
+    there is one (``None`` for socket-fed sources, which therefore get
+    no digest/freshness shortcut), and whether this module owns — and
+    must close — ``fh``.  A caller-supplied open file is never closed
+    here.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        path = Path(source)
+        return open(path, "r"), str(path), path, True
+    if isinstance(source, io.TextIOBase):
+        return source, label or "<stream>", None, False
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        blocks: Iterator[bytes] = iter((bytes(source),))
+    elif hasattr(source, "read"):
+        # Binary file-like: pull fixed blocks so closing our wrapper
+        # never closes the caller's object.
+        blocks = iter(lambda: source.read(1 << 16), b"")
+    elif hasattr(source, "__iter__"):
+        blocks = iter(source)
+    else:
+        raise TypeError(
+            "source must be a path, an open file, bytes, or an iterable "
+            f"of bytes blocks, got {type(source).__name__}"
+        )
+    fh = io.TextIOWrapper(io.BufferedReader(_ByteBlockReader(blocks)))
+    return fh, label or "<stream>", None, True
 
 
 @dataclass(frozen=True)
@@ -500,14 +572,17 @@ class HmetisChunkStream(_SpilledChunkStream):
 
     Shares header/edge-line/vertex-weight validation with
     :func:`repro.hypergraph.io.read_hmetis` — malformed files raise the
-    same :class:`HypergraphFormatError` — but the file is consumed line by
-    line and pins go straight to the spill store.  Constructor parameters
-    are those of :func:`stream_hmetis`, the public entry point.
+    same :class:`HypergraphFormatError` — but the source is consumed line
+    by line and pins go straight to the spill store.  ``source`` may be a
+    path or any byte source accepted by the format-agnostic adapter (an
+    open file, ``bytes``, or an iterable of byte blocks — e.g. an HTTP
+    request body).  Constructor parameters are those of
+    :func:`stream_hmetis`, the public entry point.
     """
 
     def __init__(
         self,
-        path: "str | Path",
+        source: "str | Path | object",
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         buffer_pins: int = DEFAULT_BUFFER_PINS,
@@ -515,19 +590,23 @@ class HmetisChunkStream(_SpilledChunkStream):
         name: "str | None" = None,
     ) -> None:
         super().__init__(chunk_size, buffer_pins, pin_budget)
-        path = Path(path)
-        self.name = name or path.stem
-        self.source_path = path
+        fh, label, source_path, owns = _open_text_source(
+            source, label=f"<{name}>" if name else None
+        )
+        self.name = name or (source_path.stem if source_path else "stream")
+        self.source_path = source_path
         # A parser error mid-stream must not leak the spill directory:
         # close (idempotent) before re-raising.
         try:
-            with open(path, "r") as fh:
-                self._ingest(path, fh)
+            self._ingest(label, fh)
         except BaseException:
             self.close()
             raise
+        finally:
+            if owns:
+                fh.close()
 
-    def _ingest(self, path: Path, fh) -> None:
+    def _ingest(self, path: str, fh) -> None:
         lines = _data_lines(fh)
         first = next(lines, None)
         if first is None:
@@ -605,14 +684,16 @@ class MatrixMarketChunkStream(_SpilledChunkStream):
     both triangles, explicit values are irrelevant (any stored entry is a
     pin) and all-zero nets are dropped with renumbering.  Dense ``array``
     files are rejected — streaming them would make every column a full
-    net, defeating the point of out-of-core ingestion.  Constructor
-    parameters are those of :func:`stream_matrix_market`, the public
-    entry point.
+    net, defeating the point of out-of-core ingestion.  ``source`` may be
+    a path or any byte source accepted by the format-agnostic adapter (an
+    open file, ``bytes``, or an iterable of byte blocks — e.g. an HTTP
+    request body).  Constructor parameters are those of
+    :func:`stream_matrix_market`, the public entry point.
     """
 
     def __init__(
         self,
-        path: "str | Path",
+        source: "str | Path | object",
         *,
         model: str = "row-net",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -625,20 +706,24 @@ class MatrixMarketChunkStream(_SpilledChunkStream):
             raise ValueError(
                 f"model must be 'row-net' or 'column-net', got {model!r}"
             )
-        path = Path(path)
-        self.name = name or path.stem
+        fh, label, source_path, owns = _open_text_source(
+            source, label=f"<{name}>" if name else None
+        )
+        self.name = name or (source_path.stem if source_path else "stream")
         self.model = model
-        self.source_path = path
+        self.source_path = source_path
         # A parser error mid-stream must not leak the spill directory:
         # close (idempotent) before re-raising.
         try:
-            with open(path, "r") as fh:
-                self._ingest(path, fh)
+            self._ingest(label, fh)
         except BaseException:
             self.close()
             raise
+        finally:
+            if owns:
+                fh.close()
 
-    def _ingest(self, path: Path, fh) -> None:
+    def _ingest(self, path: str, fh) -> None:
         banner = fh.readline()
         tokens = banner.strip().split()
         if not tokens or not tokens[0].lower().startswith("%%matrixmarket"):
@@ -833,20 +918,23 @@ class HypergraphChunkStream(ChunkStream):
 # public constructors + assembly
 # ----------------------------------------------------------------------
 def stream_hmetis(
-    path: "str | Path",
+    source: "str | Path | object",
     *,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     buffer_pins: int = DEFAULT_BUFFER_PINS,
     pin_budget: "int | None" = None,
     name: "str | None" = None,
 ) -> HmetisChunkStream:
-    """Open an hMetis file as a re-iterable chunk stream (one-pass ingest).
+    """Open an hMetis source as a re-iterable chunk stream (one-pass ingest).
 
     Parameters
     ----------
-    path:
-        the ``.hgr``/``.hmetis`` file; validated exactly as the strict
-        in-memory reader validates it.
+    source:
+        the ``.hgr``/``.hmetis`` file path — or an already-open file,
+        ``bytes``, or any iterable of byte blocks (an HTTP request body,
+        a pipe), so sockets can feed the stream without the upload ever
+        materialising.  Validated exactly as the strict in-memory reader
+        validates a file.
     chunk_size:
         vertices per yielded chunk.
     buffer_pins:
@@ -856,7 +944,8 @@ def stream_hmetis(
         cut chunk boundaries by resident pins instead of a fixed vertex
         count — the bound that matters on hub-dominated graphs.
     name:
-        stream name (default: the file stem).
+        stream name (default: the file stem, or ``"stream"`` for
+        non-path sources).
 
     Returns
     -------
@@ -865,7 +954,7 @@ def stream_hmetis(
         ``.save(path)`` to persist it as a binary chunk store.
     """
     return HmetisChunkStream(
-        path,
+        source,
         chunk_size=chunk_size,
         buffer_pins=buffer_pins,
         pin_budget=pin_budget,
@@ -874,7 +963,7 @@ def stream_hmetis(
 
 
 def stream_matrix_market(
-    path: "str | Path",
+    source: "str | Path | object",
     *,
     model: str = "row-net",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -882,13 +971,14 @@ def stream_matrix_market(
     pin_budget: "int | None" = None,
     name: "str | None" = None,
 ) -> MatrixMarketChunkStream:
-    """Open a MatrixMarket coordinate file as a re-iterable chunk stream.
+    """Open a MatrixMarket coordinate source as a re-iterable chunk stream.
 
     Parameters
     ----------
-    path:
-        the ``.mtx`` coordinate file (dense ``array`` files are
-        rejected).
+    source:
+        the ``.mtx`` coordinate file path (dense ``array`` files are
+        rejected) — or an already-open file, ``bytes``, or any iterable
+        of byte blocks (an HTTP request body, a pipe).
     model:
         ``"row-net"`` (columns are vertices, rows are nets, the default)
         or ``"column-net"`` (flipped).
@@ -901,7 +991,8 @@ def stream_matrix_market(
         cut chunk boundaries by resident pins instead of a fixed vertex
         count — the bound that matters on hub-dominated graphs.
     name:
-        stream name (default: the file stem).
+        stream name (default: the file stem, or ``"stream"`` for
+        non-path sources).
 
     Returns
     -------
@@ -910,7 +1001,7 @@ def stream_matrix_market(
         ``.save(path)`` to persist it as a binary chunk store.
     """
     return MatrixMarketChunkStream(
-        path,
+        source,
         model=model,
         chunk_size=chunk_size,
         buffer_pins=buffer_pins,

@@ -1,10 +1,19 @@
-"""Documentation integrity: every relative link in README/docs resolves.
+"""Documentation integrity: links resolve, anchors exist, docs match spec.
 
-This is what the CI ``docs`` job runs (alongside the chunk-store
-example): markdown links in README.md and docs/*.md that point at files
-in the repository must point at files that exist, and the README must
-actually link the docs tree.  External (http/https) links and intra-page
-anchors are out of scope — CI should not depend on the network.
+This is what the CI ``docs`` job runs (alongside the example scripts):
+
+* every relative markdown link in README.md and docs/*.md must point at
+  a file that exists, and the README must actually link the docs tree;
+* every intra-repo ``#anchor`` must name a real heading (GitHub
+  slugging), so refactoring a section title cannot silently break
+  cross-references;
+* ``docs/service.md`` is **generated-checked** against the service's
+  handwritten OpenAPI contract (``GET /v1/openapi.json``): the
+  documented routes, the status codes under each route, and every
+  schema field must match the spec exactly — in both directions.
+
+External (http/https) links are out of scope — CI should not depend on
+the network.
 """
 
 import re
@@ -12,29 +21,75 @@ from pathlib import Path
 
 import pytest
 
+from repro.service.openapi import openapi_spec
+
 REPO = Path(__file__).resolve().parent.parent
 
 #: ``[text](target)`` — good enough for our hand-written markdown
 #: (no reference-style links, no angle-bracket targets in these files).
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 
+#: ``## METHOD /path`` operation headings in docs/service.md.
+_ROUTE_HEADING = re.compile(r"^## (GET|POST|PUT|DELETE) (/\S+)$", re.M)
+
 
 def _doc_files() -> "list[Path]":
     return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
 
 
-def _relative_links(path: Path) -> "list[str]":
+def _all_links(path: Path) -> "list[str]":
     targets = _LINK.findall(path.read_text())
     return [
         t
         for t in targets
-        if not t.startswith(("http://", "https://", "mailto:", "#"))
+        if not t.startswith(("http://", "https://", "mailto:"))
     ]
 
 
+def _relative_links(path: Path) -> "list[str]":
+    return [t for t in _all_links(path) if not t.startswith("#")]
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, punctuation dropped, spaces->dashes."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _heading_anchors(path: Path) -> "set[str]":
+    """Every anchor a markdown file exposes (with GitHub's -n dedup)."""
+    slugs = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = re.match(r"^#{1,6}\s+(.+?)\s*$", line)
+        if m:
+            slugs.append(_github_slug(m.group(1)))
+    anchors = set()
+    seen: "dict[str, int]" = {}
+    for slug in slugs:
+        if slug in seen:
+            seen[slug] += 1
+            anchors.add(f"{slug}-{seen[slug]}")
+        else:
+            seen[slug] = 0
+            anchors.add(slug)
+    return anchors
+
+
+# ----------------------------------------------------------------------
+# link + anchor integrity
+# ----------------------------------------------------------------------
 def test_docs_tree_exists():
+    assert (REPO / "docs" / "README.md").is_file()
     assert (REPO / "docs" / "architecture.md").is_file()
     assert (REPO / "docs" / "formats.md").is_file()
+    assert (REPO / "docs" / "service.md").is_file()
 
 
 @pytest.mark.parametrize("path", _doc_files(), ids=lambda p: p.name)
@@ -44,12 +99,108 @@ def test_relative_links_resolve(path):
         assert resolved.exists(), f"{path.name}: broken link -> {target}"
 
 
+@pytest.mark.parametrize("path", _doc_files(), ids=lambda p: p.name)
+def test_intra_repo_anchors_resolve(path):
+    """``file#anchor`` and ``#anchor`` links must name real headings."""
+    for target in _all_links(path):
+        if "#" not in target:
+            continue
+        file_part, anchor = target.split("#", 1)
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if dest.suffix != ".md" or not dest.exists():
+            continue
+        assert anchor in _heading_anchors(dest), (
+            f"{path.name}: stale anchor -> {target}"
+        )
+
+
 def test_readme_links_docs_tree():
     links = _relative_links(REPO / "README.md")
+    assert "docs/README.md" in links
     assert "docs/architecture.md" in links
     assert "docs/formats.md" in links
+    assert "docs/service.md" in links
 
 
-def test_example_is_referenced_and_present():
-    assert (REPO / "examples" / "chunkstore_restream.py").is_file()
-    assert "chunkstore_restream" in (REPO / "README.md").read_text()
+def test_examples_are_referenced_and_present():
+    readme = (REPO / "README.md").read_text()
+    for example in ("chunkstore_restream", "service_quickstart"):
+        assert (REPO / "examples" / f"{example}.py").is_file()
+        assert example in readme
+
+
+# ----------------------------------------------------------------------
+# docs/service.md <-> openapi.json
+# ----------------------------------------------------------------------
+def _service_doc() -> str:
+    return (REPO / "docs" / "service.md").read_text()
+
+
+def _doc_operations() -> "dict[tuple[str, str], str]":
+    """``{(method, path): section_text}`` from the route headings."""
+    text = _service_doc()
+    matches = list(_ROUTE_HEADING.finditer(text))
+    sections = {}
+    for i, m in enumerate(matches):
+        start = m.end()
+        next_h2 = text.find("\n## ", start)
+        end = matches[i + 1].start() if i + 1 < len(matches) else next_h2
+        if next_h2 != -1 and next_h2 < end:
+            end = next_h2
+        sections[(m.group(1).lower(), m.group(2))] = text[start:end]
+    return sections
+
+
+def test_service_doc_routes_match_spec():
+    """Every spec route is documented and vice versa — exact diff."""
+    spec = openapi_spec()
+    spec_routes = {
+        (method, path)
+        for path, ops in spec["paths"].items()
+        for method in ops
+    }
+    doc_routes = set(_doc_operations())
+    assert doc_routes == spec_routes, (
+        f"doc-only: {doc_routes - spec_routes}; "
+        f"spec-only: {spec_routes - doc_routes}"
+    )
+
+
+def test_service_doc_status_codes_match_spec():
+    """Each route section documents exactly the spec's response codes."""
+    spec = openapi_spec()
+    for (method, path), section in _doc_operations().items():
+        spec_codes = set(spec["paths"][path][method]["responses"])
+        doc_codes = set(re.findall(r"`(\d{3})`", section))
+        assert doc_codes == spec_codes, (
+            f"{method.upper()} {path}: doc codes {sorted(doc_codes)} != "
+            f"spec codes {sorted(spec_codes)}"
+        )
+
+
+def test_service_doc_schema_fields_match_spec():
+    """Every schema property in the spec appears (backticked) in the doc,
+    and every schema has its own section."""
+    spec = openapi_spec()
+    doc = _service_doc()
+    for name, schema in spec["components"]["schemas"].items():
+        assert f"### `{name}`" in doc or f"`{name}`" in doc, (
+            f"schema {name} is not documented"
+        )
+        for prop in schema.get("properties", {}):
+            assert f"`{prop}`" in doc, (
+                f"schema {name}: field {prop!r} missing from docs/service.md"
+            )
+
+
+def test_service_doc_parameters_match_spec():
+    """Every query parameter the spec declares appears in the doc."""
+    spec = openapi_spec()
+    doc = _service_doc()
+    for path, ops in spec["paths"].items():
+        for method, op in ops.items():
+            for param in op.get("parameters", []):
+                assert f"`{param['name']}`" in doc, (
+                    f"{method.upper()} {path}: parameter "
+                    f"{param['name']!r} missing from docs/service.md"
+                )

@@ -150,3 +150,72 @@ class TestCli:
     def test_main_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["figure9"])
+
+
+class TestCacheDirNormalisation:
+    """Regression: relative ``--cache``/``--store``/``--cache-dir`` must be
+    pinned to the invocation directory at *parse* time.
+
+    Before the fix, ``store_dir_for`` resolved the cache path at each
+    call site, so a ``convert`` in one directory and a later ``stream
+    --cache`` (or anything that chdirs between parse and use) silently
+    read and wrote different stores.
+    """
+
+    def _parse(self, argv):
+        return build_parser().parse_args(argv)
+
+    def test_relative_cache_resolves_at_parse_time(self, tmp_path, monkeypatch):
+        invocation_dir = tmp_path / "here"
+        elsewhere = tmp_path / "elsewhere"
+        invocation_dir.mkdir()
+        elsewhere.mkdir()
+
+        monkeypatch.chdir(invocation_dir)
+        args = self._parse(["stream", "--cache", "my-cache"])
+        assert args.cache == str(invocation_dir / "my-cache")
+
+        # A chdir between parse and use (the old bug's trigger) must not
+        # move the store: the parsed path is already absolute.
+        monkeypatch.chdir(elsewhere)
+        from repro.streaming.chunkstore import store_dir_for
+
+        pinned = store_dir_for("g.hgr", args.cache)
+        assert str(pinned).startswith(str(invocation_dir / "my-cache"))
+
+    def test_convert_then_stream_share_one_store(
+        self, tiny_hypergraph, tmp_path, monkeypatch
+    ):
+        from repro.hypergraph.io import write_hmetis
+        from repro.streaming import stream_hmetis
+        from repro.streaming.chunkstore import cached_stream
+
+        workdir = tmp_path / "work"
+        otherdir = tmp_path / "other"
+        workdir.mkdir()
+        otherdir.mkdir()
+        hgr = workdir / "tiny.hgr"
+        write_hmetis(tiny_hypergraph, hgr)
+
+        monkeypatch.chdir(workdir)
+        cache = self._parse(["stream", "--cache", "cache"]).cache
+        stream, hit = cached_stream(hgr, cache, opener=stream_hmetis)
+        stream.close()
+        assert hit is False
+
+        monkeypatch.chdir(otherdir)
+        cache2 = self._parse(
+            ["stream", "--cache", str(workdir / "cache")]
+        ).cache
+        stream, hit = cached_stream(hgr, cache2, opener=stream_hmetis)
+        stream.close()
+        assert hit is True, "same absolute cache dir must replay the store"
+
+    def test_cache_dir_and_store_also_normalised(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        args = self._parse(["serve", "--cache-dir", "svc-cache"])
+        assert args.cache_dir == str(tmp_path / "svc-cache")
+        args = self._parse(
+            ["convert", "--stream-input", "x.hgr", "--store", "out.chunkstore"]
+        )
+        assert args.store == str(tmp_path / "out.chunkstore")

@@ -400,3 +400,63 @@ def test_stream_read_equivalence_property(hg, chunk_size, tmp_path_factory):
     ref = read_hmetis(path)
     stream = stream_hmetis(path, chunk_size=chunk_size, buffer_pins=7)
     assert assemble(stream) == ref
+
+
+class TestByteSources:
+    """The file-object / byte-iterable entry point (service data path).
+
+    Whatever shape the bytes arrive in — a path, an open text or binary
+    file, one ``bytes`` blob, or an iterator of arbitrarily-split blocks
+    (an HTTP request body) — the stream must be identical to the
+    path-fed reference, with the same strict validation.
+    """
+
+    def _sources(self, raw):
+        yield "bytes", raw
+        yield "blocks", (raw[i : i + 7] for i in range(0, len(raw), 7))
+        yield "empty-blocks", iter([b"", raw[:10], b"", raw[10:], b""])
+
+    def test_hmetis_all_sources_match_path(self, tiny_hypergraph, tmp_path):
+        path = tmp_path / "h.hgr"
+        write_hmetis(tiny_hypergraph, path)
+        raw = path.read_bytes()
+        ref = read_hmetis(path)
+        for label, source in self._sources(raw):
+            got = assemble(stream_hmetis(source, chunk_size=2))
+            assert got == ref, label
+        with open(path, "rb") as fh:
+            assert assemble(stream_hmetis(fh, chunk_size=2)) == ref
+            assert not fh.closed, "caller-owned file must stay open"
+        with open(path, "r") as fh:
+            assert assemble(stream_hmetis(fh, chunk_size=2)) == ref
+            assert not fh.closed
+
+    def test_matrix_market_from_blocks(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        scipy.io.mmwrite(str(path), sp.random(9, 13, density=0.25, random_state=0))
+        raw = path.read_bytes()
+        ref = read_matrix_market(path)
+        blocks = (raw[i : i + 11] for i in range(0, len(raw), 11))
+        got = assemble(stream_matrix_market(blocks, chunk_size=3))
+        assert got.num_vertices == ref.num_vertices
+        assert got.num_pins == ref.num_pins
+        assert np.array_equal(got.vertex_edges, ref.vertex_edges)
+
+    def test_non_path_source_has_no_source_path(self, tiny_hypergraph, tmp_path):
+        path = tmp_path / "h.hgr"
+        write_hmetis(tiny_hypergraph, path)
+        stream = stream_hmetis(path.read_bytes())
+        assert stream.source_path is None
+        assert stream.name == "stream"
+        named = stream_hmetis(path.read_bytes(), name="upload-7")
+        assert named.name == "upload-7"
+
+    def test_malformed_bytes_raise_with_stream_label(self):
+        with pytest.raises(HypergraphFormatError, match=r"<stream>"):
+            stream_hmetis(b"not a header\n")
+        with pytest.raises(HypergraphFormatError, match=r"<job-1>"):
+            stream_hmetis(b"not a header\n", name="job-1")
+
+    def test_rejects_unusable_source(self):
+        with pytest.raises(TypeError, match="source must be"):
+            stream_hmetis(12345)
