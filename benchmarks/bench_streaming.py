@@ -29,9 +29,26 @@ banded ``ABACUS_shell_hd`` mesh — most nets live entirely inside one
 shard's contiguous vertex range) shipping only locally detected boundary
 rows must cut the merge payload at least 2x against full-table shipping,
 at identical assignments.
+
+``test_cluster_baseline_diff`` diffs the committed ``BENCH_CLUSTER.json``
+(written by ``scripts/run_experiments.py --bench-out``, docs/cluster.md)
+against a live rerun: the distributed loopback contract makes
+``ShardedStreamer(workers=N)`` bit-identical to the cluster runs that
+produced the baseline, so cut and assignment digest must reproduce
+exactly without opening a socket.  Wall-clock drift only *warns* — CI
+boxes are not benchmark boxes — but determinism drift fails, so the
+committed numbers can never silently go stale.  The default subset keeps
+the check cheap; ``REPRO_BENCH_FULL=1`` reruns every baseline record.
 """
 
+import hashlib
+import json
 import os
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
 
 from repro.bench.streaming import (
     compare_replay,
@@ -168,3 +185,76 @@ def test_sharded_boundary_payload(benchmark, bench_ctx):
     assert record.payload_reduction >= 2.0
     print()
     print(report.render())
+
+
+def test_cluster_baseline_diff(benchmark):
+    """BENCH_CLUSTER.json must reproduce: digest exactly, wall with slack."""
+    from repro.core.metrics import hyperedge_cut
+    from repro.streaming import (
+        HypergraphChunkStream,
+        OnePassStreamer,
+        ShardedStreamer,
+    )
+
+    baseline_path = Path(__file__).resolve().parents[1] / "BENCH_CLUSTER.json"
+    if not baseline_path.exists():
+        pytest.skip("no committed BENCH_CLUSTER.json baseline")
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["schema"] == "bench-cluster"
+    assert baseline["version"] == 1, "bump this check with the schema"
+
+    records = [r for r in baseline["records"] if r["payload"] == "boundary"]
+    if not FULL:
+        # Cheap subset: the boundary-sparse mesh at every worker count
+        # plus the power-law instance sequentially — still covers both
+        # instances and the worker dimension in a few seconds.
+        records = [
+            r
+            for r in records
+            if r["instance"] != STREAMING_INSTANCE or r["workers"] == 1
+        ]
+    assert records, "baseline has no boundary-payload records"
+
+    def rerun():
+        out = []
+        for rec in records:
+            hg = load_instance(rec["instance"], scale=baseline["scale"])
+            stream = HypergraphChunkStream(hg, baseline["chunk_size"])
+            result = ShardedStreamer(
+                OnePassStreamer(scorer=baseline["scorer"]),
+                workers=rec["workers"],
+                chunk_size=baseline["chunk_size"],
+                payload=rec["payload"],
+            ).partition_stream(
+                stream, baseline["num_parts"], seed=baseline["seed"]
+            )
+            digest = hashlib.sha256(
+                np.ascontiguousarray(
+                    result.assignment, dtype=np.int64
+                ).tobytes()
+            ).hexdigest()[:16]
+            cut = hyperedge_cut(
+                hg, result.assignment, baseline["num_parts"]
+            )
+            out.append((rec, digest, cut, result.metadata.get("wall_time_s")))
+        return out
+
+    reruns = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    for rec, digest, cut, wall in reruns:
+        cell = f"{rec['instance']} x w{rec['workers']}"
+        assert digest == rec["assignment_digest"], (
+            f"{cell}: assignment digest {digest} != committed "
+            f"{rec['assignment_digest']} — the partitioner's output "
+            f"changed; regenerate BENCH_CLUSTER.json via "
+            f"scripts/run_experiments.py --bench-out if intentional"
+        )
+        assert cut == rec["cut"], f"{cell}: cut {cut} != committed {rec['cut']}"
+        benchmark.extra_info[f"wall_s[{cell}]"] = round(wall, 4) if wall else wall
+        if wall and wall > 1.5 * rec["wall_s"]:
+            warnings.warn(
+                f"{cell}: local rerun wall {wall:.3f}s exceeds 1.5x the "
+                f"committed distributed baseline {rec['wall_s']:.3f}s — "
+                f"possible performance regression",
+                RuntimeWarning,
+                stacklevel=2,
+            )

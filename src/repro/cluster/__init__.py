@@ -1,0 +1,46 @@
+"""Multi-node distributed partitioning over TCP sockets.
+
+The cluster layer takes the sharded streaming contract (PR 2/4) across
+machines: a coordinator assigns contiguous chunk ranges to long-lived
+worker processes, ships each shard straight over its socket (decoded
+chunk frames, or raw text blocks into the byte-source readers), and
+drives the boundary merge + restream rounds over a length-prefixed,
+versioned binary protocol.  Loopback runs are bit-identical to the
+forked :class:`~repro.streaming.sharded.ShardedStreamer`.
+
+* :mod:`repro.cluster.protocol` — frames, payload codec, error family.
+* :mod:`repro.cluster.worker` — the long-lived shard server.
+* :mod:`repro.cluster.coordinator` — :class:`DistributedStreamer` and
+  the remote round pool.
+"""
+
+from repro.cluster.coordinator import ClusterRounds, DistributedStreamer
+from repro.cluster.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    BadMagicError,
+    ConnectionClosedError,
+    OversizedFrameError,
+    ProtocolError,
+    TruncatedFrameError,
+    VersionMismatchError,
+    base_from_spec,
+)
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "ClusterRounds",
+    "ClusterWorker",
+    "DistributedStreamer",
+    "DEFAULT_MAX_FRAME",
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "BadMagicError",
+    "ConnectionClosedError",
+    "OversizedFrameError",
+    "TruncatedFrameError",
+    "VersionMismatchError",
+    "base_from_spec",
+]

@@ -1,0 +1,404 @@
+"""Long-lived cluster worker: one shard of a distributed run, over TCP.
+
+A worker is a small server speaking the :mod:`repro.cluster.protocol`
+frames.  Each coordinator connection carries one *session*:
+
+1. **Handshake** — the coordinator's ``hello`` names the shard (index,
+   chunk/vertex range), carries the run's seed entropy, the base
+   partitioner spec and the scoring profile; the worker acknowledges
+   with its protocol version and its own ``--seed`` token, so a
+   mis-wired cluster fails at the handshake rather than mid-round.
+2. **Ingest** — the shard's data arrives straight off the socket and is
+   never materialised as a file: ``ship="chunks"`` sends decoded CSR
+   chunk frames (wrapped in a :class:`_ShardSlice` facade), while
+   ``ship="text"`` streams raw text blocks into the byte-source readers
+   (:func:`~repro.streaming.reader.stream_hmetis` /
+   :func:`~repro.streaming.reader.stream_matrix_market`), which spill
+   to worker-local temp storage exactly as a local ingest would.
+3. **Rounds** — the worker drives the *same*
+   :func:`~repro.streaming.sharded.shard_stream_task` generator the
+   forked path runs, answering ``round`` frames until ``stop``; the
+   barrier lives coordinator-side, mirroring
+   :class:`~repro.engine.parallel.ShardRounds`.
+
+After a session the worker returns to its accept loop for the next
+coordinator (or a ``shutdown`` frame).  Every significant event is
+emitted as a JSONL line — the experiment harness tails these — and the
+``listening`` line on stdout doubles as the readiness signal.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.cluster.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    ConnectionClosedError,
+    ProtocolError,
+    base_from_spec,
+    recv_message,
+    send_message,
+)
+from repro.streaming.reader import ChunkStream, VertexChunk
+from repro.streaming.sharded import shard_stream_task
+
+__all__ = ["ClusterWorker"]
+
+
+class _Shutdown(Exception):
+    """Raised internally when a peer sends the shutdown frame."""
+
+
+class _ShardSlice(ChunkStream):
+    """Facade over socket-shipped chunks covering chunk range [lo, hi).
+
+    Presents exactly the :class:`ChunkStream` surface
+    :func:`shard_stream_task` touches — ``num_vertices`` plus
+    ``iter_range`` over the shard's own range, with global vertex ids
+    intact — without ever holding the rest of the stream.
+    """
+
+    name = "shard-slice"
+
+    def __init__(
+        self, chunks: "list[VertexChunk]", lo: int, num_vertices: int
+    ) -> None:
+        self._chunks = chunks
+        self._lo = lo
+        self.num_vertices = int(num_vertices)
+
+    def iter_range(self, lo: int, hi: int):
+        if lo < self._lo or hi > self._lo + len(self._chunks):
+            raise ValueError(
+                f"chunk range [{lo}, {hi}) outside shipped shard "
+                f"[{self._lo}, {self._lo + len(self._chunks)})"
+            )
+        return iter(self._chunks[lo - self._lo : hi - self._lo])
+
+
+class ClusterWorker:
+    """Serve shards of distributed partitioning runs on one TCP port.
+
+    Parameters
+    ----------
+    host, port:
+        bind address; ``port=0`` picks an ephemeral port (reported by
+        the ``listening`` event and :attr:`port`).
+    seed:
+        this worker's seed token, echoed in the handshake ack and the
+        logs — the harness derives one per worker so runs are
+        attributable; shard determinism itself comes from the
+        coordinator's shipped entropy.
+    max_frame:
+        per-frame payload bound passed to the protocol receiver.
+    log_path:
+        JSONL event log destination (appended); events always also go
+        to stdout.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        seed: "int | None" = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        log_path=None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.seed = seed
+        self.max_frame = int(max_frame)
+        self.log_path = log_path
+        self._server: "socket.socket | None" = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _log(self, event: str, **fields) -> None:
+        line = json.dumps(
+            {"event": event, "t": time.time(), "port": self.port, **fields},
+            separators=(",", ":"),
+        )
+        print(line, flush=True)
+        if self.log_path is not None:
+            with open(self.log_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+
+    # ------------------------------------------------------------------
+    def bind(self) -> int:
+        """Bind and listen; returns the bound port."""
+        if self._server is not None:
+            return self.port
+        srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        srv.bind((self.host, self.port))
+        srv.listen(4)
+        # Accept wakes up periodically to observe stop().
+        srv.settimeout(0.2)
+        self._server = srv
+        self.port = srv.getsockname()[1]
+        return self.port
+
+    def serve_forever(self) -> None:
+        """Accept coordinator sessions until ``shutdown`` or :meth:`stop`."""
+        self.bind()
+        self._log("listening", host=self.host, seed=self.seed)
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, addr = self._server.accept()
+                except socket.timeout:
+                    continue
+                try:
+                    self._serve_connection(conn, addr)
+                except _Shutdown:
+                    self._log("shutdown", peer=list(addr))
+                    return
+                finally:
+                    conn.close()
+        finally:
+            self._server.close()
+            self._server = None
+            self._log("stopped")
+
+    def stop(self) -> None:
+        """Ask the accept loop to exit (thread-safe, idempotent)."""
+        self._stop.set()
+
+    def start_in_thread(self) -> threading.Thread:
+        """Bind now, serve in a daemon thread (for tests and the CLI)."""
+        self.bind()
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        self._log("connected", peer=list(addr))
+        while True:
+            try:
+                msg, _ = recv_message(conn, max_frame=self.max_frame)
+            except ConnectionClosedError:
+                return  # coordinator hung up between sessions: fine
+            except ProtocolError as exc:
+                # Bad magic/version/size/truncation: report (best
+                # effort), drop the connection — it is mid-frame and
+                # unrecoverable — and go back to accepting.
+                self._log("protocol_error", error=str(exc))
+                try:
+                    send_message(
+                        conn, {"type": "error", "error": str(exc)}
+                    )
+                except OSError:
+                    pass
+                return
+            kind = msg.get("type")
+            if kind == "shutdown":
+                try:
+                    send_message(conn, {"type": "bye"})
+                except OSError:
+                    pass
+                raise _Shutdown
+            if kind != "hello":
+                send_message(
+                    conn,
+                    {"type": "error", "error": f"expected hello, got {kind!r}"},
+                )
+                return
+            try:
+                self._run_session(conn, msg)
+            except (ConnectionClosedError, OSError) as exc:
+                # Coordinator died mid-session; the shard state is
+                # worthless without it — log and wait for the next one.
+                self._log("session_aborted", error=str(exc))
+                return
+            except ProtocolError as exc:
+                self._log("protocol_error", error=str(exc))
+                return
+            except Exception as exc:  # surface shard crashes to the peer
+                self._log("session_error", error=repr(exc))
+                try:
+                    send_message(conn, {"type": "error", "error": repr(exc)})
+                except OSError:
+                    pass
+                return
+
+    # ------------------------------------------------------------------
+    def _ingest(self, conn: socket.socket, hello: dict):
+        """Receive the shard's data; returns a stream facade."""
+        ship = hello["ship"]
+        if ship == "chunks":
+            chunks: "list[VertexChunk]" = []
+            pins = 0
+            while True:
+                msg, _ = recv_message(conn, max_frame=self.max_frame)
+                if msg["type"] == "ingest_done":
+                    break
+                if msg["type"] != "chunk":
+                    raise ProtocolError(
+                        f"expected chunk frame, got {msg['type']!r}"
+                    )
+                chunks.append(
+                    VertexChunk(
+                        start=msg["start"],
+                        stop=msg["stop"],
+                        vertex_ptr=msg["vertex_ptr"],
+                        vertex_edges=msg["vertex_edges"],
+                        vertex_weights=msg["vertex_weights"],
+                    )
+                )
+                pins += int(chunks[-1].vertex_edges.size)
+            self._log(
+                "ingested", mode="chunks", chunks=len(chunks), pins=pins
+            )
+            return _ShardSlice(chunks, hello["lo"], hello["num_vertices"])
+        if ship == "text":
+            done: dict = {}
+
+            def blocks():
+                while True:
+                    msg, _ = recv_message(conn, max_frame=self.max_frame)
+                    if msg["type"] == "ingest_done":
+                        done.update(msg)
+                        return
+                    if msg["type"] != "blocks":
+                        raise ProtocolError(
+                            f"expected blocks frame, got {msg['type']!r}"
+                        )
+                    yield msg["data"]
+
+            from repro.streaming.reader import (
+                stream_hmetis,
+                stream_matrix_market,
+            )
+
+            source = blocks()
+            fmt = hello["text_format"]
+            if fmt == "hmetis":
+                stream = stream_hmetis(
+                    source, chunk_size=hello["chunk_size"], name="cluster"
+                )
+            elif fmt == "mm":
+                stream = stream_matrix_market(
+                    source,
+                    model=hello["text_model"],
+                    chunk_size=hello["chunk_size"],
+                    name="cluster",
+                )
+            else:
+                raise ProtocolError(f"unknown text format {fmt!r}")
+            for _ in source:  # drain to the ingest_done terminator
+                pass
+            self._log(
+                "ingested",
+                mode="text",
+                format=fmt,
+                vertices=stream.num_vertices,
+                pins=stream.num_pins,
+            )
+            return stream
+        raise ProtocolError(f"unknown ship mode {ship!r}")
+
+    def _run_session(self, conn: socket.socket, hello: dict) -> None:
+        k = hello["shard_index"]
+        nshards = hello["nshards"]
+        send_message(
+            conn,
+            {
+                "type": "hello_ack",
+                "version": PROTOCOL_VERSION,
+                "shard_index": k,
+                "worker_seed": self.seed,
+                "seed_entropy": hello["seed_entropy"],
+            },
+        )
+        stream = self._ingest(conn, hello)
+        try:
+            profile = hello["profile"]
+            edge_weights = hello["edge_weights"]
+            # Per-shard generator identical to the forked path's:
+            # rebuilding the root SeedSequence from its shipped entropy
+            # and spawning afresh reproduces child k of
+            # spawn_generators(seed, n) on the coordinator.
+            root = np.random.SeedSequence(
+                hello["seed_entropy"],
+                spawn_key=tuple(hello.get("seed_spawn_key") or ()),
+            )
+            rng = np.random.default_rng(root.spawn(nshards)[k])
+            gen = shard_stream_task(
+                base_from_spec(hello["base"]),
+                stream,
+                lo=hello["lo"],
+                hi=hello["hi"],
+                v_lo=hello["v_lo"],
+                v_hi=hello["v_hi"],
+                num_parts=hello["num_parts"],
+                C=hello["C"],
+                counts=tuple(hello["counts"]),
+                shard_weight=hello["shard_weight"],
+                total_weight=hello["total_weight"],
+                nshards=nshards,
+                edge_w=edge_weights if profile["use_edge_weights"] else None,
+                final_edge_weights=edge_weights,
+                rng=rng,
+                profile=profile,
+                edge_degrees=hello["edge_degrees"],
+                boundary_ship=hello["boundary_ship"],
+            )
+            send_message(conn, {"type": "reply", "body": next(gen)})
+            self._log("phase1_done", shard=k)
+            rounds = 0
+            while True:
+                msg, _ = recv_message(conn, max_frame=self.max_frame)
+                if msg["type"] != "round":
+                    raise ProtocolError(
+                        f"expected round frame, got {msg['type']!r}"
+                    )
+                if msg["kind"] == "stop":
+                    try:
+                        gen.send(("stop", msg["ctl"]))
+                    except StopIteration as stop_exc:
+                        send_message(
+                            conn, {"type": "reply", "body": stop_exc.value}
+                        )
+                        self._log("session_done", shard=k, rounds=rounds)
+                        return
+                    raise ProtocolError(
+                        "shard generator yielded instead of finishing on stop"
+                    )
+                rounds += 1
+                send_message(
+                    conn,
+                    {"type": "reply", "body": gen.send((msg["kind"], msg["ctl"]))},
+                )
+        finally:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+
+
+def main(argv=None) -> int:
+    """Module entry point (``python -m repro.cluster.worker``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=ClusterWorker.__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--log-file", default=None)
+    args = parser.parse_args(argv)
+    ClusterWorker(
+        args.host, args.port, seed=args.seed, log_path=args.log_file
+    ).serve_forever()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

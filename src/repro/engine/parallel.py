@@ -39,6 +39,7 @@ produces identical results without parallelism.
 from __future__ import annotations
 
 import multiprocessing as mp
+import warnings
 
 import numpy as np
 
@@ -53,6 +54,30 @@ __all__ = [
 def fork_available() -> bool:
     """Whether the fork start method exists on this platform."""
     return "fork" in mp.get_all_start_methods()
+
+
+def _resolve_mode(workers: int, num_tasks: int) -> str:
+    """``"forked"`` or ``"sequential"`` — the mode a run will actually use.
+
+    Emits a single structured :class:`RuntimeWarning` when parallelism
+    was *requested* (``workers > 1`` over more than one task) but fork is
+    unavailable, so the silent degradation to sequential execution is
+    visible to callers — and surfaced in run metadata — instead of
+    benches misreporting sequential numbers as parallel ones.
+    """
+    if workers <= 1 or num_tasks <= 1:
+        return "sequential"
+    if fork_available():
+        return "forked"
+    warnings.warn(
+        f"engine.parallel: workers={workers} requested but the 'fork' "
+        f"start method is unavailable on this platform; running "
+        f"{num_tasks} shards sequentially in-process (identical results, "
+        "no parallelism)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return "sequential"
 
 
 def _child(task, conn) -> None:
@@ -77,7 +102,7 @@ def run_tasks(tasks, workers: int) -> list:
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(tasks) <= 1 or not fork_available():
+    if _resolve_mode(workers, len(tasks)) == "sequential":
         return [task() for task in tasks]
     ctx = mp.get_context("fork")
     procs = []
@@ -163,12 +188,17 @@ class ShardRounds:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._tasks = list(tasks)
-        self._forked = (
-            workers > 1 and len(self._tasks) > 1 and fork_available()
-        )
+        #: ``"forked"`` or ``"sequential"`` — how the rounds actually run
+        #: (a fork-less fallback warns once; see :func:`_resolve_mode`).
+        self.mode = _resolve_mode(workers, len(self._tasks))
+        self._forked = self.mode == "forked"
         self._gens: "list | None" = None
         self._procs: list = []
         self._conns: list = []
+
+    def run_metadata(self) -> dict:
+        """Pool facts the driver should surface in result metadata."""
+        return {"parallel_mode": self.mode}
 
     # ------------------------------------------------------------------
     def start(self) -> list:

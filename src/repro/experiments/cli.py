@@ -29,6 +29,13 @@ HTTP, poll for assignments — see docs/service.md)::
     hyperpraw-repro serve --port 8080 --cache-dir ~/.hyperpraw-cache
     hyperpraw-repro serve --port 0 --workers 4   # ephemeral port, 4 job workers
 
+and runs distributed partitioning across worker processes over TCP
+(see docs/cluster.md)::
+
+    hyperpraw-repro worker --port 7101 --seed 11        # on each host
+    hyperpraw-repro cluster --hosts hostA:7101 hostB:7101 \
+        --stream-input big.hgr                          # on the coordinator
+
 Every command accepts the shared world parameters (``--nodes``,
 ``--scale``, ``--seed``, ...) and prints the paper-style text rendering.
 The console script is installed by ``pip install -e .`` (see setup.py);
@@ -65,6 +72,8 @@ _COMMANDS = (
     "stream",
     "convert",
     "serve",
+    "worker",
+    "cluster",
     "all",
 )
 
@@ -90,6 +99,14 @@ def _resolved_dir(value: str) -> str:
     talk to different stores.  Pinning the absolute path here makes the
     invocation directory the one and only anchor.
     """
+    return str(Path(value).expanduser().resolve())
+
+
+def _resolved_path(value: str) -> str:
+    """argparse type for file flags: same parse-time anchoring as
+    :func:`_resolved_dir` (a worker launched with a relative
+    ``--log-file`` must not scatter logs across whatever directory it
+    later runs from)."""
     return str(Path(value).expanduser().resolve())
 
 
@@ -201,13 +218,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_group.add_argument(
         "--host",
         default="127.0.0.1",
-        help="serve: bind address (default 127.0.0.1)",
+        help="serve/worker: bind address (default 127.0.0.1)",
     )
     serve_group.add_argument(
         "--port",
         type=int,
         default=8080,
-        help="serve: TCP port; 0 binds an ephemeral port and prints it",
+        help="serve/worker: TCP port; 0 binds an ephemeral port "
+        "(serve prints it; worker logs it in the 'listening' event)",
     )
     serve_group.add_argument(
         "--cache-dir",
@@ -217,6 +235,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve: persistent directory for digest-keyed chunk stores "
         "(default: a private temp directory dropped on exit); --workers "
         "sets the partition worker pool",
+    )
+    cluster_group = parser.add_argument_group(
+        "cluster", "multi-node distributed partitioning (docs/cluster.md)"
+    )
+    cluster_group.add_argument(
+        "--hosts",
+        nargs="+",
+        default=None,
+        metavar="HOST:PORT",
+        help="cluster: worker endpoints; each drives one shard "
+        "(the worker count is the endpoint count)",
+    )
+    cluster_group.add_argument(
+        "--ship",
+        choices=("chunks", "text"),
+        default="chunks",
+        help="cluster: ship decoded chunk frames per shard (default) or "
+        "broadcast the raw text for workers to ingest off the socket",
+    )
+    cluster_group.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="cluster: per-socket-operation straggler timeout in seconds",
+    )
+    cluster_group.add_argument(
+        "--on-loss",
+        choices=("degrade", "fail"),
+        default="degrade",
+        help="cluster: on worker loss, reconnect-or-run-the-shard-locally "
+        "(default) or fail loudly",
+    )
+    cluster_group.add_argument(
+        "--cluster-base",
+        choices=("onepass", "buffered"),
+        default="onepass",
+        help="cluster: base streaming partitioner run on each worker",
+    )
+    cluster_group.add_argument(
+        "--log-file",
+        default=None,
+        type=_resolved_path,
+        metavar="PATH",
+        help="worker: append JSONL events here as well as stdout "
+        "(resolved against the invocation directory at parse time)",
     )
     return parser
 
@@ -443,6 +506,122 @@ def _run_serve(args) -> int:
     return serve(ServiceConfig(**kwargs))
 
 
+def _run_worker(args) -> int:
+    """The ``worker`` command: a long-lived cluster shard server.
+
+    Blocks until a coordinator sends a ``shutdown`` frame or the process
+    is interrupted.  Shares ``--host``/``--port`` with ``serve`` (port 0
+    binds an ephemeral port; the bound port is in the ``listening`` JSONL
+    event on stdout) and ``--seed`` with everything else — the handshake
+    cross-checks it against the coordinator's seed (docs/cluster.md).
+    """
+    from repro.cluster import ClusterWorker
+
+    worker = ClusterWorker(
+        args.host, args.port, seed=args.seed, log_path=args.log_file
+    )
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_cluster(ctx: ExperimentContext, args) -> str:
+    """The ``cluster`` command: distributed partitioning over ``--hosts``.
+
+    Each endpoint drives one shard; loopback runs are bit-identical to
+    ``stream --workers N`` on the same inputs (docs/cluster.md).  With
+    ``--stream-input`` the file is partitioned out-of-core; otherwise the
+    suite streaming instance (or ``--instances``) is used.
+    """
+    import time
+
+    from repro.cluster import DistributedStreamer
+    from repro.core.config import HyperPRAWConfig
+    from repro.hypergraph.suite import STREAMING_INSTANCE, load_instance
+    from repro.streaming import (
+        BufferedRestreamer,
+        HypergraphChunkStream,
+        OnePassStreamer,
+    )
+    from repro.utils.tables import format_kv
+
+    if not args.hosts:
+        raise SystemExit("cluster requires --hosts HOST:PORT [HOST:PORT ...]")
+    job = ctx.one_job()
+
+    def open_streams():
+        if args.stream_input:
+            stream, via = _open_input(Path(args.stream_input), args)
+            yield stream, via
+            return
+        names = ctx.instances if ctx.instances else [STREAMING_INSTANCE]
+        for name in names:
+            hg = load_instance(name, scale=ctx.scale)
+            yield HypergraphChunkStream(
+                hg, args.chunk_size, pin_budget=args.pin_budget
+            ), "suite instance"
+
+    if args.cluster_base == "buffered":
+        base = BufferedRestreamer(
+            HyperPRAWConfig(
+                max_iterations=ctx.max_iterations, record_history=False
+            ),
+            max_tracked_edges=args.max_tracked_edges,
+            workers=1,
+        )
+    else:
+        base = OnePassStreamer(
+            max_tracked_edges=args.max_tracked_edges, workers=1
+        )
+    streamer = DistributedStreamer(
+        base,
+        hosts=args.hosts,
+        ship=args.ship,
+        timeout=args.timeout,
+        on_loss=args.on_loss,
+        chunk_size=args.chunk_size,
+        payload=args.shard_payload,
+        shard_by=args.shard_by,
+    )
+    sections = []
+    for stream, via in open_streams():
+        with stream:
+            t0 = time.perf_counter()
+            result = streamer.partition_stream(
+                stream, ctx.num_parts, cost_matrix=job.cost_matrix,
+                seed=ctx.seed,
+            )
+            wall = time.perf_counter() - t0
+            md = result.metadata
+            sections.append(
+                format_kv(
+                    {
+                        "input": via,
+                        "hosts": " ".join(args.hosts),
+                        "ship": args.ship,
+                        "vertices": stream.num_vertices,
+                        "hyperedges": stream.num_edges,
+                        "pins": stream.num_pins,
+                        "parallel mode": md.get("parallel_mode"),
+                        "cluster wire bytes": md.get("cluster_wire_bytes"),
+                        "degraded shards": md.get("degraded_shards"),
+                        "reconnected shards": md.get("reconnected_shards"),
+                        "monitored pc cost": md.get(
+                            "monitored_pc_cost", md.get("final_pc_cost")
+                        ),
+                        "wall time [s]": wall,
+                    },
+                    title=(
+                        f"cluster/{args.cluster_base} — {stream.name} -> "
+                        f"{ctx.num_parts} parts"
+                    ),
+                )
+            )
+    return "\n\n".join(sections)
+
+
 def _run_ablations(ctx: ExperimentContext) -> str:
     parts = [
         ablations.refinement_factor_sweep(ctx).render(),
@@ -461,6 +640,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "worker":
+        return _run_worker(args)
     if args.workers is None:
         args.workers = 1  # sequential-streaming default for stream/convert
     ctx = context_from_args(args)
@@ -474,6 +655,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "ablations": lambda: _run_ablations(ctx),
         "stream": lambda: _run_stream(ctx, args),
         "convert": lambda: _run_convert(ctx, args),
+        "cluster": lambda: _run_cluster(ctx, args),
     }
     if args.command == "all":
         for name in ("table1", "figure1", "figure3", "figure4", "figure5", "figure6"):

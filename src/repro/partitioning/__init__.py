@@ -19,7 +19,10 @@ The out-of-core streamers of :mod:`repro.streaming` —
 here: they implement the same ``partition(hg, ...)`` interface (streaming
 the hypergraph to themselves chunk by chunk) and belong in the same
 roster for experiments, even though their native entry point is
-``partition_stream`` over a disk-backed chunk stream.
+``partition_stream`` over a disk-backed chunk stream.  So is
+:class:`~repro.cluster.coordinator.DistributedStreamer`, the multi-node
+variant that drives the same sharded protocol over TCP workers
+(docs/cluster.md).
 """
 
 from repro.partitioning.multilevel import MultilevelRB
@@ -30,6 +33,7 @@ from repro.partitioning.simple import (
     ContiguousPartitioner,
 )
 from repro.streaming import BufferedRestreamer, OnePassStreamer, ShardedStreamer
+from repro.cluster import DistributedStreamer
 
 __all__ = [
     "MultilevelRB",
@@ -40,4 +44,5 @@ __all__ = [
     "OnePassStreamer",
     "BufferedRestreamer",
     "ShardedStreamer",
+    "DistributedStreamer",
 ]

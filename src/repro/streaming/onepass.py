@@ -258,6 +258,27 @@ class OnePassStreamer(Partitioner):
             "use_edge_weights": cfg.use_edge_weights,
         }
 
+    def _shard_spec(self) -> dict:
+        """JSON-safe recipe for rebuilding this base on another host.
+
+        Decoded by :func:`repro.cluster.protocol.base_from_spec`: a
+        remote worker reconstructs an equivalent single-worker base and
+        runs the same ``_run_shard`` over its socket-fed chunk range.
+        ``chunk_size``/``workers``/``shard_*`` are deliberately omitted —
+        the worker never adapts an in-memory hypergraph and never
+        re-shards.
+        """
+        return {
+            "kind": "onepass",
+            "alpha": self.alpha,
+            "presence_threshold": self.presence_threshold,
+            "balance_slack": self.balance_slack,
+            "max_tracked_edges": self.max_tracked_edges,
+            "score_mode": self.score_mode,
+            "scorer": self.scorer,
+            "gamma": self.gamma,
+        }
+
     def _run_shard(
         self,
         chunks,

@@ -278,6 +278,24 @@ class BufferedRestreamer(Partitioner):
             "use_edge_weights": cfg.use_edge_weights,
         }
 
+    def _shard_spec(self) -> dict:
+        """JSON-safe recipe for rebuilding this base on another host.
+
+        Decoded by :func:`repro.cluster.protocol.base_from_spec`: a
+        remote worker reconstructs an equivalent single-worker base and
+        runs the same ``_run_shard`` over its socket-fed chunk range.
+        ``chunk_size``/``workers`` are deliberately omitted — the worker
+        never adapts an in-memory hypergraph and never re-shards.
+        """
+        from dataclasses import asdict
+
+        return {
+            "kind": "buffered",
+            "config": asdict(self.config),
+            "buffer_size": self.buffer_size,
+            "max_tracked_edges": self.max_tracked_edges,
+        }
+
     def _run_shard(
         self,
         chunks,

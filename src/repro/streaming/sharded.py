@@ -92,9 +92,9 @@ from repro.streaming.reader import (
     HypergraphChunkStream,
 )
 from repro.streaming.state import StreamingState, resolve_cost_matrix
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import seed_sequence, spawn_generators
 
-__all__ = ["ShardedStreamer"]
+__all__ = ["ShardedStreamer", "shard_stream_task"]
 
 
 def _boundary_scorer(
@@ -311,7 +311,8 @@ class ShardedStreamer(Partitioner):
         profile = self.base._shard_profile()
         ranges, shard_pins, sharded_by = self._shard_ranges(stream)
         nshards = len(ranges)
-        rngs = spawn_generators(seed, nshards)
+        seed_root = seed_sequence(seed)
+        rngs = spawn_generators(seed_root, nshards)
         counts = (stream.num_vertices, stream.num_edges)
         vertex_weights = stream.vertex_weights
         edge_w = stream.edge_weights if profile["use_edge_weights"] else None
@@ -330,29 +331,24 @@ class ShardedStreamer(Partitioner):
                 edge_degrees = stream.compute_edge_degrees()
         total_weight = stream.total_vertex_weight
 
-        # Each task closes over the live stream object — fork-inherited,
-        # never pickled — and exchanges only plain arrays and scalars.
-        tasks = [
-            self._make_shard_task(
-                k,
-                stream=stream,
-                ranges=ranges,
-                vertex_bounds=vertex_bounds,
-                num_parts=p,
-                C=C,
-                counts=counts,
-                vertex_weights=vertex_weights,
-                edge_w=edge_w,
-                rng=rngs[k],
-                profile=profile,
-                edge_degrees=edge_degrees,
-                boundary_ship=boundary_ship,
-                total_weight=total_weight,
-            )
-            for k in range(nshards)
+        shard_weights = [
+            float(vertex_weights[a:b].sum()) for a, b in vertex_bounds
         ]
-
-        pool = ShardRounds(tasks, self.workers)
+        shard_ctx = {
+            "ranges": ranges,
+            "vertex_bounds": vertex_bounds,
+            "shard_weights": shard_weights,
+            "num_parts": p,
+            "C": C,
+            "counts": counts,
+            "edge_w": edge_w,
+            "rngs": rngs,
+            "profile": profile,
+            "edge_degrees": edge_degrees,
+            "boundary_ship": boundary_ship,
+            "total_weight": total_weight,
+        }
+        pool = self._make_pool(stream, seed_root, shard_ctx)
         try:
             results = pool.start()
 
@@ -512,227 +508,280 @@ class ShardedStreamer(Partitioner):
                 "architecture_aware": aware,
                 "imbalance": imbalance,
                 "wall_time_s": time.perf_counter() - t_start,
+                **pool.run_metadata(),
             },
         )
 
     # ------------------------------------------------------------------
-    def _make_shard_task(
-        self,
-        k: int,
-        *,
-        stream: ChunkStream,
-        ranges,
-        vertex_bounds,
-        num_parts: int,
-        C: np.ndarray,
-        counts,
-        vertex_weights: np.ndarray,
-        edge_w: "np.ndarray | None",
-        rng,
-        profile: dict,
-        edge_degrees: "np.ndarray | None",
-        boundary_ship: bool,
-        total_weight: float,
-    ):
-        """One shard's generator: stream, ship, then answer restream rounds.
+    def _make_pool(self, stream: ChunkStream, seed, ctx: dict):
+        """Build the round-driving pool for this run (override point).
 
-        Protocol (driven by :class:`~repro.engine.parallel.ShardRounds`):
-        first yield is the phase-1 payload; each ``("pass", ctl)`` message
-        answers with that round's deltas; ``("stop", ctl)`` triggers the
-        optional rollback and returns the final payload.
+        The default is the forked/sequential :class:`~repro.engine.
+        parallel.ShardRounds` over in-process shard generators; the
+        distributed streamer (:mod:`repro.cluster`) overrides this to
+        drive the *same* generators on remote workers over sockets.
+        ``ctx`` carries everything a shard needs (see
+        ``partition_stream``); ``seed`` is the resolved root
+        ``SeedSequence`` the per-shard ``ctx["rngs"]`` were spawned
+        from, so remote pools can ship its entropy and re-derive the
+        identical per-shard generators on other hosts.
         """
-        base = self.base
-        p = num_parts
+        del seed  # the spawned generators in ctx already encode it
+        tasks = self._local_tasks(stream, ctx)
+        return ShardRounds(tasks, self.workers)
 
-        def shard():
-            lo, hi = ranges[k]
-            v_lo, v_hi = vertex_bounds[k]
-            shard_weight = float(vertex_weights[v_lo:v_hi].sum())
-            local = np.full(stream.num_vertices, -1, dtype=np.int64)
-            state, stats = base._run_shard(
-                stream.iter_range(lo, hi),
-                p,
-                C,
-                local,
-                stream_counts=counts,
-                shard_weight=shard_weight,
-                edge_weights=edge_w,
-                rng=rng,
+    def _local_tasks(self, stream: ChunkStream, ctx: dict) -> list:
+        """Zero-arg callables returning the per-shard generators.
+
+        Each task closes over the live stream object — fork-inherited,
+        never pickled — and exchanges only plain arrays and scalars.
+        """
+
+        def make(k):
+            lo, hi = ctx["ranges"][k]
+            v_lo, v_hi = ctx["vertex_bounds"][k]
+            return lambda: shard_stream_task(
+                self.base,
+                stream,
+                lo=lo,
+                hi=hi,
+                v_lo=v_lo,
+                v_hi=v_hi,
+                num_parts=ctx["num_parts"],
+                C=ctx["C"],
+                counts=ctx["counts"],
+                shard_weight=ctx["shard_weights"][k],
+                total_weight=ctx["total_weight"],
+                nshards=len(ctx["ranges"]),
+                edge_w=ctx["edge_w"],
+                final_edge_weights=stream.edge_weights,
+                rng=ctx["rngs"][k],
+                profile=ctx["profile"],
+                edge_degrees=ctx["edge_degrees"],
+                boundary_ship=ctx["boundary_ship"],
             )
-            edges, table = state.export_table()
-            loads_bytes = state.loads.nbytes
-            full_bytes = edges.nbytes + table.nbytes + loads_bytes
-            if boundary_ship:
-                # Local boundary detection: a net whose locally observed
-                # pins fall short of its global degree has pins in some
-                # other shard.  LRU undercounts only widen the candidate
-                # set (safe), and single-shard candidates are discarded
-                # by the driver's occurrence >= 2 rule.
-                ship = table.sum(axis=1) < edge_degrees[edges]
-                ship_edges, ship_table = edges[ship], table[ship]
-            else:
-                ship_edges, ship_table = edges, table
-            msg = yield {
-                "assignment": local[v_lo:v_hi],
-                "loads": state.loads.copy(),
-                "edges": ship_edges,
-                "table": ship_table,
-                "payload_bytes": int(
-                    ship_edges.nbytes + ship_table.nbytes + loads_bytes
-                ),
-                "full_payload_bytes": int(full_bytes),
-                "stats": stats,
-            }
 
-            # -------- sharded boundary restream rounds --------
-            block: "VertexBlock | None" = None
-            scaled_block: "VertexBlock | None" = None
-            my_edges = np.empty(0, dtype=np.int64)
-            my_sel = np.empty(0, dtype=np.int64)
-            pin_rows = np.empty(0, dtype=np.int64)
-            pin_owner = np.empty(0, dtype=np.int64)
-            best: "np.ndarray | None" = None
-            loads_after = state.loads.copy()
-            nshards = len(ranges)
+        return [make(k) for k in range(len(ctx["ranges"]))]
 
-            def move_deltas(prev: np.ndarray, new: np.ndarray) -> np.ndarray:
-                """Boundary-row deltas from the block's actual moves.
 
-                Derived from the assignment change, *not* from table
-                rows: a capped LRU table can evict an overlaid boundary
-                row mid-pass, and a row-difference would then report
-                ``-snapshot`` and erase real pins from the driver's
-                merged counts.  Moves are eviction-proof.
-                """
-                delta = np.zeros((my_edges.size, p), dtype=np.int64)
-                if pin_rows.size:
-                    np.subtract.at(delta, (pin_rows, prev[pin_owner]), 1)
-                    np.add.at(delta, (pin_rows, new[pin_owner]), 1)
-                return delta
+def shard_stream_task(
+    base,
+    stream: ChunkStream,
+    *,
+    lo: int,
+    hi: int,
+    v_lo: int,
+    v_hi: int,
+    num_parts: int,
+    C: np.ndarray,
+    counts: "tuple[int, int]",
+    shard_weight: float,
+    total_weight: float,
+    nshards: int,
+    edge_w: "np.ndarray | None",
+    final_edge_weights: "np.ndarray | None",
+    rng,
+    profile: dict,
+    edge_degrees: "np.ndarray | None",
+    boundary_ship: bool,
+):
+    """One shard's generator: stream, ship, then answer restream rounds.
 
-            while msg[0] == "pass":
-                ctl = msg[1]
-                if block is None:
-                    boundary = ctl["boundary_edges"]
-                    block = _boundary_block(stream, boundary, lo, hi)
-                    # Boundary nets with pins in this shard are exactly
-                    # the boundary nets its boundary vertices touch.
-                    my_edges = (
-                        np.intersect1d(boundary, block.vertex_edges)
-                        if block.num_vertices
-                        else np.empty(0, dtype=np.int64)
-                    )
-                    my_sel = np.searchsorted(boundary, my_edges)
-                    # Per-pin scatter indices for move_deltas: which
-                    # boundary row and which block vertex each pin of
-                    # the block belongs to.
-                    pin_mask = np.isin(block.vertex_edges, my_edges)
-                    pin_rows = np.searchsorted(
-                        my_edges, block.vertex_edges[pin_mask]
-                    )
-                    pin_owner = np.repeat(
-                        np.arange(block.num_vertices, dtype=np.int64),
-                        np.diff(block.vertex_ptr),
-                    )[pin_mask]
-                    # The fix-up scores against global targets, not the
-                    # shard-scoped ones phase 1 streamed with.
-                    state.expected_loads = np.full(p, total_weight / p)
-                    # Mean-field damping: every shard restreams against
-                    # the same loads snapshot simultaneously, so each
-                    # scores its own moves scaled by the shard count —
-                    # anticipating that the other shards make similar
-                    # moves — or the synchronised overshoot oscillates
-                    # and tempering never reaches tolerance.  Deltas are
-                    # normalised back before they reach the driver.
-                    scaled_block = VertexBlock(
-                        ids=block.ids,
-                        vertex_ptr=block.vertex_ptr,
-                        vertex_edges=block.vertex_edges,
-                        vertex_weights=block.vertex_weights * nshards,
-                    )
-                if ctl["record_best"] and block.num_vertices:
-                    best = local[block.ids].copy()
-                # Overlay the driver's merged snapshot: global counts for
-                # the boundary nets this shard touches, global loads.
-                state.set_rows(my_edges, ctl["boundary_counts"][my_sel])
-                state.loads[:] = ctl["loads"]
-                prev = local[block.ids].copy() if block.num_vertices else None
-                damp = ctl["damp"]
-                if block.num_vertices:
-                    scorer = _boundary_scorer(
-                        C, ctl["alpha"], state.expected_loads, profile
-                    )
-                    pass_kernel(
-                        (scaled_block if damp else block,),
-                        state, scorer, local, restream=True,
-                        score_mode="vertex",
-                    )
-                if damp:
-                    # Normalise the scaled movement back to true weight.
-                    state.loads[:] = ctl["loads"] + (
-                        state.loads - ctl["loads"]
-                    ) / nshards
-                loads_after = state.loads.copy()
-                delta_counts = (
-                    move_deltas(prev, local[block.ids])
-                    if block.num_vertices
-                    else np.zeros((0, p), dtype=np.int64)
-                )
-                msg = yield {
-                    "delta_loads": loads_after - ctl["loads"],
-                    "edge_sel": my_sel,
-                    "delta_counts": delta_counts,
-                    "interior_cost": state.pc_cost(
-                        C, edge_weights=edge_w, exclude_edges=boundary
-                    ),
-                    "payload_bytes": int(
-                        my_sel.nbytes + delta_counts.nbytes + loads_after.nbytes
-                    ),
-                }
+    Protocol (driven by :class:`~repro.engine.parallel.ShardRounds` in
+    the forked path, or by a remote :mod:`repro.cluster` worker over a
+    socket): the first yield is the phase-1 payload; each
+    ``("pass", ctl)`` message answers with that round's deltas;
+    ``("stop", ctl)`` triggers the optional rollback and returns the
+    final payload.  Everything the shard needs arrives as explicit
+    arguments — ``stream`` only has to provide ``iter_range`` and
+    ``num_vertices`` — which is what lets a worker process on another
+    host run the *same* code against a socket-fed chunk stream and
+    produce bit-identical results.
+    """
+    p = num_parts
 
-            # -------- stop: optional rollback, final payload --------
-            ctl = msg[1]
+    local = np.full(stream.num_vertices, -1, dtype=np.int64)
+    state, stats = base._run_shard(
+        stream.iter_range(lo, hi),
+        p,
+        C,
+        local,
+        stream_counts=counts,
+        shard_weight=shard_weight,
+        edge_weights=edge_w,
+        rng=rng,
+    )
+    edges, table = state.export_table()
+    loads_bytes = state.loads.nbytes
+    full_bytes = edges.nbytes + table.nbytes + loads_bytes
+    if boundary_ship:
+        # Local boundary detection: a net whose locally observed
+        # pins fall short of its global degree has pins in some
+        # other shard.  LRU undercounts only widen the candidate
+        # set (safe), and single-shard candidates are discarded
+        # by the driver's occurrence >= 2 rule.
+        ship = table.sum(axis=1) < edge_degrees[edges]
+        ship_edges, ship_table = edges[ship], table[ship]
+    else:
+        ship_edges, ship_table = edges, table
+    msg = yield {
+        "assignment": local[v_lo:v_hi],
+        "loads": state.loads.copy(),
+        "edges": ship_edges,
+        "table": ship_table,
+        "payload_bytes": int(
+            ship_edges.nbytes + ship_table.nbytes + loads_bytes
+        ),
+        "full_payload_bytes": int(full_bytes),
+        "stats": stats,
+    }
+
+    # -------- sharded boundary restream rounds --------
+    block: "VertexBlock | None" = None
+    scaled_block: "VertexBlock | None" = None
+    my_edges = np.empty(0, dtype=np.int64)
+    my_sel = np.empty(0, dtype=np.int64)
+    pin_rows = np.empty(0, dtype=np.int64)
+    pin_owner = np.empty(0, dtype=np.int64)
+    best: "np.ndarray | None" = None
+    loads_after = state.loads.copy()
+
+    def move_deltas(prev: np.ndarray, new: np.ndarray) -> np.ndarray:
+        """Boundary-row deltas from the block's actual moves.
+
+        Derived from the assignment change, *not* from table
+        rows: a capped LRU table can evict an overlaid boundary
+        row mid-pass, and a row-difference would then report
+        ``-snapshot`` and erase real pins from the driver's
+        merged counts.  Moves are eviction-proof.
+        """
+        delta = np.zeros((my_edges.size, p), dtype=np.int64)
+        if pin_rows.size:
+            np.subtract.at(delta, (pin_rows, prev[pin_owner]), 1)
+            np.add.at(delta, (pin_rows, new[pin_owner]), 1)
+        return delta
+
+    while msg[0] == "pass":
+        ctl = msg[1]
+        if block is None:
             boundary = ctl["boundary_edges"]
-            prev = (
-                local[block.ids].copy()
-                if block is not None and block.num_vertices
-                else None
+            block = _boundary_block(stream, boundary, lo, hi)
+            # Boundary nets with pins in this shard are exactly
+            # the boundary nets its boundary vertices touch.
+            my_edges = (
+                np.intersect1d(boundary, block.vertex_edges)
+                if block.num_vertices
+                else np.empty(0, dtype=np.int64)
             )
-            if (
-                ctl["rollback"]
-                and best is not None
-                and block is not None
-                and block.num_vertices
-            ):
-                current = local[block.ids]
-                for i in np.flatnonzero(current != best):
-                    v = int(block.ids[i])
-                    e_v = block.edges_of(i)
-                    state.remove(e_v, int(current[i]), block.vertex_weights[i])
-                    state.place(e_v, int(best[i]), block.vertex_weights[i])
-                    local[v] = int(best[i])
-            return {
-                "assignment": local[v_lo:v_hi],
-                "delta_loads": state.loads - loads_after,
-                "edge_sel": my_sel,
-                "delta_counts": (
-                    move_deltas(prev, local[block.ids])
-                    if prev is not None
-                    else np.zeros((0, p), dtype=np.int64)
-                ),
-                "interior_cost": state.pc_cost(
-                    C,
-                    edge_weights=stream.edge_weights,
-                    exclude_edges=boundary,
-                ),
-                "boundary_vertices": (
-                    int(block.num_vertices) if block is not None else 0
-                ),
-                "evictions": state.evictions,
-                "peak_tracked": state.peak_tracked_edges,
-            }
+            my_sel = np.searchsorted(boundary, my_edges)
+            # Per-pin scatter indices for move_deltas: which
+            # boundary row and which block vertex each pin of
+            # the block belongs to.
+            pin_mask = np.isin(block.vertex_edges, my_edges)
+            pin_rows = np.searchsorted(
+                my_edges, block.vertex_edges[pin_mask]
+            )
+            pin_owner = np.repeat(
+                np.arange(block.num_vertices, dtype=np.int64),
+                np.diff(block.vertex_ptr),
+            )[pin_mask]
+            # The fix-up scores against global targets, not the
+            # shard-scoped ones phase 1 streamed with.
+            state.expected_loads = np.full(p, total_weight / p)
+            # Mean-field damping: every shard restreams against
+            # the same loads snapshot simultaneously, so each
+            # scores its own moves scaled by the shard count —
+            # anticipating that the other shards make similar
+            # moves — or the synchronised overshoot oscillates
+            # and tempering never reaches tolerance.  Deltas are
+            # normalised back before they reach the driver.
+            scaled_block = VertexBlock(
+                ids=block.ids,
+                vertex_ptr=block.vertex_ptr,
+                vertex_edges=block.vertex_edges,
+                vertex_weights=block.vertex_weights * nshards,
+            )
+        if ctl["record_best"] and block.num_vertices:
+            best = local[block.ids].copy()
+        # Overlay the driver's merged snapshot: global counts for
+        # the boundary nets this shard touches, global loads.
+        state.set_rows(my_edges, ctl["boundary_counts"][my_sel])
+        state.loads[:] = ctl["loads"]
+        prev = local[block.ids].copy() if block.num_vertices else None
+        damp = ctl["damp"]
+        if block.num_vertices:
+            scorer = _boundary_scorer(
+                C, ctl["alpha"], state.expected_loads, profile
+            )
+            pass_kernel(
+                (scaled_block if damp else block,),
+                state, scorer, local, restream=True,
+                score_mode="vertex",
+            )
+        if damp:
+            # Normalise the scaled movement back to true weight.
+            state.loads[:] = ctl["loads"] + (
+                state.loads - ctl["loads"]
+            ) / nshards
+        loads_after = state.loads.copy()
+        delta_counts = (
+            move_deltas(prev, local[block.ids])
+            if block.num_vertices
+            else np.zeros((0, p), dtype=np.int64)
+        )
+        msg = yield {
+            "delta_loads": loads_after - ctl["loads"],
+            "edge_sel": my_sel,
+            "delta_counts": delta_counts,
+            "interior_cost": state.pc_cost(
+                C, edge_weights=edge_w, exclude_edges=boundary
+            ),
+            "payload_bytes": int(
+                my_sel.nbytes + delta_counts.nbytes + loads_after.nbytes
+            ),
+        }
 
-        return shard
+    # -------- stop: optional rollback, final payload --------
+    ctl = msg[1]
+    boundary = ctl["boundary_edges"]
+    prev = (
+        local[block.ids].copy()
+        if block is not None and block.num_vertices
+        else None
+    )
+    if (
+        ctl["rollback"]
+        and best is not None
+        and block is not None
+        and block.num_vertices
+    ):
+        current = local[block.ids]
+        for i in np.flatnonzero(current != best):
+            v = int(block.ids[i])
+            e_v = block.edges_of(i)
+            state.remove(e_v, int(current[i]), block.vertex_weights[i])
+            state.place(e_v, int(best[i]), block.vertex_weights[i])
+            local[v] = int(best[i])
+    return {
+        "assignment": local[v_lo:v_hi],
+        "delta_loads": state.loads - loads_after,
+        "edge_sel": my_sel,
+        "delta_counts": (
+            move_deltas(prev, local[block.ids])
+            if prev is not None
+            else np.zeros((0, p), dtype=np.int64)
+        ),
+        "interior_cost": state.pc_cost(
+            C,
+            edge_weights=final_edge_weights,
+            exclude_edges=boundary,
+        ),
+        "boundary_vertices": (
+            int(block.num_vertices) if block is not None else 0
+        ),
+        "evictions": state.evictions,
+        "peak_tracked": state.peak_tracked_edges,
+    }
 
 
 def _boundary_block(

@@ -1,0 +1,379 @@
+"""Wire-protocol tests for the cluster layer (socketpair/loopback only).
+
+Pins the frame format and the :class:`ProtocolError` taxonomy: codec
+roundtrips (arrays stay arrays, ``bytes`` stay ``bytes`` even though
+both travel as raw sections), truncated frames, protocol-version
+mismatch, oversized-frame rejection *before* allocation, bad magic —
+and the coordinator-facing failure semantics: a worker disconnecting
+mid-ingest or mid-round degrades (or fails loudly under
+``on_loss="fail"``) within the socket timeout, never hanging.
+"""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.protocol import (
+    DEFAULT_MAX_FRAME,
+    HEADER,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    BadMagicError,
+    ConnectionClosedError,
+    OversizedFrameError,
+    ProtocolError,
+    TruncatedFrameError,
+    VersionMismatchError,
+    base_from_spec,
+    decode_payload,
+    encode_payload,
+    frame,
+    recv_message,
+    send_message,
+)
+from repro.core.config import HyperPRAWConfig
+from repro.streaming import BufferedRestreamer, OnePassStreamer
+
+#: generous guard so a protocol bug surfaces as an error, never a hang
+TIMEOUT = 10.0
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    a.settimeout(TIMEOUT)
+    b.settimeout(TIMEOUT)
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestPayloadCodec:
+    def test_roundtrip_nested(self):
+        message = {
+            "type": "reply",
+            "none": None,
+            "flag": True,
+            "pi": 3.25,
+            "n": 7,
+            "text": "héllo",
+            "list": [1, [2, {"deep": np.arange(5, dtype=np.int64)}]],
+            "f32": np.linspace(0, 1, 7, dtype=np.float32).reshape(7, 1),
+            "empty": np.empty((0, 3), dtype=np.float64),
+        }
+        out = decode_payload(encode_payload(message))
+        assert out["type"] == "reply" and out["none"] is None
+        assert out["flag"] is True and out["pi"] == 3.25 and out["n"] == 7
+        assert out["text"] == "héllo"
+        np.testing.assert_array_equal(out["list"][1][1]["deep"], np.arange(5))
+        assert out["f32"].dtype == np.float32 and out["f32"].shape == (7, 1)
+        assert out["empty"].shape == (0, 3)
+
+    def test_bytes_and_uint8_arrays_stay_distinct(self):
+        """Both travel as raw uint8 sections; the placeholder — not the
+        dtype — decides what comes back (a genuine uint8 array must not
+        be misdecoded as bytes)."""
+        message = {"blob": b"\x00\x01raw", "arr": np.array([0, 1], np.uint8)}
+        out = decode_payload(encode_payload(message))
+        assert isinstance(out["blob"], bytes) and out["blob"] == b"\x00\x01raw"
+        assert isinstance(out["arr"], np.ndarray)
+        assert out["arr"].dtype == np.uint8
+
+    def test_decoded_arrays_are_writable_copies(self):
+        out = decode_payload(encode_payload({"a": np.zeros(4)}))
+        out["a"][0] = 1.0  # the round protocol mutates merged counts
+
+    def test_numpy_scalars_decay_to_python(self):
+        out = decode_payload(encode_payload({"x": np.int64(3), "y": np.float32(0.5)}))
+        assert out["x"] == 3 and isinstance(out["x"], int)
+        assert out["y"] == 0.5 and isinstance(out["y"], float)
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            encode_payload({"bad": object()})
+
+    def test_truncated_payload_raises(self):
+        payload = encode_payload({"a": np.arange(100)})
+        with pytest.raises(TruncatedFrameError):
+            decode_payload(payload[:2])
+        with pytest.raises(TruncatedFrameError):
+            decode_payload(payload[:20])
+        with pytest.raises(TruncatedFrameError):
+            decode_payload(payload[:-1])
+
+
+class TestFraming:
+    def _deliver(self, pair, data: bytes):
+        a, b = pair
+        a.sendall(data)
+        a.close()
+        return b
+
+    def test_send_recv_roundtrip(self, pair):
+        a, b = pair
+        nbytes = send_message(a, {"type": "ping", "arr": np.arange(3)})
+        message, wire = recv_message(b)
+        assert message["type"] == "ping"
+        np.testing.assert_array_equal(message["arr"], np.arange(3))
+        assert wire == nbytes > HEADER.size
+
+    def test_clean_eof_between_frames(self, pair):
+        b = self._deliver(pair, b"")
+        with pytest.raises(ConnectionClosedError):
+            recv_message(b)
+
+    def test_truncated_header(self, pair):
+        b = self._deliver(pair, frame(encode_payload({"t": 1}))[: HEADER.size - 3])
+        with pytest.raises(TruncatedFrameError):
+            recv_message(b)
+
+    def test_truncated_body(self, pair):
+        b = self._deliver(pair, frame(encode_payload({"t": 1}))[:-5])
+        with pytest.raises(TruncatedFrameError):
+            recv_message(b)
+
+    def test_version_mismatch(self, pair):
+        b = self._deliver(
+            pair, frame(encode_payload({"t": 1}), version=PROTOCOL_VERSION + 1)
+        )
+        with pytest.raises(VersionMismatchError, match="protocol v2"):
+            recv_message(b)
+
+    def test_bad_magic(self, pair):
+        data = frame(encode_payload({"t": 1}))
+        b = self._deliver(pair, b"GET /" + data[5:])
+        with pytest.raises(BadMagicError):
+            recv_message(b)
+
+    def test_oversized_frame_rejected_before_payload(self, pair):
+        """The bound trips on the *declared* length — only the header
+        needs to arrive, no payload allocation happens."""
+        a, b = pair
+        a.sendall(HEADER.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, 0, 1 << 40))
+        with pytest.raises(OversizedFrameError, match=str(1 << 40)):
+            recv_message(b)  # payload never sent: must not block on it
+
+    def test_receiver_max_frame_bound(self, pair):
+        a, b = pair
+        a.sendall(frame(encode_payload({"big": np.zeros(1024, np.uint8)})))
+        with pytest.raises(OversizedFrameError):
+            recv_message(b, max_frame=64)
+
+    def test_default_bound_is_sane(self):
+        assert DEFAULT_MAX_FRAME == 1 << 30
+        assert HEADER.format == "<4sHHQ"
+        assert HEADER.size == struct.calcsize("<4sHHQ") == 16
+
+
+class TestBaseFromSpec:
+    def test_onepass_roundtrip(self):
+        base = OnePassStreamer(
+            alpha=0.7,
+            presence_threshold=2,
+            balance_slack=1.3,
+            max_tracked_edges=123,
+            scorer="fennel",
+            gamma=1.25,
+        )
+        rebuilt = base_from_spec(base._shard_spec())
+        assert isinstance(rebuilt, OnePassStreamer)
+        for attr in (
+            "alpha",
+            "presence_threshold",
+            "balance_slack",
+            "max_tracked_edges",
+            "score_mode",
+            "scorer",
+            "gamma",
+        ):
+            assert getattr(rebuilt, attr) == getattr(base, attr), attr
+
+    def test_buffered_roundtrip(self):
+        base = BufferedRestreamer(
+            HyperPRAWConfig(max_iterations=17, record_history=False),
+            buffer_size=96,
+            max_tracked_edges=77,
+        )
+        rebuilt = base_from_spec(base._shard_spec())
+        assert isinstance(rebuilt, BufferedRestreamer)
+        assert rebuilt.buffer_size == 96
+        assert rebuilt.max_tracked_edges == 77
+        assert rebuilt.config.max_iterations == 17
+        assert rebuilt.workers == 1  # remote bases never fork recursively
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ProtocolError, match="unknown base"):
+            base_from_spec({"kind": "quantum"})
+
+
+class TestWorkerSessionFailures:
+    """Worker-side protocol handling over a live (threaded) worker."""
+
+    @pytest.fixture()
+    def worker(self):
+        from repro.cluster.worker import ClusterWorker
+
+        w = ClusterWorker("127.0.0.1", 0, seed=5)
+        thread = w.start_in_thread()
+        yield w
+        w.stop()
+        thread.join(timeout=TIMEOUT)
+        assert not thread.is_alive()
+
+    def _connect(self, worker):
+        sock = socket.create_connection(
+            ("127.0.0.1", worker.port), timeout=TIMEOUT
+        )
+        sock.settimeout(TIMEOUT)
+        return sock
+
+    def test_worker_reports_bad_first_frame(self, worker):
+        with self._connect(worker) as sock:
+            send_message(sock, {"type": "round", "kind": "pass", "ctl": None})
+            reply, _ = recv_message(sock)
+            assert reply["type"] == "error"
+            assert "hello" in reply["error"]
+
+    def test_worker_survives_version_mismatch(self, worker):
+        with self._connect(worker) as sock:
+            sock.sendall(
+                frame(
+                    encode_payload({"type": "hello"}),
+                    version=PROTOCOL_VERSION + 9,
+                )
+            )
+            reply, _ = recv_message(sock)
+            assert reply["type"] == "error"
+        # the accept loop must still be alive for the next peer
+        with self._connect(worker) as sock:
+            send_message(sock, {"type": "shutdown"})
+            reply, _ = recv_message(sock)
+            assert reply["type"] == "bye"
+
+    def test_worker_survives_disconnect_during_ingest(self, worker):
+        hello = {
+            "type": "hello",
+            "version": PROTOCOL_VERSION,
+            "shard_index": 0,
+            "nshards": 1,
+            "num_parts": 2,
+            "num_vertices": 8,
+            "counts": [1, 1],
+            "total_weight": 8.0,
+            "seed_entropy": 7,
+            "seed_spawn_key": [],
+            "base": OnePassStreamer()._shard_spec(),
+            "profile": {"use_edge_weights": False},
+            "C": 4.0,
+            "edge_weights": np.ones(4),
+            "edge_degrees": np.full(4, 2.0),
+            "boundary_ship": "boundary",
+            "ship": "chunks",
+            "chunk_size": 4,
+            "lo": 0,
+            "hi": 2,
+            "v_lo": 0,
+            "v_hi": 8,
+            "shard_weight": 8.0,
+        }
+        sock = self._connect(worker)
+        send_message(sock, hello)
+        ack, _ = recv_message(sock)
+        assert ack["type"] == "hello_ack"
+        assert ack["version"] == PROTOCOL_VERSION
+        assert ack["worker_seed"] == 5
+        sock.close()  # hang up mid-ingest, before any chunk arrives
+        # worker must be back in its accept loop, not wedged in recv
+        with self._connect(worker) as sock2:
+            send_message(sock2, {"type": "shutdown"})
+            reply, _ = recv_message(sock2)
+            assert reply["type"] == "bye"
+
+
+class TestCoordinatorNeverHangs:
+    """Mid-round worker loss: degrade-or-fail within the timeout."""
+
+    def _run(self, on_loss, die_after_rounds=2):
+        """Partition against one real worker and one saboteur that
+        accepts the session but drops the socket after N round frames."""
+        from repro.cluster import DistributedStreamer
+        from repro.cluster.worker import ClusterWorker
+        from repro.hypergraph.generators import powerlaw_hypergraph
+        from repro.streaming import HypergraphChunkStream
+
+        class Saboteur(ClusterWorker):
+            def _run_session(self, conn, hello):
+                send_message(
+                    conn,
+                    {
+                        "type": "hello_ack",
+                        "version": PROTOCOL_VERSION,
+                        "shard_index": hello["shard_index"],
+                        "worker_seed": self.seed,
+                        "seed_entropy": hello["seed_entropy"],
+                    },
+                )
+                stream = self._ingest(conn, hello)
+                close = getattr(stream, "close", None)
+                seen = 0
+                while seen < die_after_rounds:
+                    msg, _ = recv_message(conn, max_frame=self.max_frame)
+                    if msg["type"] == "round":
+                        seen += 1
+                if close is not None:
+                    close()
+                conn.close()  # vanish mid-round without a reply
+                # surface as a lost session so the accept loop survives
+                raise ConnectionClosedError("saboteur dropped the link")
+
+        hg = powerlaw_hypergraph(260, 320, 3.0, seed=4, name="proto-hang")
+        good, bad = ClusterWorker("127.0.0.1", 0), Saboteur("127.0.0.1", 0)
+        threads = [good.start_in_thread(), bad.start_in_thread()]
+        try:
+            streamer = DistributedStreamer(
+                OnePassStreamer(),
+                hosts=[
+                    ("127.0.0.1", good.port),
+                    ("127.0.0.1", bad.port),
+                ],
+                timeout=TIMEOUT,
+                on_loss=on_loss,
+                reconnect=False,
+                chunk_size=32,
+            )
+            stream = HypergraphChunkStream(hg, 32)
+            return streamer.partition_stream(stream, 4, seed=13)
+        finally:
+            good.stop()
+            bad.stop()
+            for thread in threads:
+                thread.join(timeout=TIMEOUT)
+                assert not thread.is_alive()
+
+    def test_midround_loss_degrades_to_identical_result(self):
+        from repro.hypergraph.generators import powerlaw_hypergraph
+        from repro.streaming import HypergraphChunkStream, ShardedStreamer
+
+        done = {}
+
+        def target():
+            done["result"] = self._run("degrade")
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(timeout=60.0)  # the deadlock bound
+        assert not thread.is_alive(), "coordinator hung after worker loss"
+        result = done["result"]
+        assert result.metadata["degraded_shards"] == [1]
+        hg = powerlaw_hypergraph(260, 320, 3.0, seed=4, name="proto-hang")
+        golden = ShardedStreamer(
+            OnePassStreamer(), workers=2, chunk_size=32
+        ).partition_stream(HypergraphChunkStream(hg, 32), 4, seed=13)
+        np.testing.assert_array_equal(result.assignment, golden.assignment)
+
+    def test_midround_loss_fails_loudly(self):
+        with pytest.raises(RuntimeError, match="lost \\(shard 1\\)"):
+            self._run("fail")

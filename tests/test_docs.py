@@ -90,6 +90,7 @@ def test_docs_tree_exists():
     assert (REPO / "docs" / "architecture.md").is_file()
     assert (REPO / "docs" / "formats.md").is_file()
     assert (REPO / "docs" / "service.md").is_file()
+    assert (REPO / "docs" / "cluster.md").is_file()
 
 
 @pytest.mark.parametrize("path", _doc_files(), ids=lambda p: p.name)
@@ -120,6 +121,7 @@ def test_readme_links_docs_tree():
     assert "docs/architecture.md" in links
     assert "docs/formats.md" in links
     assert "docs/service.md" in links
+    assert "docs/cluster.md" in links
 
 
 def test_examples_are_referenced_and_present():

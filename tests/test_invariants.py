@@ -200,7 +200,11 @@ class TestPayloadEquivalence:
 
     def test_forked_equals_sequential_fallback(self, instance, monkeypatch):
         """The fork-less fallback drives the same barrier rounds in shard
-        order, so it must be bit-identical to the forked run."""
+        order, so it must be bit-identical to the forked run — and it
+        must *announce* itself: a structured RuntimeWarning when
+        parallelism was requested but fork is unavailable, plus the
+        effective mode in run metadata, so benches can never misreport
+        sequential numbers as parallel ones."""
         import repro.engine.parallel as parallel
 
         def run():
@@ -211,8 +215,13 @@ class TestPayloadEquivalence:
             ).partition(instance, P, seed=9)
 
         forked = run()
+        assert forked.metadata["parallel_mode"] == (
+            "forked" if parallel.fork_available() else "sequential"
+        )
         monkeypatch.setattr(parallel, "fork_available", lambda: False)
-        sequential = run()
+        with pytest.warns(RuntimeWarning, match="fork.*unavailable"):
+            sequential = run()
+        assert sequential.metadata["parallel_mode"] == "sequential"
         assert np.array_equal(forked.assignment, sequential.assignment)
         assert (
             forked.metadata["boundary_iterations"]
