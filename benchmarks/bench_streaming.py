@@ -39,6 +39,13 @@ exactly without opening a socket.  Wall-clock drift only *warns* — CI
 boxes are not benchmark boxes — but determinism drift fails, so the
 committed numbers can never silently go stale.  The default subset keeps
 the check cheap; ``REPRO_BENCH_FULL=1`` reruns every baseline record.
+
+``test_streaming_baseline_diff`` is the same contract for the committed
+``BENCH_STREAMING.json`` (written by ``scripts/run_streaming_bench.py
+--bench-out``, docs/performance.md): every ladder row's cut and
+assignment digest must reproduce exactly, wall drift warns with 1.5x
+slack.  The default subset reruns one instance's ladder;
+``REPRO_BENCH_FULL=1`` reruns them all.
 """
 
 import hashlib
@@ -255,6 +262,72 @@ def test_cluster_baseline_diff(benchmark):
                 f"{cell}: local rerun wall {wall:.3f}s exceeds 1.5x the "
                 f"committed distributed baseline {rec['wall_s']:.3f}s — "
                 f"possible performance regression",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
+def test_streaming_baseline_diff(benchmark):
+    """BENCH_STREAMING.json must reproduce: digest exactly, wall w/ slack."""
+    baseline_path = Path(__file__).resolve().parents[1] / "BENCH_STREAMING.json"
+    if not baseline_path.exists():
+        pytest.skip("no committed BENCH_STREAMING.json baseline")
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["schema"] == "bench-streaming"
+    assert baseline["version"] == 1, "bump this check with the schema"
+
+    instances = sorted({r["instance"] for r in baseline["records"]})
+    if not FULL:
+        # Cheap subset: one full ladder still exercises every contender
+        # (in-memory, chunked, onepass, buffered vertex + chunk-restream)
+        # in a couple of seconds.
+        instances = instances[:1]
+    by_key = {
+        (r["instance"], r["algorithm"]): r for r in baseline["records"]
+    }
+
+    def rerun():
+        out = []
+        for instance in instances:
+            hg = load_instance(instance, scale=baseline["scale"])
+            report = compare_streaming(
+                hg,
+                baseline["num_parts"],
+                chunk_size=baseline["chunk_size"],
+                buffer_fractions=tuple(baseline["buffer_fractions"]),
+                max_iterations=baseline["max_iterations"],
+                kernel=baseline["kernel"],
+                seed=baseline["seed"],
+            )
+            for record in report.records:
+                out.append((instance, record))
+        return out
+
+    reruns = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    for instance, record in reruns:
+        rec = by_key.get((instance, record.algorithm))
+        assert rec is not None, (
+            f"{instance}: ladder row {record.algorithm!r} missing from the "
+            f"baseline — regenerate BENCH_STREAMING.json via "
+            f"scripts/run_streaming_bench.py --bench-out"
+        )
+        cell = f"{instance} x {record.algorithm}"
+        assert record.assignment_digest == rec["assignment_digest"], (
+            f"{cell}: assignment digest {record.assignment_digest} != "
+            f"committed {rec['assignment_digest']} — the partitioner's "
+            f"output changed; regenerate BENCH_STREAMING.json via "
+            f"scripts/run_streaming_bench.py --bench-out if intentional"
+        )
+        assert record.quality.hyperedge_cut == rec["cut"], (
+            f"{cell}: cut {record.quality.hyperedge_cut} != committed "
+            f"{rec['cut']}"
+        )
+        benchmark.extra_info[f"wall_s[{cell}]"] = round(record.wall_time_s, 4)
+        if rec["wall_s"] and record.wall_time_s > 1.5 * rec["wall_s"]:
+            warnings.warn(
+                f"{cell}: local rerun wall {record.wall_time_s:.3f}s "
+                f"exceeds 1.5x the committed baseline {rec['wall_s']:.3f}s "
+                f"— possible performance regression",
                 RuntimeWarning,
                 stacklevel=2,
             )

@@ -18,7 +18,7 @@ _readme = _here / "README.md"
 
 setup(
     name="hyperpraw-repro",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of HyperPRAW: architecture-aware hypergraph "
         "restreaming partitioning (ICPP 2019), with out-of-core streaming "
@@ -39,6 +39,11 @@ setup(
             "pytest",
             "pytest-benchmark",
             "hypothesis",
+        ],
+        # Optional compiled pass kernel (kernel="njit"/"auto"); the
+        # pure-python path is bit-identical, just interpreter speed.
+        "fast": [
+            "numba>=0.57",
         ],
     },
     entry_points={

@@ -39,6 +39,7 @@ headline number.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import tempfile
 import time
@@ -83,6 +84,11 @@ class StreamingRecord:
     wall_time_s: float
     peak_resident_pins: "int | None"
     peak_tracked_edges: "int | None"
+    #: sha256[:16] of the int64 assignment — the determinism anchor the
+    #: committed BENCH_STREAMING.json baseline diffs against
+    assignment_digest: "str | None" = None
+    #: which pass kernel actually ran ("python" | "njit")
+    kernel_mode: "str | None" = None
 
     @property
     def pc_cost(self) -> float:
@@ -153,6 +159,7 @@ def compare_streaming(
     pin_budget: "int | None" = None,
     max_tracked_edges: "int | None" = None,
     max_iterations: int = 100,
+    kernel: str = "auto",
     seed: int = 0,
 ) -> StreamingReport:
     """Run the full streamed-vs-in-memory comparison on ``hg``.
@@ -163,6 +170,14 @@ def compare_streaming(
     the chunk size so the reported peak resident pins reflect the
     out-of-core bound even on laptop-sized instances.  ``pin_budget``
     switches the streamed contenders to pin-budgeted chunk boundaries.
+    ``kernel`` selects the pass-kernel implementation (docs/performance.md)
+    for every contender.
+
+    The buffered restreamers run twice per fraction: once scoring
+    vertex-by-vertex (the historical path) and once with the chunked
+    restream scorer (``chunk_size`` sub-blocks per window) — the
+    ``stream-buffered-chunk`` rows are the headline of the compiled-speed
+    PR's ladder.
     """
     if buffer_pins is None:
         buffer_pins = max(1024, 8 * chunk_size)
@@ -176,6 +191,9 @@ def compare_streaming(
         quality = evaluate_partition(
             hg, result.assignment, num_parts, C, algorithm=algorithm
         )
+        digest = hashlib.sha256(
+            np.ascontiguousarray(result.assignment, dtype=np.int64).tobytes()
+        ).hexdigest()[:16]
         records.append(
             StreamingRecord(
                 algorithm=algorithm,
@@ -186,11 +204,15 @@ def compare_streaming(
                     peak_pins() if callable(peak_pins) else peak_pins
                 ),
                 peak_tracked_edges=result.metadata.get("peak_tracked_edges"),
+                assignment_digest=digest,
+                kernel_mode=result.metadata.get("kernel_mode"),
             )
         )
         return result
 
-    cfg = HyperPRAWConfig(max_iterations=max_iterations, record_history=False)
+    cfg = HyperPRAWConfig(
+        max_iterations=max_iterations, record_history=False, kernel=kernel
+    )
     run(
         "hyperpraw (in-memory)",
         lambda: HyperPRAW(cfg).partition(hg, num_parts, cost_matrix=cost_matrix, seed=seed),
@@ -227,7 +249,9 @@ def compare_streaming(
 
         streamed(
             lambda: OnePassStreamer(
-                chunk_size=chunk_size, max_tracked_edges=max_tracked_edges
+                chunk_size=chunk_size,
+                max_tracked_edges=max_tracked_edges,
+                kernel=kernel,
             ),
             "stream-onepass",
             chunk_size,
@@ -243,6 +267,20 @@ def compare_streaming(
                 f"stream-buffered ({frac:g}|V|)",
                 chunk_size,
             )
+        # Same window ladder with the chunked restream scorer: one
+        # block-terms matmul per chunk_size sub-block instead of a
+        # per-vertex python loop over the window.
+        for frac in buffer_fractions:
+            buffer = max(1, int(round(frac * hg.num_vertices)))
+            streamed(
+                lambda: BufferedRestreamer(
+                    chunked_cfg,
+                    buffer_size=buffer,
+                    max_tracked_edges=max_tracked_edges,
+                ),
+                f"stream-buffered-chunk ({frac:g}|V|)",
+                chunk_size,
+            )
 
     # Normalise: gaps are relative to the in-memory anchor.
     anchor = records[0].quality.pc_cost
@@ -254,6 +292,8 @@ def compare_streaming(
             wall_time_s=r.wall_time_s,
             peak_resident_pins=r.peak_resident_pins,
             peak_tracked_edges=r.peak_tracked_edges,
+            assignment_digest=r.assignment_digest,
+            kernel_mode=r.kernel_mode,
         )
         for r in records
     ]
@@ -517,6 +557,7 @@ def compare_sharded(
     max_iterations: int = 100,
     payload: str = "boundary",
     shard_by: str = "pins",
+    kernel: str = "auto",
     seed: int = 0,
 ) -> ShardedReport:
     """Stream ``hg`` at a ladder of worker counts, sharing one spill file.
@@ -531,7 +572,9 @@ def compare_sharded(
     (``payload`` / ``shard_by`` select the v2 knobs under test).
     """
     C = uniform_cost_matrix(num_parts) if cost_matrix is None else cost_matrix
-    cfg = HyperPRAWConfig(max_iterations=max_iterations, record_history=False)
+    cfg = HyperPRAWConfig(
+        max_iterations=max_iterations, record_history=False, kernel=kernel
+    )
     buffer = max(1, int(round(buffer_fraction * hg.num_vertices)))
     records: "list[ShardedRecord]" = []
     base_name = ""

@@ -276,6 +276,9 @@ def base_from_spec(spec: dict):
             score_mode=spec["score_mode"],
             scorer=spec["scorer"],
             gamma=spec["gamma"],
+            # .get: specs written before the kernel knob existed decode
+            # to the default rather than failing the session.
+            kernel=spec.get("kernel", "auto"),
         )
     if kind == "buffered":
         from repro.core.config import HyperPRAWConfig

@@ -87,6 +87,14 @@ class HyperPRAWConfig:
         chunk-count split would straggle (per-shard pin skew over
         ``ShardedStreamer.PIN_SKEW_THRESHOLD``), ``"chunks"`` always
         splits by chunk count.
+    kernel:
+        inner-loop implementation: ``"auto"`` (default — the compiled
+        numba kernel when installed and the state/scorer/mode
+        combination supports it, otherwise silently python),
+        ``"python"`` (the bit-for-bit reference loop) or ``"njit"``
+        (request the compiled kernel; falls back to python with a
+        :class:`RuntimeWarning` when it cannot be honoured).  The mode
+        a run actually used is reported as ``kernel_mode`` metadata.
     """
 
     imbalance_tolerance: float = 1.1
@@ -103,6 +111,7 @@ class HyperPRAWConfig:
     workers: int = 1
     shard_payload: str = "boundary"
     shard_by: str = "pins"
+    kernel: str = "auto"
 
     def __post_init__(self):
         if self.chunk_size is not None and self.chunk_size < 1:
@@ -119,6 +128,10 @@ class HyperPRAWConfig:
         if self.shard_by not in ("pins", "chunks"):
             raise ValueError(
                 f"shard_by must be 'pins' or 'chunks', got {self.shard_by!r}"
+            )
+        if self.kernel not in ("auto", "python", "njit"):
+            raise ValueError(
+                f"kernel must be 'auto', 'python' or 'njit', got {self.kernel!r}"
             )
         if self.imbalance_tolerance < 1.0:
             raise ValueError(

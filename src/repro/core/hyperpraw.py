@@ -48,7 +48,13 @@ from repro.core.metrics import partitioning_comm_cost
 from repro.core.result import IterationRecord, PartitionResult
 from repro.core.schedule import TemperingSchedule, initial_alpha
 from repro.core.state import StreamState
-from repro.engine import DenseKernelState, HyperPRAWScorer, InMemorySource, pass_kernel
+from repro.engine import (
+    DenseKernelState,
+    HyperPRAWScorer,
+    InMemorySource,
+    pass_kernel,
+    resolve_kernel,
+)
 from repro.hypergraph.model import Hypergraph
 from repro.utils.rng import as_generator
 
@@ -142,6 +148,17 @@ class HyperPRAW(Partitioner):
         source = InMemorySource(hg, order=order, block_size=cfg.chunk_size)
         kernel_state = DenseKernelState.from_stream_state(state)
         score_mode = "chunk" if cfg.chunk_size is not None else "vertex"
+        # Resolve the kernel once up front (one fallback warning at most);
+        # scorer construction is per pass but its type never changes.
+        kernel_mode = resolve_kernel(
+            cfg.kernel,
+            kernel_state,
+            HyperPRAWScorer(
+                C, schedule.alpha, state.expected_loads, cfg.presence_threshold
+            ),
+            score_mode,
+        )
+        pass_seconds = 0.0
 
         history: list[IterationRecord] = []
         best_assignment: "np.ndarray | None" = None
@@ -155,6 +172,7 @@ class HyperPRAW(Partitioner):
             scorer = HyperPRAWScorer(
                 C, alpha, state.expected_loads, cfg.presence_threshold
             )
+            t_pass = time.perf_counter()
             pass_kernel(
                 source.blocks(),
                 kernel_state,
@@ -162,7 +180,9 @@ class HyperPRAW(Partitioner):
                 state.assignment,
                 restream=True,
                 score_mode=score_mode,
+                kernel=kernel_mode,
             )
+            pass_seconds += time.perf_counter() - t_pass
             iterations_run = it
             imb = state.imbalance()
             cost = partitioning_comm_cost(
@@ -228,6 +248,8 @@ class HyperPRAW(Partitioner):
                 "architecture_aware": aware,
                 "imbalance_tolerance": cfg.imbalance_tolerance,
                 "chunk_size": cfg.chunk_size,
+                "kernel_mode": kernel_mode,
+                "pass_seconds": pass_seconds,
                 "wall_time_s": time.perf_counter() - t_start,
             },
         )

@@ -22,6 +22,9 @@ parallel sharded streamer — is a thin driver around one loop:
 * :mod:`~repro.engine.kernel` — :func:`pass_kernel`, the single
   remaining implementation of Algorithm 1's pass body, with per-vertex
   (exact) and per-chunk (vectorised matmul) scoring modes;
+* :mod:`~repro.engine.njit_kernel` — the optional numba-compiled twin
+  of the vertex-exact loop (``kernel="auto"|"python"|"njit"``, resolved
+  by :func:`resolve_kernel` with a warned python fallback);
 * :mod:`~repro.engine.scorers` — the pluggable value functions;
 * :mod:`~repro.engine.states` — the dense kernel state (the bounded one
   is :class:`repro.streaming.state.StreamingState`);
@@ -41,6 +44,12 @@ from repro.engine.blocks import (
     shard_ranges_by_pins,
 )
 from repro.engine.kernel import apply_balance_cap, pass_kernel
+from repro.engine.njit_kernel import (
+    KERNEL_CHOICES,
+    NUMBA_AVAILABLE,
+    njit_supported,
+    resolve_kernel,
+)
 from repro.engine.parallel import (
     ShardRounds,
     fork_available,
@@ -62,6 +71,10 @@ __all__ = [
     "shard_ranges_by_pins",
     "pass_kernel",
     "apply_balance_cap",
+    "KERNEL_CHOICES",
+    "NUMBA_AVAILABLE",
+    "njit_supported",
+    "resolve_kernel",
     "HyperPRAWScorer",
     "FennelScorer",
     "DenseKernelState",

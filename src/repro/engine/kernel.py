@@ -18,23 +18,40 @@ remaining implementation; the variation lives in its inputs:
   state (exact, block-size invariant); ``"chunk"`` scores a whole block
   against the block-start state with one matmul (the ~2.4x vectorised
   hot path, at the price of intra-block staleness in the neighbour
-  term — the load penalty always tracks live loads);
-* **cap** — optional FENNEL-style hard balance cap.
+  term — the load penalty always tracks live loads).  Both modes
+  support both ``restream`` settings: chunk-mode restreaming lifts the
+  whole block out in one batch (``lift_block``) before the matmul;
+* **cap** — optional FENNEL-style hard balance cap;
+* **kernel** — ``"python"`` (the reference loop below), ``"njit"`` (the
+  optional compiled twin for dense-state vertex scoring — see
+  :mod:`~repro.engine.njit_kernel`) or ``"auto"``; the resolved mode is
+  returned so drivers can record it as ``kernel_mode`` metadata.
 
 The per-vertex floating-point operation order is preserved from the
 historical loops, so refactored partitioners reproduce their previous
-assignments bit for bit (pinned by golden-hash tests).
+assignments bit for bit (pinned by golden-hash tests), and the compiled
+kernel reproduces the python path op for op.  Per-pass scratch arrays
+(``values``, the chunk placement buffer, the balance-cap mask and the
+gather buffer) are allocated once per call and reused across every
+vertex and block.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.njit_kernel import resolve_kernel, run_njit_block
+
 __all__ = ["pass_kernel", "apply_balance_cap"]
 
 
 def apply_balance_cap(
-    values: np.ndarray, loads: np.ndarray, weight: float, cap: float
+    values: np.ndarray,
+    loads: np.ndarray,
+    weight: float,
+    cap: float,
+    out: "np.ndarray | None" = None,
+    scratch: "np.ndarray | None" = None,
 ) -> None:
     """Mask partitions the hard balance cap forbids (in place).
 
@@ -42,12 +59,28 @@ def apply_balance_cap(
     would push ``loads[j]`` over ``cap``; when *every* partition is over
     cap, only the emptiest survives (a stream must always be able to
     place).
+
+    ``out`` (length-``p`` bool) and ``scratch`` (length-``p`` float64)
+    are optional preallocated work arrays; passing both makes the call
+    allocation-free on the hot path.  The masked result is identical
+    either way — the buffers change where the intermediates live, not
+    the float comparisons (``loads + weight > cap``, never the
+    rearranged ``loads > cap - weight``).
     """
-    full = loads + weight > cap
+    if out is None:
+        full = loads + weight > cap
+    else:
+        summed = loads + weight if scratch is None else np.add(
+            loads, weight, out=scratch
+        )
+        full = np.greater(summed, cap, out=out)
     if full.all():
         # Everything is over cap (tiny p or huge vertex): fall back to
         # the emptiest partition rather than dead-ending.
-        full = loads != loads.min()
+        if out is None:
+            full = loads != loads.min()
+        else:
+            full = np.not_equal(loads, loads.min(), out=out)
     values[full] = -np.inf
 
 
@@ -60,7 +93,8 @@ def pass_kernel(
     restream: bool = False,
     score_mode: str = "vertex",
     cap: "float | None" = None,
-) -> None:
+    kernel: str = "python",
+) -> str:
     """Run one pass of visit -> score -> place over ``blocks``.
 
     Parameters
@@ -88,21 +122,45 @@ def pass_kernel(
         block against the block-start state — the vectorised hot path).
     cap:
         optional hard balance cap passed to :func:`apply_balance_cap`.
+    kernel:
+        ``"python"`` (default — the reference loop, bit-for-bit stable),
+        ``"njit"`` (the optional compiled fast path; falls back to
+        python with a :class:`RuntimeWarning` when numba is missing or
+        the combination is unsupported) or ``"auto"`` (compiled when
+        available, silently python otherwise).
 
     Returns
     -------
-    None
-        the pass's effects are the in-place updates to ``state`` and
-        ``assignment``.
+    str
+        the kernel mode the pass actually ran (``"python"`` or
+        ``"njit"``) — drivers surface it as ``kernel_mode`` run
+        metadata; the pass's effects are the in-place updates to
+        ``state`` and ``assignment``.
     """
     if score_mode not in ("vertex", "chunk"):
         raise ValueError(
             f"score_mode must be 'vertex' or 'chunk', got {score_mode!r}"
         )
+    mode = resolve_kernel(kernel, state, scorer, score_mode)
     loads = state.loads
-    values = np.empty(state.num_parts, dtype=np.float64)
+    p = state.num_parts
+    values = np.empty(p, dtype=np.float64)
+    cap_mask = np.empty(p, dtype=bool) if cap is not None else None
+    cap_scratch = np.empty(p, dtype=np.float64) if cap is not None else None
+
+    if mode == "njit":
+        for block in blocks:
+            run_njit_block(block, state, scorer, assignment, restream, cap)
+        return mode
 
     if score_mode == "vertex":
+        # States advertising gather(out=) get a reused length-p buffer;
+        # the bounded LRU table builds its rows itself.
+        gather_out = (
+            np.empty(p, dtype=np.float64)
+            if getattr(state, "gather_accepts_out", False)
+            else None
+        )
         for block in blocks:
             ids = block.ids
             ptr = block.vertex_ptr
@@ -114,14 +172,23 @@ def pass_kernel(
                 w_v = weights[i]
                 if restream:
                     state.remove(edges, assignment[v], w_v)
-                X = state.gather(edges) if edges.size else None
+                if edges.size:
+                    X = (
+                        state.gather(edges)
+                        if gather_out is None
+                        else state.gather(edges, out=gather_out)
+                    )
+                else:
+                    X = None
                 scorer.vertex_values(X, loads, values)
                 if cap is not None:
-                    apply_balance_cap(values, loads, w_v, cap)
+                    apply_balance_cap(
+                        values, loads, w_v, cap, out=cap_mask, scratch=cap_scratch
+                    )
                 j = int(np.argmax(values))
                 state.place(edges, j, w_v)
                 assignment[v] = j
-        return
+        return mode
 
     # ------------------------------------------------------------------
     # chunk mode: neighbour terms frozen at block start, one matmul per
@@ -129,6 +196,7 @@ def pass_kernel(
     # update live per placement.
     # ------------------------------------------------------------------
     deferred = getattr(state, "place_deferred", False)
+    new_buf = np.empty(0, dtype=np.int64)
     for block in blocks:
         ids = block.ids
         ptr = block.vertex_ptr
@@ -142,11 +210,15 @@ def pass_kernel(
             state.lift_block(edges_all, ptr, old, weights)
         X = state.gather_block(edges_all, ptr)
         terms = scorer.block_terms(X)
-        new = np.empty(m, dtype=np.int64)
+        if new_buf.size < m:
+            new_buf = np.empty(m, dtype=np.int64)
+        new = new_buf[:m]
         for i in range(m):
             scorer.chunk_values(terms[i], loads, values)
             if cap is not None:
-                apply_balance_cap(values, loads, weights[i], cap)
+                apply_balance_cap(
+                    values, loads, weights[i], cap, out=cap_mask, scratch=cap_scratch
+                )
             j = int(np.argmax(values))
             new[i] = j
             if deferred:
@@ -156,3 +228,4 @@ def pass_kernel(
         if deferred:
             state.insert_block(edges_all, ptr, new)
         assignment[ids] = new
+    return mode

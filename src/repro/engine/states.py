@@ -47,6 +47,8 @@ class DenseKernelState:
     """
 
     place_deferred = True
+    #: the kernel may hand :meth:`gather` a reused output buffer
+    gather_accepts_out = True
 
     def __init__(
         self, num_parts: int, edge_counts: np.ndarray, loads: np.ndarray
@@ -76,9 +78,13 @@ class DenseKernelState:
     # ------------------------------------------------------------------
     # per-vertex operations
     # ------------------------------------------------------------------
-    def gather(self, edges: np.ndarray) -> np.ndarray:
-        """``X_j(v)``: per-partition counts summed over ``edges`` (length ``p``)."""
-        return self.edge_counts[edges].sum(axis=0, dtype=np.float64)
+    def gather(self, edges: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+        """``X_j(v)``: per-partition counts summed over ``edges`` (length ``p``).
+
+        ``out`` is an optional length-``p`` float64 buffer the sum is
+        written into (same reduction, no fresh allocation).
+        """
+        return self.edge_counts[edges].sum(axis=0, dtype=np.float64, out=out)
 
     def remove(self, edges: np.ndarray, part: int, weight: float) -> None:
         """Lift one vertex (incident ``edges``, ``weight``) off ``part``."""

@@ -187,6 +187,16 @@ def build_parser() -> argparse.ArgumentParser:
         "'chunks' always splits by chunk count",
     )
     stream_group.add_argument(
+        "--kernel",
+        choices=("auto", "python", "njit"),
+        default="auto",
+        help="pass-kernel implementation: 'auto' (default) compiles the "
+        "dense vertex-exact inner loop with numba when installed "
+        "(pip install hyperpraw-repro[fast]), 'python' forces the "
+        "bit-for-bit reference loop, 'njit' requires the compiled "
+        "kernel and warns on fallback",
+    )
+    stream_group.add_argument(
         "--pin-budget",
         type=int,
         default=None,
@@ -321,6 +331,7 @@ def _run_stream(ctx: ExperimentContext, args) -> str:
             pin_budget=args.pin_budget,
             max_tracked_edges=args.max_tracked_edges,
             max_iterations=ctx.max_iterations,
+            kernel=args.kernel,
             seed=ctx.seed,
         )
         reports.append(report.render())
@@ -337,6 +348,7 @@ def _run_stream(ctx: ExperimentContext, args) -> str:
                 max_iterations=ctx.max_iterations,
                 payload=args.shard_payload,
                 shard_by=args.shard_by,
+                kernel=args.kernel,
                 seed=ctx.seed,
             )
             reports.append(sharded.render())
@@ -390,6 +402,7 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
                 record_history=False,
                 shard_payload=args.shard_payload,
                 shard_by=args.shard_by,
+                kernel=args.kernel,
             ),
             buffer_size=buffer,
             max_tracked_edges=args.max_tracked_edges,
@@ -408,6 +421,7 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
                     workers=args.workers,
                     shard_payload=args.shard_payload,
                     shard_by=args.shard_by,
+                    kernel=args.kernel,
                 ),
             ),
             ("stream-buffered", buffered),
@@ -429,6 +443,8 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
                         "monitored pc cost": md.get(
                             "monitored_pc_cost", md.get("final_pc_cost")
                         ),
+                        "kernel mode": md.get("kernel_mode"),
+                        "kernel seconds": md.get("pass_seconds"),
                         "wall time [s]": md.get("wall_time_s"),
                     },
                     title=f"{label} — {stream.name} -> {ctx.num_parts} parts",
@@ -566,14 +582,18 @@ def _run_cluster(ctx: ExperimentContext, args) -> str:
     if args.cluster_base == "buffered":
         base = BufferedRestreamer(
             HyperPRAWConfig(
-                max_iterations=ctx.max_iterations, record_history=False
+                max_iterations=ctx.max_iterations,
+                record_history=False,
+                kernel=args.kernel,
             ),
             max_tracked_edges=args.max_tracked_edges,
             workers=1,
         )
     else:
         base = OnePassStreamer(
-            max_tracked_edges=args.max_tracked_edges, workers=1
+            max_tracked_edges=args.max_tracked_edges,
+            workers=1,
+            kernel=args.kernel,
         )
     streamer = DistributedStreamer(
         base,

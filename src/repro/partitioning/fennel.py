@@ -18,6 +18,8 @@ vectorised chunk-scoring hot path via ``chunk_size``.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.base import Partitioner
@@ -51,6 +53,11 @@ class FennelStreaming(Partitioner):
         engine's vectorised chunk scoring (neighbour terms frozen at
         block start, load penalty live) — faster, with intra-block
         staleness in the neighbour term.
+    kernel:
+        inner-loop implementation — ``"auto"`` (compiled when numba is
+        installed, silently python otherwise), ``"python"`` or
+        ``"njit"`` (warned fallback); see
+        :func:`repro.engine.resolve_kernel`.
     """
 
     name = "fennel"
@@ -63,6 +70,7 @@ class FennelStreaming(Partitioner):
         stream_order: str = "natural",
         balance_slack: float = 1.2,
         chunk_size: "int | None" = None,
+        kernel: str = "auto",
     ):
         if gamma <= 1.0:
             raise ValueError(f"gamma must be > 1, got {gamma}")
@@ -72,11 +80,16 @@ class FennelStreaming(Partitioner):
             raise ValueError(f"balance_slack must be > 1, got {balance_slack}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1 or None, got {chunk_size}")
+        if kernel not in ("auto", "python", "njit"):
+            raise ValueError(
+                f"kernel must be 'auto', 'python' or 'njit', got {kernel!r}"
+            )
         self.gamma = float(gamma)
         self.alpha = alpha
         self.stream_order = stream_order
         self.balance_slack = float(balance_slack)
         self.chunk_size = chunk_size
+        self.kernel = kernel
 
     def partition(self, hg, num_parts, *, cost_matrix=None, seed=None) -> PartitionResult:
         self._check_args(hg, num_parts)
@@ -96,7 +109,8 @@ class FennelStreaming(Partitioner):
         assignment = np.full(hg.num_vertices, -1, dtype=np.int64)
         cap = self.balance_slack * hg.total_vertex_weight() / p
         source = InMemorySource(hg, order=order, block_size=self.chunk_size)
-        pass_kernel(
+        t_pass = time.perf_counter()
+        kernel_mode = pass_kernel(
             source.blocks(),
             state,
             FennelScorer(alpha, self.gamma),
@@ -104,7 +118,9 @@ class FennelStreaming(Partitioner):
             restream=False,
             score_mode="chunk" if self.chunk_size is not None else "vertex",
             cap=cap,
+            kernel=self.kernel,
         )
+        pass_seconds = time.perf_counter() - t_pass
 
         return PartitionResult(
             assignment=assignment,
@@ -115,5 +131,7 @@ class FennelStreaming(Partitioner):
                 "gamma": self.gamma,
                 "single_pass": True,
                 "chunk_size": self.chunk_size,
+                "kernel_mode": kernel_mode,
+                "pass_seconds": pass_seconds,
             },
         )

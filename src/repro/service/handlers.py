@@ -87,6 +87,7 @@ _PARTITION_PARAMS = _UPLOAD_PARAMS | frozenset(
         "partitioner",
         "scorer",
         "gamma",
+        "kernel",
         "workers",
         "shard_payload",
         "shard_by",
@@ -291,7 +292,17 @@ class ServiceHandlers:
         self.jobs = JobStore(self.config.workers)
         self._started_at = time.time()
         self._stats_lock = threading.Lock()
-        self.stats = {"uploads": 0, "text_ingests": 0, "store_replays": 0}
+        self.stats = {
+            "uploads": 0,
+            "text_ingests": 0,
+            "store_replays": 0,
+            # pass-kernel observability (docs/performance.md): seconds
+            # spent inside pass_kernel across all finished runs, and how
+            # many runs each kernel implementation served.
+            "pass_seconds": 0.0,
+            "kernel_python_runs": 0,
+            "kernel_njit_runs": 0,
+        }
         if self.config.cache_dir is None:
             self._own_cache = Path(tempfile.mkdtemp(prefix="repro-service-"))
             cache_root = self._own_cache
@@ -472,6 +483,7 @@ class ServiceHandlers:
                 "k",
                 "partitioner",
                 "scorer",
+                "kernel",
                 "workers",
                 "buffer_fraction",
                 "buffer_size",
@@ -528,6 +540,7 @@ class ServiceHandlers:
         )
         with self._stats_lock:
             stats = dict(self.stats)
+        stats["pass_seconds"] = round(stats["pass_seconds"], 6)
         return 200, {
             "status": "ok",
             "version": SERVICE_VERSION,
@@ -570,6 +583,9 @@ class ServiceHandlers:
             "partitioner": partitioner,
             "scorer": scorer,
             "gamma": _get_float(params, "gamma", 1.5, lo=1.0, hi=16.0),
+            "kernel": _get_choice(
+                params, "kernel", ("auto", "python", "njit"), "auto"
+            ),
             "workers": workers,
             "shard_payload": _get_choice(
                 params, "shard_payload", ("boundary", "full"), "boundary"
@@ -600,6 +616,7 @@ class ServiceHandlers:
             return OnePassStreamer(
                 scorer=spec["scorer"],
                 gamma=spec["gamma"],
+                kernel=spec["kernel"],
                 workers=spec["workers"],
                 shard_payload=spec["shard_payload"],
                 shard_by=spec["shard_by"],
@@ -610,6 +627,7 @@ class ServiceHandlers:
             record_history=False,
             shard_payload=spec["shard_payload"],
             shard_by=spec["shard_by"],
+            kernel=spec["kernel"],
         )
         buffer_size = spec["buffer_size"] or max(
             1, int(round(spec["buffer_fraction"] * num_vertices))
@@ -646,6 +664,14 @@ class ServiceHandlers:
                 metrics["num_edges"] = stream.num_edges
                 metrics["num_pins"] = stream.num_pins
                 metrics["peak_resident_pins"] = int(stream.peak_resident_pins)
+            mode = result.metadata.get("kernel_mode", "python")
+            with self._stats_lock:
+                self.stats["pass_seconds"] += float(
+                    result.metadata.get("pass_seconds", 0.0)
+                )
+                self.stats[f"kernel_{mode}_runs"] = (
+                    self.stats.get(f"kernel_{mode}_runs", 0) + 1
+                )
             return result.assignment, spec["k"], metrics
 
         return run

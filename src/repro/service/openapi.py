@@ -23,7 +23,7 @@ OPENAPI_VERSION = "3.0.3"
 #: The service's own version: reported in the spec's ``info.version``
 #: and by ``GET /v1/healthz``.  Single-sourced here; a test pins it to
 #: the ``version=`` in setup.py so a one-sided bump fails CI.
-SERVICE_VERSION = "0.4.0"
+SERVICE_VERSION = "0.5.0"
 
 _ERROR_SCHEMA = {
     "type": "object",
@@ -94,7 +94,7 @@ _JOB_SCHEMA = {
         "request": {
             "type": "object",
             "description": "validated request echo: k, partitioner, "
-            "scorer, workers, buffer_fraction, buffer_size, "
+            "scorer, kernel, workers, buffer_fraction, buffer_size, "
             "max_tracked_edges, max_iterations, seed, cost, and the "
             "source StoreInfo",
         },
@@ -150,7 +150,9 @@ _HEALTH_SCHEMA = {
             "type": "object",
             "description": "uploads, text_ingests, store_replays counters "
             "— store_replays without text_ingests is the digest-reuse "
-            "hit path",
+            "hit path — plus pass-kernel observability: pass_seconds "
+            "(cumulative seconds inside pass_kernel across finished "
+            "runs) and kernel_python_runs / kernel_njit_runs",
         },
     },
     "required": ["status", "jobs", "stats"],
@@ -224,6 +226,17 @@ _PARTITION_PARAMETERS = [
         "gamma",
         {"type": "number", "default": 1.5},
         "FENNEL load-penalty exponent (scorer=fennel)",
+    ),
+    _q(
+        "kernel",
+        {
+            "type": "string",
+            "enum": ["auto", "python", "njit"],
+            "default": "auto",
+        },
+        "pass-kernel implementation; njit needs numba and a supported "
+        "state/scorer combo, otherwise the run falls back to python "
+        "(the resolved mode is reported as metrics.kernel_mode)",
     ),
     _q(
         "workers",

@@ -102,6 +102,13 @@ class OnePassStreamer(Partitioner):
     shard_by:
         ``"pins"`` (default) or ``"chunks"`` — how sharded worker
         ranges are balanced.
+    kernel:
+        inner-loop implementation request (``"auto"``/``"python"``/
+        ``"njit"``).  The bounded LRU presence table has no compiled
+        path (its eviction order is part of the contract), so this
+        streamer always resolves to python — an explicit ``"njit"``
+        warns once and falls back; the resolved mode is reported as
+        ``kernel_mode`` metadata.
     """
 
     name = "stream-onepass"
@@ -120,6 +127,7 @@ class OnePassStreamer(Partitioner):
         workers: int = 1,
         shard_payload: str = "boundary",
         shard_by: str = "pins",
+        kernel: str = "auto",
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -141,6 +149,10 @@ class OnePassStreamer(Partitioner):
             raise ValueError(f"gamma must be > 1, got {gamma}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if kernel not in ("auto", "python", "njit"):
+            raise ValueError(
+                f"kernel must be 'auto', 'python' or 'njit', got {kernel!r}"
+            )
         self.chunk_size = int(chunk_size)
         self.alpha = alpha
         self.presence_threshold = int(presence_threshold)
@@ -152,6 +164,7 @@ class OnePassStreamer(Partitioner):
         self.workers = int(workers)
         self.shard_payload = shard_payload
         self.shard_by = shard_by
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     def partition(
@@ -216,6 +229,8 @@ class OnePassStreamer(Partitioner):
                 "single_pass": True,
                 "score_mode": self.score_mode,
                 "scorer": self.scorer,
+                "kernel_mode": stats["kernel_mode"],
+                "pass_seconds": stats["pass_seconds"],
                 "alpha": stats["alpha"],
                 "balance_slack": self.balance_slack,
                 "max_tracked_edges": self.max_tracked_edges,
@@ -277,6 +292,7 @@ class OnePassStreamer(Partitioner):
             "score_mode": self.score_mode,
             "scorer": self.scorer,
             "gamma": self.gamma,
+            "kernel": self.kernel,
         }
 
     def _run_shard(
@@ -323,7 +339,8 @@ class OnePassStreamer(Partitioner):
             scorer = HyperPRAWScorer(
                 C, alpha, state.expected_loads, self.presence_threshold
             )
-        pass_kernel(
+        t_pass = time.perf_counter()
+        kernel_mode = pass_kernel(
             blocks_of(chunks),
             state,
             scorer,
@@ -331,5 +348,10 @@ class OnePassStreamer(Partitioner):
             restream=False,
             score_mode=self.score_mode,
             cap=cap,
+            kernel=self.kernel,
         )
-        return state, {"alpha": alpha}
+        return state, {
+            "alpha": alpha,
+            "kernel_mode": kernel_mode,
+            "pass_seconds": time.perf_counter() - t_pass,
+        }

@@ -24,7 +24,13 @@ The window pass is the shared engine kernel
 (:func:`repro.engine.kernel.pass_kernel`) in restream mode over the
 bounded table — the same loop in-memory HyperPRAW runs over the dense
 ``(E x p)`` matrix, which is what makes the unbounded configuration
-reproduce it exactly.  The monitored cost uses the per-hyperedge identity
+reproduce it exactly.  With ``config.chunk_size`` set, window passes run
+in the kernel's vectorised chunk-restream mode instead: each window is
+split into ``chunk_size`` sub-blocks, the whole sub-block is lifted out
+in one batch and scored with one matmul against the block-start table
+(live loads) — the same speed/staleness trade the in-memory
+``HyperPRAWConfig.chunk_size`` makes, so the unbounded-buffer chunked
+configuration reproduces chunked in-memory HyperPRAW exactly (tested).  The monitored cost uses the per-hyperedge identity
 ``PC(P) = sum_e w_e c_e^T C c_e``, which needs only table rows (and
 equals Eq. 5 exactly when nothing has been evicted).
 
@@ -50,7 +56,7 @@ from repro.core.base import Partitioner
 from repro.core.config import HyperPRAWConfig
 from repro.core.result import IterationRecord, PartitionResult
 from repro.core.schedule import TemperingSchedule, initial_alpha_from_counts
-from repro.engine import HyperPRAWScorer, VertexBlock, pass_kernel
+from repro.engine import HyperPRAWScorer, VertexBlock, pass_kernel, resolve_kernel
 from repro.hypergraph.model import Hypergraph
 from repro.streaming.reader import (
     DEFAULT_CHUNK_SIZE,
@@ -101,6 +107,44 @@ class _Window:
         self.num_vertices = 0
 
 
+def _window_blocks(
+    ids: np.ndarray,
+    ptr: np.ndarray,
+    edges: np.ndarray,
+    weights: np.ndarray,
+    chunk_size: "int | None",
+) -> "tuple[VertexBlock, ...]":
+    """One block per window (vertex mode), or ``chunk_size`` sub-blocks.
+
+    Sub-blocks are views into the window arrays (no copies) with the
+    local CSR rebased per block, ready for the kernel's chunk-restream
+    path (``lift_block`` + one matmul per sub-block).
+    """
+    if chunk_size is None:
+        return (
+            VertexBlock(
+                ids=ids,
+                vertex_ptr=ptr,
+                vertex_edges=edges,
+                vertex_weights=weights,
+            ),
+        )
+    blocks = []
+    m = ids.size
+    for a in range(0, m, chunk_size):
+        b = min(a + chunk_size, m)
+        base = ptr[a]
+        blocks.append(
+            VertexBlock(
+                ids=ids[a:b],
+                vertex_ptr=ptr[a : b + 1] - base,
+                vertex_edges=edges[base : ptr[b]],
+                vertex_weights=weights[a:b],
+            )
+        )
+    return tuple(blocks)
+
+
 def _split_chunk(chunk: VertexChunk, k: int) -> "tuple[VertexChunk, VertexChunk]":
     """Split a chunk after its first ``k`` vertices (views, no copies)."""
     base = chunk.vertex_ptr[k]
@@ -130,7 +174,12 @@ class BufferedRestreamer(Partitioner):
         the HyperPRAW schedule parameters (tolerance, tempering,
         refinement, presence threshold...).  ``stream_order`` must be
         ``"natural"`` — a streamed input arrives in vertex order.
-        ``config.workers`` is the default worker count.
+        ``config.workers`` is the default worker count;
+        ``config.chunk_size`` switches window restreams to the kernel's
+        vectorised chunk mode (sub-blocks lifted out in one batch, one
+        matmul each); ``config.kernel`` requests the inner-loop
+        implementation (always python over the bounded table — see
+        ``kernel_mode`` metadata).
     buffer_size:
         window capacity in vertices; ``None`` buffers the whole stream
         (exactly in-memory HyperPRAW, the convergence anchor).
@@ -246,6 +295,9 @@ class BufferedRestreamer(Partitioner):
                 "iterations_run": stats["iterations"],
                 "batches": stats["batches"],
                 "buffer_size": self.buffer_size,
+                "score_mode": self._score_mode(),
+                "kernel_mode": stats["kernel_mode"],
+                "pass_seconds": stats["pass_seconds"],
                 "final_alpha": stats["final_alpha"],
                 "final_pc_cost": float(stats["final_cost"]),
                 "max_tracked_edges": self.max_tracked_edges,
@@ -330,10 +382,26 @@ class BufferedRestreamer(Partitioner):
         alpha0 = initial_alpha_from_counts(
             stream_counts[0], stream_counts[1], p, self.config.alpha_initial
         )
+        # Resolve the kernel once per shard (one fallback warning at
+        # most): the bounded LRU table always resolves to python.
+        kernel_mode = resolve_kernel(
+            self.config.kernel,
+            state,
+            HyperPRAWScorer(
+                C, alpha0, state.expected_loads, self.config.presence_threshold
+            ),
+            self._score_mode(),
+        )
         stats = self._stream_shard(
-            chunks, state, C, alpha0, edge_weights, assignment, history
+            chunks, state, C, alpha0, edge_weights, assignment, history,
+            kernel_mode,
         )
         return state, stats
+
+    def _score_mode(self) -> str:
+        """``"chunk"`` when ``config.chunk_size`` enables the vectorised
+        window restream, else the exact ``"vertex"`` mode."""
+        return "chunk" if self.config.chunk_size is not None else "vertex"
 
     def _stream_shard(
         self,
@@ -344,6 +412,7 @@ class BufferedRestreamer(Partitioner):
         edge_weights: "np.ndarray | None",
         assignment: np.ndarray,
         history: "list[IterationRecord] | None",
+        kernel_mode: str,
     ) -> dict:
         """Round-robin-place, window and restream one shard's chunks."""
         p = state.num_parts
@@ -355,14 +424,18 @@ class BufferedRestreamer(Partitioner):
             "converged": True,
             "final_cost": 0.0,
             "final_alpha": alpha0,
+            "kernel_mode": kernel_mode,
+            "pass_seconds": 0.0,
         }
 
         def run_batch() -> None:
             if window.num_vertices == 0:
                 return
-            iters, converged, rolled_back, cost, alpha_end = self._restream_window(
-                window, state, C, alpha0, edge_weights, assignment, history,
-                stats["iterations"],
+            iters, converged, rolled_back, cost, alpha_end, seconds = (
+                self._restream_window(
+                    window, state, C, alpha0, edge_weights, assignment, history,
+                    stats["iterations"], kernel_mode,
+                )
             )
             stats["batches"] += 1
             stats["iterations"] += iters
@@ -370,6 +443,7 @@ class BufferedRestreamer(Partitioner):
             stats["converged"] = stats["converged"] and converged
             stats["final_cost"] = cost
             stats["final_alpha"] = alpha_end
+            stats["pass_seconds"] += seconds
             window.clear()
 
         for chunk in chunks:
@@ -410,18 +484,18 @@ class BufferedRestreamer(Partitioner):
         assignment: np.ndarray,
         history: "list[IterationRecord] | None",
         iteration_offset: int,
-    ) -> "tuple[int, bool, bool, float, float]":
+        kernel_mode: str = "python",
+    ) -> "tuple[int, bool, bool, float, float, float]":
         """HyperPRAW's outer loop over one window; mirrors ``partition``.
 
-        Returns ``(iterations, converged, rolled_back, best_cost, alpha)``.
+        Returns ``(iterations, converged, rolled_back, best_cost, alpha,
+        pass_seconds)``.
         """
         cfg = self.config
         win_ids, win_ptr, win_edges, win_w = window.arrays()
-        block = VertexBlock(
-            ids=win_ids,
-            vertex_ptr=win_ptr,
-            vertex_edges=win_edges,
-            vertex_weights=win_w,
+        score_mode = self._score_mode()
+        blocks = _window_blocks(
+            win_ids, win_ptr, win_edges, win_w, cfg.chunk_size
         )
         schedule = TemperingSchedule(
             alpha=alpha0,
@@ -434,16 +508,19 @@ class BufferedRestreamer(Partitioner):
         converged = False
         rolled_back = False
         iterations = 0
+        pass_seconds = 0.0
 
         for it in range(1, cfg.max_iterations + 1):
             alpha = schedule.alpha
             scorer = HyperPRAWScorer(
                 C, alpha, state.expected_loads, cfg.presence_threshold
             )
+            t_pass = time.perf_counter()
             pass_kernel(
-                (block,), state, scorer, assignment, restream=True,
-                score_mode="vertex",
+                blocks, state, scorer, assignment, restream=True,
+                score_mode=score_mode, kernel=kernel_mode,
             )
+            pass_seconds += time.perf_counter() - t_pass
             iterations = it
             imb = state.imbalance()
             cost = state.pc_cost(C, edge_weights=edge_weights)
@@ -482,7 +559,14 @@ class BufferedRestreamer(Partitioner):
             self._restore_window(
                 state, win_ids, win_ptr, win_edges, win_w, assignment, best
             )
-        return iterations, converged, rolled_back, float(best_cost), schedule.alpha
+        return (
+            iterations,
+            converged,
+            rolled_back,
+            float(best_cost),
+            schedule.alpha,
+            pass_seconds,
+        )
 
     @staticmethod
     def _restore_window(

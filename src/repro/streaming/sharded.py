@@ -367,6 +367,14 @@ class ShardedStreamer(Partitioner):
             full_payload_bytes = sum(
                 res["full_payload_bytes"] for res in results
             )
+            # Kernel observability: phase-1 shard passes all resolve the
+            # same way (same base recipe), so the mode is shared; wall
+            # time in the kernel sums across shards (it overlaps under
+            # fork — a utilisation meter, not a latency).
+            shard_pass_seconds = sum(
+                res["stats"].get("pass_seconds", 0.0) for res in results
+            )
+            kernel_mode = results[0]["stats"].get("kernel_mode", "python")
 
             # Phase 3: sharded boundary restream — snapshot-table rounds
             # with a merge barrier per pass, schedule run by the driver.
@@ -507,6 +515,8 @@ class ShardedStreamer(Partitioner):
                 "peak_resident_pins": stream.peak_resident_pins,
                 "architecture_aware": aware,
                 "imbalance": imbalance,
+                "kernel_mode": kernel_mode,
+                "pass_seconds": shard_pass_seconds,
                 "wall_time_s": time.perf_counter() - t_start,
                 **pool.run_metadata(),
             },

@@ -91,6 +91,7 @@ def test_docs_tree_exists():
     assert (REPO / "docs" / "formats.md").is_file()
     assert (REPO / "docs" / "service.md").is_file()
     assert (REPO / "docs" / "cluster.md").is_file()
+    assert (REPO / "docs" / "performance.md").is_file()
 
 
 @pytest.mark.parametrize("path", _doc_files(), ids=lambda p: p.name)

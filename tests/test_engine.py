@@ -16,11 +16,13 @@ import pytest
 from repro.architecture.cost import uniform_cost_matrix
 from repro.core import HyperPRAW, HyperPRAWConfig
 from repro.engine import (
+    NUMBA_AVAILABLE,
     DenseKernelState,
     FennelScorer,
     HyperPRAWScorer,
     InMemorySource,
     VertexBlock,
+    apply_balance_cap,
     block_of,
     merge_shard_tables,
     pass_kernel,
@@ -286,3 +288,143 @@ class TestScorerEquivalence:
         for i in range(7):
             scorer.vertex_values(X[i], loads, out)
             assert np.allclose(M[i], out)
+
+
+def _run_vertex_kernel(instance, scorer_kind, restream, cap, kernel):
+    """One vertex-mode pass with a chosen kernel; returns mode/out/state."""
+    p = 4
+    n = instance.num_vertices
+    state = DenseKernelState.empty(instance.num_edges, p)
+    assignment = np.full(n, -1, dtype=np.int64)
+    if restream:
+        rng = np.random.default_rng(5)
+        assignment[:] = rng.integers(p, size=n)
+        for v in range(n):
+            state.place(instance.edges_of(v), int(assignment[v]), 1.0)
+    if scorer_kind == "eq1":
+        scorer = HyperPRAWScorer(
+            uniform_cost_matrix(p), 1.7, np.full(p, n / p), presence_threshold=1
+        )
+    else:
+        scorer = FennelScorer(1.2, 1.5)
+    mode = pass_kernel(
+        InMemorySource(instance, block_size=37).blocks(),
+        state,
+        scorer,
+        assignment,
+        restream=restream,
+        score_mode="vertex",
+        cap=cap,
+        kernel=kernel,
+    )
+    return mode, assignment, state
+
+
+class TestKernelModes:
+    """The kernel= knob: njit bit-identity, fallback, observability.
+
+    The bit-identity suite runs only where numba is installed (the CI
+    ``numba`` job); the fallback and metadata tests run everywhere.
+    Note the seed-state goldens above run with the default
+    ``kernel="auto"``, so on a numba box they *also* pin that the
+    compiled kernel reproduces the historical assignments byte for
+    byte.
+    """
+
+    @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+    @pytest.mark.parametrize("scorer_kind", ["eq1", "fennel"])
+    @pytest.mark.parametrize("restream", [False, True])
+    @pytest.mark.parametrize("capped", [False, True])
+    def test_njit_bit_identical_to_python(
+        self, instance, scorer_kind, restream, capped
+    ):
+        cap = 1.05 * instance.num_vertices / 4 if capped else None
+        m_py, a_py, s_py = _run_vertex_kernel(
+            instance, scorer_kind, restream, cap, "python"
+        )
+        m_nj, a_nj, s_nj = _run_vertex_kernel(
+            instance, scorer_kind, restream, cap, "njit"
+        )
+        assert (m_py, m_nj) == ("python", "njit")
+        assert _digest(a_py) == _digest(a_nj)
+        assert np.array_equal(s_py.edge_counts, s_nj.edge_counts)
+        # bitwise float equality, not allclose: same op order is the claim
+        assert np.array_equal(s_py.loads, s_nj.loads)
+
+    def test_explicit_njit_on_lru_table_warns_and_falls_back(self, instance):
+        """StreamingState always runs python; explicit njit says so once."""
+        streamer = OnePassStreamer(chunk_size=32, kernel="njit")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            r = streamer.partition(instance, 4)
+        assert r.metadata["kernel_mode"] == "python"
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed")
+    def test_njit_without_numba_warns_and_falls_back(self, instance):
+        cfg = HyperPRAWConfig(record_history=False, kernel="njit")
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            r = HyperPRAW(cfg).partition(instance, 4)
+        assert r.metadata["kernel_mode"] == "python"
+        # and the fallback is the exact python-path assignment
+        explicit = HyperPRAW(
+            HyperPRAWConfig(record_history=False, kernel="python")
+        ).partition(instance, 4)
+        assert np.array_equal(r.assignment, explicit.assignment)
+
+    def test_kernel_metadata_surfaced(self, instance):
+        r = HyperPRAW(HyperPRAWConfig(record_history=False)).partition(
+            instance, 4
+        )
+        assert r.metadata["kernel_mode"] in ("python", "njit")
+        assert r.metadata["pass_seconds"] > 0.0
+        r2 = OnePassStreamer(chunk_size=32).partition(instance, 4)
+        assert r2.metadata["kernel_mode"] == "python"
+        assert r2.metadata["pass_seconds"] >= 0.0
+        r3 = BufferedRestreamer(
+            HyperPRAWConfig(record_history=False), buffer_size=64
+        ).partition(instance, 4)
+        assert r3.metadata["kernel_mode"] == "python"
+        assert r3.metadata["pass_seconds"] > 0.0
+
+    def test_invalid_kernel_rejected_everywhere(self, instance):
+        with pytest.raises(ValueError, match="kernel"):
+            HyperPRAWConfig(kernel="wat")
+        with pytest.raises(ValueError, match="kernel"):
+            OnePassStreamer(kernel="wat")
+        with pytest.raises(ValueError, match="kernel"):
+            pass_kernel(
+                (),
+                DenseKernelState.empty(1, 2),
+                FennelScorer(1.0, 1.5),
+                np.zeros(1, dtype=np.int64),
+                kernel="wat",
+            )
+
+    def test_chunked_restream_matches_chunked_inmemory(self, mesh_instance):
+        """Unbounded-buffer chunk restream == chunked in-memory HyperPRAW.
+
+        The chunk-restream anchor: scores freeze at sub-block start in
+        both, loads update identically, so the streamed path must land
+        on the in-memory chunked assignment bit for bit.
+        """
+        cfg = HyperPRAWConfig(
+            record_history=False, chunk_size=64, max_iterations=15
+        )
+        anchor = HyperPRAW(cfg).partition(mesh_instance, 4)
+        streamed = BufferedRestreamer(cfg, buffer_size=None).partition(
+            mesh_instance, 4
+        )
+        assert np.array_equal(anchor.assignment, streamed.assignment)
+        assert streamed.metadata["score_mode"] == "chunk"
+
+    def test_cap_out_and_scratch_buffers_preserve_semantics(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(size=8)
+        loads = rng.uniform(0, 10, 8)
+        expected = values.copy()
+        apply_balance_cap(expected, loads, 0.7, cap=6.0)
+        got = values.copy()
+        out = np.empty(8, dtype=bool)
+        scratch = np.empty(8)
+        apply_balance_cap(got, loads, 0.7, cap=6.0, out=out, scratch=scratch)
+        assert np.array_equal(got, expected)
+        assert np.array_equal(out, np.isneginf(got))

@@ -125,6 +125,28 @@ class TestPartitionLifecycle:
         assert job["request"]["source"]["num_pins"] == 10
         assert "wall_time_s" in job["metrics"]
 
+    def test_kernel_knob_echoed_and_observable(self, service, tiny_hgr):
+        """kernel= is validated, echoed, and surfaces in healthz stats."""
+        status, job = _request(
+            f"{service.url}/v1/partitions?k=2&sync=1&kernel=python",
+            data=tiny_hgr,
+        )
+        assert status == 200
+        assert job["request"]["kernel"] == "python"
+        # Streaming partitioners run the LRU presence table, which
+        # always resolves to the python kernel — honestly reported.
+        assert job["metrics"]["kernel_mode"] == "python"
+        assert job["metrics"]["pass_seconds"] >= 0.0
+        _, health = _request(f"{service.url}/v1/healthz")
+        assert health["stats"]["kernel_python_runs"] >= 1
+        assert health["stats"]["pass_seconds"] >= 0.0
+        status, body = _request(
+            f"{service.url}/v1/partitions?k=2&sync=1&kernel=bogus",
+            data=tiny_hgr,
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
     def test_chunked_transfer_encoding_upload(self, service, tiny_hgr):
         conn = http.client.HTTPConnection("127.0.0.1", service.port)
         blocks = iter([tiny_hgr[:9], tiny_hgr[9:]])
@@ -429,6 +451,9 @@ class TestMetaEndpoints:
             "uploads",
             "text_ingests",
             "store_replays",
+            "pass_seconds",
+            "kernel_python_runs",
+            "kernel_njit_runs",
         }
 
     def test_version_single_sourced(self, service):

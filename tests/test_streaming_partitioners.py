@@ -433,15 +433,25 @@ class TestBenchScenario:
             buffer_fractions=(0.25, 1.0),
             max_iterations=30,
         )
-        assert len(report.records) == 5
+        # anchor + chunked anchor + onepass + 2 buffered + 2 chunked-buffered
+        assert len(report.records) == 7
         # full-buffer restreaming must match the anchor exactly
         assert report.gap("stream-buffered (1|V|)") == pytest.approx(0.0)
+        # ... and full-buffer *chunked* restreaming must match the
+        # chunked in-memory row exactly (chunk scores freeze at block
+        # start, so buffering the whole window changes nothing)
+        chunked_rows = {r.algorithm: r for r in report.records}
+        assert (
+            chunked_rows["stream-buffered-chunk (1|V|)"].quality.pc_cost
+            == chunked_rows[f"hyperpraw (chunk={64})"].quality.pc_cost
+        )
         # acceptance: streamed gap <= 25% on the synthetic suite
         assert report.gap("stream-onepass") <= 0.25
         assert report.gap("stream-buffered (0.25|V|)") <= 0.25
         rendered = report.render()
         assert "streamed vs in-memory" in rendered
         assert "stream-onepass" in rendered
+        assert "stream-buffered-chunk" in rendered
 
     def test_cli_stream_command(self, capsys):
         from repro.experiments.cli import main
