@@ -7,15 +7,35 @@ upload-to-result and replay-to-result latency (the digest-reuse
 speedup), and sync requests-per-second on the replay hot path with
 concurrent client threads.
 
+``test_pool_ladder`` runs :func:`repro.bench.service.compare_pools`
+(thread pool vs process pool under the same concurrent replay load) and
+asserts the bit-identity contract between the two pools; the speedup is
+reported, not asserted — CI enforces the ratio separately on multi-core
+boxes via ``scripts/run_service_bench.py --assert-speedup``.
+
+``test_service_baseline_diff`` diffs the committed ``BENCH_SERVICE.json``
+(written by ``scripts/run_service_bench.py --bench-out``,
+docs/performance.md) against a live rerun: parsed store shapes and the
+pool ladder's assignment digests must reproduce exactly, wall-clock and
+rps drift only warn with 1.5x slack — CI boxes are not benchmark boxes.
+The default subset reruns only the pool-ladder instance;
+``REPRO_BENCH_FULL=1`` reruns the whole latency ladder.
+
 Reduced sizes by default (CI smoke finishes in seconds);
 ``REPRO_BENCH_FULL=1`` scales the ladder up and
 ``REPRO_BENCH_CLIENTS=N`` sets the throughput phase's client thread
 count (default 4).
 """
 
+import json
 import os
+import warnings
+from pathlib import Path
 
-from repro.bench.service import compare_service
+import pytest
+
+from repro.bench.service import compare_pools, compare_service
+from repro.engine.parallel import fork_available
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", "4"))
@@ -51,3 +71,120 @@ def test_service_traffic(benchmark):
     assert all(r.replay_partition_s > 0 for r in report.records)
     print()
     print(report.render())
+
+
+def test_pool_ladder(benchmark):
+    """Thread vs process pool: identical bytes, measured throughput."""
+    ladder = benchmark.pedantic(
+        lambda: compare_pools(
+            scale=0.3 if FULL else 0.05,
+            k=8,
+            chunk_size=512 if FULL else 128,
+            threads=CLIENTS,
+            requests=64 if FULL else 8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for run in ladder.runs:
+        benchmark.extra_info[f"rps[{run.pool}]"] = round(run.rps, 2)
+        assert run.errors == 0
+    if ladder.speedup is not None:
+        benchmark.extra_info["pool_speedup"] = round(ladder.speedup, 2)
+    # The pool is an implementation detail: same store, same seed =>
+    # the same assignment bytes from every pool.  (The >=1.3x speedup
+    # acceptance runs in CI via run_service_bench.py --assert-speedup,
+    # gated on actual core count.)
+    assert ladder.digests_match, [
+        (r.pool, r.assignment_digest) for r in ladder.runs
+    ]
+    print()
+    print(ladder.render())
+
+
+def test_service_baseline_diff(benchmark):
+    """BENCH_SERVICE.json must reproduce: digests exactly, wall w/ slack."""
+    baseline_path = Path(__file__).resolve().parents[1] / "BENCH_SERVICE.json"
+    if not baseline_path.exists():
+        pytest.skip("no committed BENCH_SERVICE.json baseline")
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["schema"] == "bench-service"
+    assert baseline["version"] == 1, "bump this check with the schema"
+
+    ladder_instance = baseline["pool_ladder"]["instance"]
+    instances = [r["instance"] for r in baseline["latency"]]
+    if not FULL:
+        # Cheap subset: the pool-ladder instance alone still pins the
+        # cross-pool digest contract and one latency row in seconds.
+        instances = [ladder_instance]
+    base_by_inst = {r["instance"]: r for r in baseline["latency"]}
+    base_runs = {
+        r["pool"]: r for r in baseline["pool_ladder"]["runs"]
+    }
+
+    def rerun():
+        report = compare_service(
+            tuple(instances),
+            scale=baseline["scale"],
+            k=baseline["num_parts"],
+            partitioner=baseline["partitioner"],
+            chunk_size=baseline["chunk_size"],
+            threads=baseline["threads"],
+            requests=baseline["requests"],
+            seed=baseline["seed"],
+        )
+        ladder = compare_pools(
+            ladder_instance,
+            scale=baseline["scale"],
+            k=baseline["num_parts"],
+            partitioner=baseline["partitioner"],
+            chunk_size=baseline["chunk_size"],
+            threads=baseline["threads"],
+            requests=baseline["requests"],
+            seed=baseline["seed"],
+        )
+        return report, ladder
+
+    report, ladder = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    for record in report.records:
+        base = base_by_inst[record.instance]
+        # Determinism: the parsed shape and the upload bytes are a
+        # function of (instance, scale, seed) only.
+        assert record.num_vertices == base["num_vertices"], record.instance
+        assert record.num_edges == base["num_edges"], record.instance
+        assert record.num_pins == base["num_pins"], record.instance
+        assert record.upload_bytes == base["upload_bytes"], record.instance
+        for field, value in (
+            ("store_ingest_s", record.store_ingest_s),
+            ("upload_partition_s", record.upload_partition_s),
+            ("replay_partition_s", record.replay_partition_s),
+        ):
+            benchmark.extra_info[f"{field}[{record.instance}]"] = round(
+                value, 4
+            )
+            if base[field] and value > 1.5 * base[field]:
+                warnings.warn(
+                    f"{record.instance}: {field} {value:.3f}s exceeds 1.5x "
+                    f"the committed baseline {base[field]:.3f}s — possible "
+                    f"performance regression",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    assert report.throughput.errors == 0
+    assert ladder.digests_match, [
+        (r.pool, r.assignment_digest) for r in ladder.runs
+    ]
+    for run in ladder.runs:
+        assert run.errors == 0, run.pool
+        base = base_runs.get(run.pool)
+        if base is None:
+            continue
+        assert run.assignment_digest == base["assignment_digest"], (
+            f"pool {run.pool}: assignment digest {run.assignment_digest} "
+            f"!= committed {base['assignment_digest']} — the service's "
+            f"output changed; regenerate BENCH_SERVICE.json via "
+            f"scripts/run_service_bench.py --bench-out if intentional"
+        )
+        benchmark.extra_info[f"rps[{run.pool}]"] = round(run.rps, 2)
+    if fork_available() and "process" not in {r.pool for r in ladder.runs}:
+        pytest.fail("fork available but the ladder has no process run")

@@ -1,0 +1,316 @@
+#!/usr/bin/env python
+"""Record / verify the committed service-perf baseline.
+
+Runs the HTTP traffic scenario (:func:`repro.bench.service.compare_service`)
+plus the thread-vs-process pool ladder
+(:func:`repro.bench.service.compare_pools`) and writes a versioned
+``BENCH_SERVICE.json`` baseline — the service twin of
+``BENCH_STREAMING.json`` (scripts/run_streaming_bench.py) and
+``BENCH_CLUSTER.json``.
+
+Typical invocations::
+
+    # refresh the committed baseline (run on a quiet box)
+    python scripts/run_service_bench.py --bench-out BENCH_SERVICE.json
+
+    # verify a rerun reproduces the committed numbers: store shape +
+    # assignment digest must match exactly, wall-time drift only warns
+    python scripts/run_service_bench.py --diff-against BENCH_SERVICE.json
+
+    # additionally require the process pool to beat the thread pool
+    # (CI runs this only on multi-core boxes)
+    python scripts/run_service_bench.py --diff-against BENCH_SERVICE.json \\
+        --assert-speedup 1.3
+
+The determinism contract: every ladder instance records its parsed
+shape (vertices/edges/pins) and upload byte count, and each pool run
+records a sha256 of the assignment text it served — a rerun with the
+same seed must reproduce all of those bit-exactly on any box, and the
+two pools must serve identical bytes to each other.  Wall-clock and rps
+are only sanity-checked with 1.5x slack — CI boxes are not benchmark
+boxes.  ``benchmarks/bench_service.py::test_service_baseline_diff``
+runs the cheap subset of this diff in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import warnings
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.service import compare_pools, compare_service  # noqa: E402
+
+#: Schema version of BENCH_SERVICE.json; bump on layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_INSTANCES = ("2cubes_sphere", "ABACUS_shell_hd", "sparsine")
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument(
+        "--instances",
+        nargs="+",
+        default=list(DEFAULT_INSTANCES),
+        help="suite instances for the latency ladder",
+    )
+    parser.add_argument("--scale", type=float, default=0.05, help="instance scale")
+    parser.add_argument("--num-parts", type=int, default=8)
+    parser.add_argument("--partitioner", default="onepass")
+    parser.add_argument("--chunk-size", type=int, default=256)
+    parser.add_argument(
+        "--threads", type=int, default=4, help="concurrent client threads"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=16, help="total sync replay requests"
+    )
+    parser.add_argument("--seed", type=int, default=20190805, help="master seed")
+    parser.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help="write the versioned benchmark baseline JSON here",
+    )
+    parser.add_argument(
+        "--diff-against",
+        default=None,
+        metavar="PATH",
+        help="compare against a committed baseline: shape/digest mismatch "
+        "fails, wall-time regression only warns",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail unless process rps >= RATIO * thread rps; skipped (with "
+        "a notice) on single-core boxes or where fork is unavailable",
+    )
+    return parser.parse_args(argv)
+
+
+def run_benches(args) -> dict:
+    """Latency ladder + pool ladder; returns the two report payloads."""
+    t0 = time.perf_counter()
+    report = compare_service(
+        tuple(args.instances),
+        scale=args.scale,
+        k=args.num_parts,
+        partitioner=args.partitioner,
+        chunk_size=args.chunk_size,
+        threads=args.threads,
+        requests=args.requests,
+        seed=args.seed,
+    )
+    print(f"latency ladder in {time.perf_counter() - t0:.2f}s")
+    print(report.render())
+
+    smallest = min(report.records, key=lambda r: r.upload_bytes)
+    t0 = time.perf_counter()
+    ladder = compare_pools(
+        smallest.instance,
+        scale=args.scale,
+        k=args.num_parts,
+        partitioner=args.partitioner,
+        chunk_size=args.chunk_size,
+        threads=args.threads,
+        requests=args.requests,
+        seed=args.seed,
+    )
+    print(f"pool ladder in {time.perf_counter() - t0:.2f}s")
+    print(ladder.render())
+
+    latency = [
+        {
+            "instance": r.instance,
+            "num_vertices": r.num_vertices,
+            "num_edges": r.num_edges,
+            "num_pins": r.num_pins,
+            "upload_bytes": r.upload_bytes,
+            "store_ingest_s": round(r.store_ingest_s, 4),
+            "upload_partition_s": round(r.upload_partition_s, 4),
+            "replay_partition_s": round(r.replay_partition_s, 4),
+        }
+        for r in report.records
+    ]
+    t = report.throughput
+    throughput = {
+        "instance": t.instance,
+        "threads": t.threads,
+        "requests": t.requests,
+        "wall_s": round(t.wall_s, 4),
+        "errors": t.errors,
+        "rps": round(t.rps, 2),
+    }
+    pool_ladder = {
+        "instance": ladder.instance,
+        "runs": [
+            {
+                "pool": r.pool,
+                "threads": r.threads,
+                "requests": r.requests,
+                "wall_s": round(r.wall_s, 4),
+                "errors": r.errors,
+                "rps": round(r.rps, 2),
+                "assignment_digest": r.assignment_digest,
+            }
+            for r in ladder.runs
+        ],
+        "speedup": round(ladder.speedup, 3) if ladder.speedup else None,
+    }
+    return {"latency": latency, "throughput": throughput, "pool_ladder": pool_ladder}
+
+
+def bench_payload(args, results) -> dict:
+    return {
+        "schema": "bench-service",
+        "version": BENCH_SCHEMA_VERSION,
+        "seed": args.seed,
+        "scale": args.scale,
+        "num_parts": args.num_parts,
+        "partitioner": args.partitioner,
+        "chunk_size": args.chunk_size,
+        "threads": args.threads,
+        "requests": args.requests,
+        **results,
+    }
+
+
+def diff_against(path: Path, results) -> list:
+    """Compare a rerun against the committed baseline.
+
+    Determinism (parsed shape, upload bytes, assignment digests) is a
+    hard failure; wall-time / rps regressions only warn — CI boxes are
+    not benchmark boxes.
+    """
+    baseline = json.loads(path.read_text())
+    if baseline.get("schema") != "bench-service":
+        raise SystemExit(f"{path} is not a bench-service baseline")
+    if baseline.get("version") != BENCH_SCHEMA_VERSION:
+        warnings.warn(
+            f"baseline schema v{baseline.get('version')} != "
+            f"v{BENCH_SCHEMA_VERSION}; skipping diff",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return []
+    failures = []
+
+    base_by_inst = {r["instance"]: r for r in baseline["latency"]}
+    for record in results["latency"]:
+        base = base_by_inst.get(record["instance"])
+        if base is None:
+            continue
+        for field in ("num_vertices", "num_edges", "num_pins", "upload_bytes"):
+            if record[field] != base[field]:
+                failures.append(
+                    f"{record['instance']}: {field} {record[field]!r} != "
+                    f"baseline {base[field]!r}"
+                )
+        for field in (
+            "store_ingest_s", "upload_partition_s", "replay_partition_s",
+        ):
+            if base[field] and record[field] > 1.5 * base[field]:
+                warnings.warn(
+                    f"{record['instance']}: {field} {record[field]:.3f}s > "
+                    f"1.5x baseline {base[field]:.3f}s",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    if results["throughput"]["errors"]:
+        failures.append(
+            f"throughput phase had {results['throughput']['errors']} errors"
+        )
+
+    base_runs = {r["pool"]: r for r in baseline["pool_ladder"]["runs"]}
+    rerun_digests = set()
+    for run in results["pool_ladder"]["runs"]:
+        rerun_digests.add(run["assignment_digest"])
+        if run["errors"]:
+            failures.append(f"pool {run['pool']}: {run['errors']} errors")
+        base = base_runs.get(run["pool"])
+        if base is None:
+            continue
+        if run["assignment_digest"] != base["assignment_digest"]:
+            failures.append(
+                f"pool {run['pool']}: assignment_digest "
+                f"{run['assignment_digest']} != baseline "
+                f"{base['assignment_digest']}"
+            )
+    if len(rerun_digests) > 1:
+        failures.append(
+            f"pools disagree on assignment bytes: {sorted(rerun_digests)}"
+        )
+    return failures
+
+
+def check_speedup(ratio: float, results) -> "str | None":
+    """--assert-speedup: only meaningful where forked jobs can use
+    extra cores; single-core / no-fork boxes get a notice, not a fail."""
+    cores = os.cpu_count() or 1
+    speedup = results["pool_ladder"]["speedup"]
+    if speedup is None:
+        print("speedup assert skipped: no process-pool run (fork unavailable)")
+        return None
+    if cores < 2:
+        print(
+            f"speedup assert skipped: {cores} core(s) — the process pool "
+            f"cannot beat the GIL without parallel hardware "
+            f"(measured {speedup:.2f}x)"
+        )
+        return None
+    if speedup < ratio:
+        return (
+            f"process/thread speedup {speedup:.2f}x < required {ratio:.2f}x "
+            f"on a {cores}-core box"
+        )
+    print(f"speedup ok: {speedup:.2f}x >= {ratio:.2f}x on {cores} cores")
+    return None
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.diff_against:
+        # The diff must rerun the baseline's own matrix, not the CLI
+        # defaults, or every knob change would read as a digest drift.
+        baseline = json.loads(Path(args.diff_against).read_text())
+        for field in (
+            "seed", "scale", "num_parts", "partitioner", "chunk_size",
+            "threads", "requests",
+        ):
+            if field in baseline:
+                setattr(args, field, baseline[field])
+        args.instances = [r["instance"] for r in baseline["latency"]]
+    results = run_benches(args)
+    failures = []
+    if args.diff_against:
+        failures = diff_against(Path(args.diff_against), results)
+    if args.assert_speedup is not None:
+        failure = check_speedup(args.assert_speedup, results)
+        if failure:
+            failures.append(failure)
+    if args.bench_out and not failures:
+        Path(args.bench_out).write_text(
+            json.dumps(bench_payload(args, results), indent=2) + "\n"
+        )
+        print(f"baseline written: {args.bench_out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

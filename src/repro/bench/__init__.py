@@ -21,15 +21,22 @@ cut traffic lands on — fully determines runtime.
   scenario: upload-to-result latency, digest-reuse speedup and sync
   requests-per-second against an in-process
   :mod:`repro.service` server.
+* :func:`~repro.bench.service.compare_pools` — the same concurrent
+  replay load against a thread-pool and a process-pool service; the
+  rps ratio is the figure behind the service's ``--pool process``
+  default.
 """
 
 from repro.bench.synthetic import SyntheticBenchmark, BenchmarkOutcome, partition_traffic
 from repro.bench.runner import ExperimentRunner, JobContext, RunRecord
 from repro.bench.streaming import StreamingRecord, StreamingReport, compare_streaming
 from repro.bench.service import (
+    PoolLadder,
+    PoolRun,
     ServiceRecord,
     ServiceReport,
     ServiceThroughput,
+    compare_pools,
     compare_service,
 )
 
@@ -43,8 +50,11 @@ __all__ = [
     "StreamingRecord",
     "StreamingReport",
     "compare_streaming",
+    "PoolLadder",
+    "PoolRun",
     "ServiceRecord",
     "ServiceReport",
     "ServiceThroughput",
+    "compare_pools",
     "compare_service",
 ]

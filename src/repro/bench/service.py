@@ -17,6 +17,12 @@ ephemeral port:
 2. **Throughput** (:class:`ServiceThroughput`): concurrent client
    threads hammer the replay hot path on the smallest instance;
    ``rps`` is completed requests over wall time.
+3. **Pool ladder** (:func:`compare_pools`): the same concurrent replay
+   load against a thread-pool and a process-pool service, one after the
+   other.  ``speedup`` is process rps over thread rps — the number that
+   justifies forking past the GIL — and each run records a sha256 of
+   the assignment it serves, so the ladder doubles as a bit-identity
+   contract between the two pools.
 
 Everything is stdlib ``urllib`` + ``threading`` — the bench must run
 wherever the service runs, i.e. with no dependencies beyond the repo's.
@@ -24,6 +30,7 @@ wherever the service runs, i.e. with no dependencies beyond the repo's.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import shutil
 import tempfile
@@ -33,6 +40,7 @@ import urllib.request
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.engine.parallel import fork_available
 from repro.hypergraph.io import write_hmetis
 from repro.hypergraph.suite import load_instance
 from repro.service.app import PartitionService
@@ -43,7 +51,10 @@ __all__ = [
     "ServiceRecord",
     "ServiceThroughput",
     "ServiceReport",
+    "PoolRun",
+    "PoolLadder",
     "compare_service",
+    "compare_pools",
 ]
 
 #: Default ladder: three differently-shaped suite instances (mesh,
@@ -55,6 +66,11 @@ def _post(url: str, data: "bytes | None") -> dict:
     req = urllib.request.Request(url, data=data, method="POST")
     with urllib.request.urlopen(req) as resp:
         return json.load(resp)
+
+
+def _get_text(url: str) -> str:
+    with urllib.request.urlopen(url) as resp:
+        return resp.read().decode()
 
 
 @dataclass(frozen=True)
@@ -95,6 +111,81 @@ class ServiceThroughput:
     @property
     def rps(self) -> float:
         return self.requests / max(self.wall_s, 1e-9)
+
+
+@dataclass(frozen=True)
+class PoolRun:
+    """One pool's concurrent sync-replay throughput figure.
+
+    ``assignment_digest`` is the sha256 of the assignment text the run
+    served — both pools must serve the same bytes for the same seed.
+    """
+
+    pool: str
+    threads: int
+    requests: int
+    wall_s: float
+    errors: int
+    assignment_digest: str
+
+    @property
+    def rps(self) -> float:
+        return self.requests / max(self.wall_s, 1e-9)
+
+
+@dataclass
+class PoolLadder:
+    """Thread-vs-process throughput under identical concurrent load."""
+
+    instance: str
+    k: int
+    partitioner: str
+    runs: "list[PoolRun]"
+
+    def run(self, pool: str) -> PoolRun:
+        for r in self.runs:
+            if r.pool == pool:
+                return r
+        raise KeyError(f"no run for pool {pool!r}")
+
+    @property
+    def speedup(self) -> "float | None":
+        """Process rps over thread rps; ``None`` without a process run."""
+        try:
+            process = self.run("process")
+        except KeyError:
+            return None
+        return process.rps / max(self.run("thread").rps, 1e-9)
+
+    @property
+    def digests_match(self) -> bool:
+        return len({r.assignment_digest for r in self.runs}) == 1
+
+    def render(self) -> str:
+        rows = [
+            (
+                r.pool,
+                r.threads,
+                r.requests,
+                r.errors,
+                f"{r.wall_s:.4f}",
+                f"{r.rps:.2f}",
+                r.assignment_digest[:12],
+            )
+            for r in self.runs
+        ]
+        speedup = self.speedup
+        title = (
+            f"pool ladder — {self.instance}, k={self.k}, "
+            f"partitioner={self.partitioner}"
+        )
+        if speedup is not None:
+            title += f", process/thread = {speedup:.2f}x"
+        return format_table(
+            ("pool", "threads", "requests", "errors", "wall_s", "rps", "digest"),
+            rows,
+            title=title,
+        )
 
 
 @dataclass
@@ -202,6 +293,7 @@ def compare_service(
         workers=base_cfg.workers,
         default_chunk_size=chunk_size,
         default_buffer_pins=base_cfg.default_buffer_pins,
+        pool=base_cfg.pool,
     )
     # The scratch dir holds the rendered .hgr files; a failed run (bad
     # partition, socket error) must not leak it.
@@ -304,4 +396,113 @@ def _run_scenario(
         )
     return ServiceReport(
         k=k, partitioner=partitioner, records=records, throughput=throughput
+    )
+
+
+def compare_pools(
+    instance: str = "2cubes_sphere",
+    *,
+    scale: float = 0.05,
+    k: int = 8,
+    partitioner: str = "onepass",
+    chunk_size: int = 256,
+    threads: int = 4,
+    requests: int = 16,
+    seed: int = 0,
+    pools: "tuple[str, ...] | None" = None,
+) -> PoolLadder:
+    """Concurrent sync-replay throughput, thread pool vs process pool.
+
+    Boots one service per pool (same workers, same store, same seeded
+    partition request) and drives ``requests`` sync replays from
+    ``threads`` client threads.  The thread pool serialises the numpy
+    pass kernels behind the GIL; the process pool forks one job per
+    request, so on a multi-core box its rps should pull ahead — that
+    ratio is :attr:`PoolLadder.speedup`, asserted in CI (gated on
+    ``os.cpu_count()``).  Defaults to ``("thread",)`` only where fork
+    is unavailable.
+    """
+    if pools is None:
+        pools = ("thread", "process") if fork_available() else ("thread",)
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-pools-"))
+    try:
+        hg = load_instance(instance, scale=scale)
+        hgr = scratch / f"{instance}.hgr"
+        write_hmetis(hg, hgr)
+        raw = hgr.read_bytes()
+        runs: "list[PoolRun]" = []
+        for pool in pools:
+            runs.append(
+                _run_pool(
+                    pool, instance, raw, k, partitioner, chunk_size,
+                    threads, requests, seed, scratch,
+                )
+            )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return PoolLadder(
+        instance=instance, k=k, partitioner=partitioner, runs=runs
+    )
+
+
+def _run_pool(
+    pool: str,
+    instance: str,
+    raw: bytes,
+    k: int,
+    partitioner: str,
+    chunk_size: int,
+    threads: int,
+    requests: int,
+    seed: int,
+    scratch: Path,
+) -> PoolRun:
+    """One pool's measured leg of :func:`compare_pools`."""
+    cfg = ServiceConfig(
+        port=0,
+        workers=threads,
+        pool=pool,
+        cache_dir=scratch / f"cache-{pool}",
+        default_chunk_size=chunk_size,
+    )
+    with PartitionService(cfg) as svc:
+        digest = _post(f"{svc.url}/v1/stores?name={instance}", raw)["digest"]
+        url = (
+            f"{svc.url}/v1/partitions?k={k}&partitioner={partitioner}"
+            f"&sync=1&seed={seed}&store={digest}"
+        )
+        # Warm-up run also pins the determinism contract: the digest of
+        # the assignment text must be identical across pools.
+        warm = _post(url, None)
+        assert warm["status"] == "done", warm
+        text = _get_text(svc.url + warm["links"]["assignment"])
+        assignment_digest = hashlib.sha256(text.encode()).hexdigest()
+
+        per_thread = -(-requests // threads)
+        total = per_thread * threads
+        errors = [0] * threads
+
+        def client(i: int) -> None:
+            for _ in range(per_thread):
+                try:
+                    _post(url, None)
+                except Exception:  # noqa: BLE001 — counted, not raised
+                    errors[i] += 1
+
+        workers = [
+            threading.Thread(target=client, args=(i,)) for i in range(threads)
+        ]
+        t0 = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        wall = time.perf_counter() - t0
+    return PoolRun(
+        pool=pool,
+        threads=threads,
+        requests=total,
+        wall_s=wall,
+        errors=sum(errors),
+        assignment_digest=assignment_digest,
     )

@@ -246,6 +246,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: a private temp directory dropped on exit); --workers "
         "sets the partition worker pool",
     )
+    serve_group.add_argument(
+        "--pool",
+        choices=("auto", "process", "thread"),
+        default="auto",
+        help="serve: partition job execution — one forked child per job "
+        "('process': N concurrent jobs use N cores), inline on worker "
+        "threads ('thread'), or 'auto' (default: process where fork "
+        "exists)",
+    )
+    serve_group.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve: refuse async partition jobs beyond N queued "
+        "(429 queue_full + Retry-After); default: unbounded",
+    )
+    serve_group.add_argument(
+        "--api-key-file",
+        default=None,
+        metavar="FILE",
+        help="serve: require API keys, one per line ('#' comments); "
+        "merged with the REPRO_API_KEYS environment variable "
+        "(comma-separated). Without either, the service is open",
+    )
+    serve_group.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="serve: per-key token-bucket rate limit in requests/second "
+        "(429 rate_limited beyond it; needs API keys); default: off",
+    )
+    serve_group.add_argument(
+        "--rate-burst",
+        type=float,
+        default=10.0,
+        metavar="N",
+        help="serve: token-bucket burst capacity per key (default 10)",
+    )
+    serve_group.add_argument(
+        "--store-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="serve: byte budget for the chunk-store directory; coldest "
+        "unpinned stores are LRU-evicted beyond it (evicted digests "
+        "answer 409 store_evicted until re-uploaded); default: unbounded",
+    )
     cluster_group = parser.add_argument_group(
         "cluster", "multi-node distributed partitioning (docs/cluster.md)"
     )
@@ -515,8 +564,22 @@ def _run_serve(args) -> int:
     the ``workers=`` query parameter (docs/service.md).
     """
     from repro.service import ServiceConfig, serve
+    from repro.service.admission import keys_from_env, load_key_file
 
-    kwargs = dict(host=args.host, port=args.port, cache_dir=args.cache_dir)
+    kwargs = dict(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        pool=args.pool,
+        max_queue_depth=args.max_queue_depth,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        store_budget_bytes=args.store_budget,
+    )
+    keys = keys_from_env()
+    if args.api_key_file is not None:
+        keys = tuple(dict.fromkeys(load_key_file(args.api_key_file) + keys))
+    kwargs["api_keys"] = keys
     if args.workers is not None:
         kwargs["workers"] = args.workers
     return serve(ServiceConfig(**kwargs))

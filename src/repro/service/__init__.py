@@ -21,7 +21,21 @@ rule holds:
   parsing entirely (observable via the ``text_ingests`` /
   ``store_replays`` counters).
 * :mod:`~repro.service.jobs` — :class:`JobStore`: async partition jobs
-  on a fixed worker-thread pool, polled by id; ``sync=1`` runs inline.
+  polled by id, executed by :class:`ProcessJobPool` (one forked child
+  per job — N concurrent jobs use N cores, a dead worker marks its job
+  ``failed`` instead of hanging the poller) or :class:`ThreadJobPool`
+  (inline, the fallback where ``fork`` is unavailable); ``sync=1`` runs
+  on the request thread through the same pool.
+* :mod:`~repro.service.admission` — API-key auth (``REPRO_API_KEYS`` /
+  ``--api-key-file``) and per-key token-bucket rate limiting; with the
+  queue-depth backpressure in :class:`JobStore` these are the 401 / 403
+  / 429 admission layer.
+* :mod:`~repro.service.storecache` — byte-budgeted LRU eviction for the
+  store directory, pin-protected against in-flight replays, with a
+  ``409 store_evicted`` re-upload path.
+* :mod:`~repro.service.metrics` — the Prometheus-text registry behind
+  ``GET /v1/metrics`` (queue depth, per-route latency histograms,
+  evictions, rejections, kernel runs).
 * :mod:`~repro.service.openapi` — the handwritten OpenAPI contract
   served at ``/v1/openapi.json`` and diffed against ``docs/service.md``
   by the test suite.
@@ -29,21 +43,26 @@ rule holds:
 
 Routes: ``POST /v1/partitions``, ``GET /v1/partitions/<id>``,
 ``GET /v1/partitions/<id>/assignment``, ``POST /v1/stores``,
-``GET /v1/healthz``, ``GET /v1/openapi.json`` — full reference in
-``docs/service.md``; quickstart in ``examples/service_quickstart.py``;
-CLI entry ``hyperpraw-repro serve``.
+``GET /v1/healthz``, ``GET /v1/metrics``, ``GET /v1/openapi.json`` —
+full reference in ``docs/service.md``; quickstart in
+``examples/service_quickstart.py``; CLI entry ``hyperpraw-repro serve``.
 """
 
+from repro.service.admission import AdmissionControl, TokenBucket
 from repro.service.app import PartitionService, make_server, serve
 from repro.service.errors import (
     BadRequest,
     Conflict,
+    Forbidden,
     InvalidUpload,
     LengthRequired,
     MethodNotAllowed,
     NotFound,
     PayloadTooLarge,
     ServiceError,
+    StoreEvicted,
+    TooManyRequests,
+    Unauthorized,
     error_body,
 )
 from repro.service.handlers import (
@@ -53,8 +72,17 @@ from repro.service.handlers import (
     UPLOAD_FORMATS,
     json_safe,
 )
-from repro.service.jobs import JOB_STATUSES, Job, JobStore
+from repro.service.jobs import (
+    JOB_POOLS,
+    JOB_STATUSES,
+    Job,
+    JobStore,
+    ProcessJobPool,
+    ThreadJobPool,
+)
+from repro.service.metrics import MetricsRegistry
 from repro.service.openapi import openapi_spec
+from repro.service.storecache import StoreCache
 
 __all__ = [
     "PartitionService",
@@ -67,7 +95,14 @@ __all__ = [
     "json_safe",
     "Job",
     "JobStore",
+    "ThreadJobPool",
+    "ProcessJobPool",
     "JOB_STATUSES",
+    "JOB_POOLS",
+    "AdmissionControl",
+    "TokenBucket",
+    "StoreCache",
+    "MetricsRegistry",
     "openapi_spec",
     "ServiceError",
     "BadRequest",
@@ -77,5 +112,9 @@ __all__ = [
     "LengthRequired",
     "PayloadTooLarge",
     "Conflict",
+    "StoreEvicted",
+    "Unauthorized",
+    "Forbidden",
+    "TooManyRequests",
     "error_body",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
@@ -64,11 +65,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # noqa: D102 — quiet by default
         log.debug("%s %s", self.address_string(), fmt % args)
 
-    def _send_json(self, status: int, body: dict) -> None:
+    def _send_json(self, status: int, body: dict, headers=None) -> None:
         data = json.dumps(body, indent=1).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -80,7 +83,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.wfile.write(block)
 
     def _send_error(self, exc: ServiceError) -> None:
-        self._send_json(exc.status, error_body(exc))
+        # 429s carry the standard back-off hint so clients (and load
+        # balancers) know when a retry can succeed.
+        retry_after = getattr(exc, "retry_after", None)
+        headers = (
+            {"Retry-After": str(retry_after)} if retry_after is not None else None
+        )
+        self._send_json(exc.status, error_body(exc), headers)
 
     def _params(self) -> "tuple[str, dict]":
         """``(path, query_params)`` with repeated keys last-wins."""
@@ -170,14 +179,51 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
+    @staticmethod
+    def _route_template(path: str) -> str:
+        """The spec-style route a concrete path instantiates.
+
+        Metric labels must be low-cardinality: every job id maps onto
+        one ``{job_id}`` template, unknown paths onto ``other``.
+        """
+        if path in (
+            "/v1/healthz",
+            "/v1/metrics",
+            "/v1/openapi.json",
+            "/v1/partitions",
+            "/v1/stores",
+        ):
+            return path
+        if path.startswith("/v1/partitions/"):
+            rest = path[len("/v1/partitions/"):]
+            if rest.endswith("/assignment"):
+                return "/v1/partitions/{job_id}/assignment"
+            if rest and "/" not in rest:
+                return "/v1/partitions/{job_id}"
+        return "other"
+
     def _dispatch(self, method: str) -> None:
         api = self.server.api
         path, params = self._params()
+        started = time.monotonic()
         try:
+            self._route(api, method, path, params)
+        finally:
+            api.observe_request(
+                method, self._route_template(path), time.monotonic() - started
+            )
+
+    def _route(self, api, method: str, path: str, params: dict) -> None:
+        try:
+            api.admit(path, self.headers)
             if path == "/v1/healthz":
                 if method != "GET":
                     raise MethodNotAllowed(f"{path} supports GET only")
                 self._send_json(*api.healthz())
+            elif path == "/v1/metrics":
+                if method != "GET":
+                    raise MethodNotAllowed(f"{path} supports GET only")
+                self._send_stream(*api.metrics())
             elif path == "/v1/openapi.json":
                 if method != "GET":
                     raise MethodNotAllowed(f"{path} supports GET only")

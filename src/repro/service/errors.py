@@ -24,6 +24,10 @@ __all__ = [
     "LengthRequired",
     "PayloadTooLarge",
     "Conflict",
+    "StoreEvicted",
+    "Unauthorized",
+    "Forbidden",
+    "TooManyRequests",
     "error_body",
 ]
 
@@ -116,6 +120,59 @@ class Conflict(ServiceError):
 
     status = 409
     code = "conflict"
+
+
+class StoreEvicted(Conflict):
+    """The store existed but was evicted by the byte budget (409).
+
+    Distinguishes "re-upload and retry" from a plain 404 (never seen):
+    the digest *was* ingested, the LRU eviction reclaimed its bytes, and
+    a fresh upload of the same bytes restores it under the same digest.
+    """
+
+    code = "store_evicted"
+
+
+class Unauthorized(ServiceError):
+    """No API key on a request to a protected route (401).
+
+    Only raised when the service is configured with keys; an open
+    service never returns 401.
+    """
+
+    status = 401
+    code = "unauthorized"
+
+
+class Forbidden(ServiceError):
+    """The presented API key is not one the service knows (403)."""
+
+    status = 403
+    code = "forbidden"
+
+
+class TooManyRequests(ServiceError):
+    """The caller must slow down (429).
+
+    Raised both by per-key token-bucket rate limiting
+    (``code="rate_limited"``) and by job-queue backpressure
+    (``code="queue_full"``).  ``retry_after`` is the whole-second hint
+    the transport layer echoes as a ``Retry-After`` header.
+    """
+
+    status = 429
+    code = "rate_limited"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: int = 1,
+        status: "int | None" = None,
+        code: "str | None" = None,
+    ) -> None:
+        super().__init__(message, status=status, code=code)
+        self.retry_after = max(1, int(retry_after))
 
 
 def error_body(exc: ServiceError) -> dict:

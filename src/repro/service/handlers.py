@@ -38,14 +38,26 @@ from repro.architecture.cost import cost_matrix_from_bandwidth
 from repro.architecture.topology import archer_like_topology
 from repro.core.config import HyperPRAWConfig
 from repro.hypergraph.io import HypergraphFormatError
+from repro.service.admission import AdmissionControl, keys_from_env
 from repro.service.errors import (
     BadRequest,
     Conflict,
     InvalidUpload,
     NotFound,
+    ServiceError,
+    StoreEvicted,
+    TooManyRequests,
 )
-from repro.service.jobs import Job, JobStore
+from repro.service.jobs import (
+    JOB_POOLS,
+    POOL_CLOSED,
+    WORKER_CRASHED,
+    Job,
+    JobStore,
+)
+from repro.service.metrics import MetricsRegistry
 from repro.service.openapi import SERVICE_VERSION, openapi_spec
+from repro.service.storecache import StoreCache
 from repro.streaming.chunkstore import ChunkStoreError, open_store, write_store
 from repro.streaming.reader import (
     DEFAULT_BUFFER_PINS,
@@ -121,7 +133,25 @@ class ServiceConfig:
         A persistent directory survives restarts: re-uploads of known
         bytes skip straight to the stored chunks.
     workers:
-        partition worker threads draining the async job queue.
+        partition workers draining the async job queue.
+    pool:
+        how partition jobs execute: ``"process"`` (one forked child per
+        job — N concurrent jobs use N cores), ``"thread"`` (inline,
+        GIL-sharing) or ``"auto"`` (process where ``fork`` exists).
+    max_queue_depth:
+        backpressure bound on queued-not-yet-running jobs; beyond it
+        ``POST /v1/partitions`` answers ``429 queue_full`` with a
+        ``Retry-After`` hint.  ``None`` disables the bound.
+    api_keys:
+        accepted API keys; empty falls back to the ``REPRO_API_KEYS``
+        environment variable, and if that is empty too the service is
+        open (no auth, no rate limiting — the PR 5 behaviour).
+    rate_limit / rate_burst:
+        per-key token bucket: sustained requests/second and burst cap.
+        ``rate_limit=None`` keeps auth without throttling.
+    store_budget_bytes:
+        LRU byte budget for the digest-keyed store directory; coldest
+        unpinned stores are evicted beyond it (``None``: unbounded).
     default_chunk_size / default_buffer_pins:
         ingest defaults when an upload does not pass ``chunk_size`` /
         ``buffer_pins`` — the resident-memory knobs of the out-of-core
@@ -135,6 +165,12 @@ class ServiceConfig:
     port: int = 8080
     cache_dir: "str | Path | None" = None
     workers: int = 2
+    pool: str = "auto"
+    max_queue_depth: "int | None" = None
+    api_keys: "tuple" = ()
+    rate_limit: "float | None" = None
+    rate_burst: float = 10.0
+    store_budget_bytes: "int | None" = None
     default_chunk_size: int = DEFAULT_CHUNK_SIZE
     default_buffer_pins: int = DEFAULT_BUFFER_PINS
     max_body_bytes: "int | None" = None
@@ -142,6 +178,25 @@ class ServiceConfig:
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.pool not in JOB_POOLS:
+            raise ValueError(
+                f"pool must be one of {JOB_POOLS}, got {self.pool!r}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0 or None, got {self.max_queue_depth}"
+            )
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError(
+                f"rate_limit must be > 0 or None, got {self.rate_limit}"
+            )
+        if self.rate_burst < 1:
+            raise ValueError(f"rate_burst must be >= 1, got {self.rate_burst}")
+        if self.store_budget_bytes is not None and self.store_budget_bytes < 0:
+            raise ValueError(
+                f"store_budget_bytes must be >= 0 or None, "
+                f"got {self.store_budget_bytes}"
+            )
         if self.default_chunk_size < 1:
             raise ValueError(
                 f"default_chunk_size must be >= 1, got {self.default_chunk_size}"
@@ -289,7 +344,11 @@ class ServiceHandlers:
 
     def __init__(self, config: "ServiceConfig | None" = None) -> None:
         self.config = config or ServiceConfig()
-        self.jobs = JobStore(self.config.workers)
+        self.jobs = JobStore(
+            self.config.workers,
+            pool=self.config.pool,
+            max_queue_depth=self.config.max_queue_depth,
+        )
         self._started_at = time.time()
         self._stats_lock = threading.Lock()
         self.stats = {
@@ -302,6 +361,12 @@ class ServiceHandlers:
             "pass_seconds": 0.0,
             "kernel_python_runs": 0,
             "kernel_njit_runs": 0,
+            # operational counters (this layer): admission rejections
+            # (401/403/429), LRU store evictions, pool workers that died
+            # mid-job.
+            "rejected_requests": 0,
+            "evictions": 0,
+            "jobs_crashed": 0,
         }
         if self.config.cache_dir is None:
             self._own_cache = Path(tempfile.mkdtemp(prefix="repro-service-"))
@@ -311,6 +376,101 @@ class ServiceHandlers:
             cache_root = Path(self.config.cache_dir).expanduser().resolve()
         self.stores_dir = cache_root / "stores"
         self.stores_dir.mkdir(parents=True, exist_ok=True)
+        self.store_cache = StoreCache(
+            self.stores_dir, budget_bytes=self.config.store_budget_bytes
+        )
+        self.admission = AdmissionControl(
+            tuple(self.config.api_keys) or keys_from_env(),
+            rate=self.config.rate_limit,
+            burst=self.config.rate_burst,
+        )
+        self.metrics_registry = self._build_metrics()
+
+    def _build_metrics(self) -> MetricsRegistry:
+        """Wire every observable into the ``/v1/metrics`` registry.
+
+        Stats-dict counters are exposed through scrape-time callables so
+        there is exactly one source of truth shared with ``healthz``;
+        only signals with no other home (per-route latency, rejection
+        reasons) are registry-owned.
+        """
+        reg = MetricsRegistry()
+        reg.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the service started.",
+            lambda: time.time() - self._started_at,
+        )
+        reg.gauge(
+            "repro_queue_depth",
+            "Partition jobs accepted but not yet running.",
+            self.jobs.queue_depth,
+        )
+        reg.gauge(
+            "repro_store_bytes",
+            "Total bytes of digest-keyed chunk stores on disk.",
+            self.store_cache.total_bytes,
+        )
+        reg.gauge(
+            "repro_stores", "Chunk stores currently on disk.",
+            self.store_cache.known,
+        )
+        reg.gauge(
+            "repro_store_evictions_total",
+            "Chunk stores evicted by the byte budget.",
+            lambda: self.store_cache.evictions,
+            kind="counter",
+        )
+        for key, help_text in (
+            ("uploads", "Upload bodies received."),
+            ("text_ingests", "Uploads parsed by the streaming text readers."),
+            ("store_replays", "Partition runs served by mmap store replay."),
+            ("kernel_python_runs", "Partition runs served by the python kernel."),
+            ("kernel_njit_runs", "Partition runs served by the njit kernel."),
+            ("rejected_requests", "Requests refused by admission control."),
+            ("jobs_crashed", "Partition jobs whose pool worker died mid-job."),
+        ):
+            reg.gauge(
+                f"repro_{key}_total",
+                help_text,
+                lambda k=key: self._stat(k),
+                kind="counter",
+            )
+        reg.gauge(
+            "repro_pass_seconds_total",
+            "Seconds spent inside pass_kernel across finished runs.",
+            lambda: self._stat("pass_seconds"),
+            kind="counter",
+        )
+        self.request_latency = reg.histogram(
+            "repro_request_seconds",
+            "Request latency by route, in seconds.",
+        )
+        self.rejections = reg.counter(
+            "repro_rejections_total",
+            "Admission refusals by reason (unauthorized/forbidden/"
+            "rate_limited/queue_full).",
+        )
+        return reg
+
+    def _stat(self, key: str):
+        with self._stats_lock:
+            return self.stats[key]
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, path: str, headers) -> None:
+        """Gate one request; raises 401/403/429 and counts the refusal."""
+        try:
+            self.admission.admit(path, headers)
+        except ServiceError as exc:
+            self._bump("rejected_requests")
+            self.rejections.inc(reason=exc.code)
+            raise
+
+    def observe_request(self, method: str, route: str, seconds: float) -> None:
+        """Record one served request in the per-route latency histogram."""
+        self.request_latency.observe(seconds, method=method, path=route)
 
     def close(self) -> None:
         """Stop the worker pool and drop a service-owned cache directory."""
@@ -323,7 +483,7 @@ class ServiceHandlers:
     # ------------------------------------------------------------------
     def store_dir(self, digest: str) -> Path:
         """The chunk-store directory for a source digest."""
-        return self.stores_dir / f"{digest.split(':', 1)[1]}.chunkstore"
+        return self.store_cache.path_for(digest)
 
     def _bump(self, key: str) -> None:
         with self._stats_lock:
@@ -350,11 +510,22 @@ class ServiceHandlers:
         return info
 
     def _store_summary(self, digest: str) -> dict:
-        """StoreInfo fields read from an existing store's manifest."""
+        """StoreInfo fields read from an existing store's manifest.
+
+        An evicted digest gets ``409 store_evicted`` (the bytes were
+        here; re-upload restores them under the same digest) — a plain
+        404 means the digest was never ingested at all.
+        """
         try:
             stream = open_store(self.store_dir(digest))
         except ChunkStoreError as exc:
+            if self.store_cache.was_evicted(digest):
+                raise StoreEvicted(
+                    f"store {digest!r} was evicted by the byte budget; "
+                    "re-upload the same bytes to restore it"
+                ) from exc
             raise NotFound(f"no chunk store for digest {digest!r}") from exc
+        self.store_cache.touch(digest)
         with stream:
             return self._store_info(stream, digest)
 
@@ -367,15 +538,18 @@ class ServiceHandlers:
         """
         store_dir = self.store_dir(digest)
         if store_dir.exists():
+            self.store_cache.touch(digest)
             return False
         tmp = self.stores_dir / f".ingest-{uuid.uuid4().hex}"
         write_store(stream, tmp, digest=digest)
         try:
             tmp.rename(store_dir)
-            return True
         except OSError:
             shutil.rmtree(tmp, ignore_errors=True)
+            self.store_cache.touch(digest)
             return False
+        self.store_cache.added(digest)
+        return True
 
     def ingest_upload(self, params: dict, body) -> dict:
         """Stream ``body`` through a text reader into the chunk store.
@@ -496,11 +670,55 @@ class ServiceHandlers:
         request_doc["source"] = source
         job = self.jobs.create(request_doc, digest=digest)
         fn = self._job_fn(digest, spec)
+        # Pin the store across the job's whole life: the replay may run
+        # in a forked worker, and the LRU evictor must not tear the
+        # store out from under an open mmap.  The pin is released by
+        # _job_complete, which the pool fires in the parent process.
+        self.store_cache.pin(digest)
+        self.store_cache.touch(digest)
         if spec["sync"]:
-            self.jobs.run(job, fn)
+            self.jobs.run(job, fn, on_complete=self._job_complete)
             return 200, job.to_json()
-        self.jobs.submit(job, fn)
+        if not self.jobs.try_submit(job, fn, on_complete=self._job_complete):
+            self.store_cache.unpin(digest)
+            depth = self.jobs.queue_depth()
+            self._bump("rejected_requests")
+            self.rejections.inc(reason="queue_full")
+            raise TooManyRequests(
+                f"job queue is full ({depth} queued, bound "
+                f"{self.jobs.max_queue_depth}); retry later or use "
+                "sync=1 to run on the request thread",
+                retry_after=max(1, depth // max(1, self.jobs.workers)),
+                code="queue_full",
+            )
         return 202, job.to_json()
+
+    def _job_complete(self, job: Job) -> None:
+        """Parent-side accounting after a job reaches a terminal state.
+
+        With the process pool, everything the job function touches is a
+        forked copy — stats mutated in the child are lost — so replay
+        and kernel accounting read the job record here, in the parent.
+        """
+        if job.digest is not None:
+            self.store_cache.unpin(job.digest)
+        with self._stats_lock:
+            if job.error is not None and job.error.get("code") == POOL_CLOSED:
+                return
+            self.stats["store_replays"] += 1
+            if job.status != "done" or not isinstance(job.metrics, dict):
+                if job.error is not None and (
+                    job.error.get("code") == WORKER_CRASHED
+                ):
+                    self.stats["jobs_crashed"] += 1
+                return
+            mode = job.metrics.get("kernel_mode", "python")
+            self.stats["pass_seconds"] += float(
+                job.metrics.get("pass_seconds", 0.0)
+            )
+            self.stats[f"kernel_{mode}_runs"] = (
+                self.stats.get(f"kernel_{mode}_runs", 0) + 1
+            )
 
     def get_partition(self, job_id: str) -> "tuple[int, dict]":
         """``GET /v1/partitions/<id>`` — poll a job's status/metrics."""
@@ -541,15 +759,30 @@ class ServiceHandlers:
         with self._stats_lock:
             stats = dict(self.stats)
         stats["pass_seconds"] = round(stats["pass_seconds"], 6)
+        stats["evictions"] = self.store_cache.evictions
         return 200, {
             "status": "ok",
             "version": SERVICE_VERSION,
             "uptime_s": time.time() - self._started_at,
             "workers": self.jobs.workers,
+            "pool": self.jobs.pool,
+            "queue_depth": self.jobs.queue_depth(),
+            "auth": self.admission.enabled,
             "jobs": self.jobs.counts(),
             "stores": stores,
+            "store_bytes": self.store_cache.total_bytes(),
             "stats": stats,
         }
+
+    def metrics(self):
+        """``GET /v1/metrics`` — the registry in Prometheus text format.
+
+        Returns ``(200, content_type, block_iterator)`` like the other
+        streamed route; the body is the standard text exposition every
+        scraper parses.
+        """
+        body = self.metrics_registry.render().encode()
+        return 200, "text/plain; version=0.0.4; charset=utf-8", iter((body,))
 
     def openapi(self) -> "tuple[int, dict]":
         """``GET /v1/openapi.json`` — the handwritten API contract."""
@@ -644,12 +877,16 @@ class ServiceHandlers:
 
         Every run opens its own :class:`ChunkStoreStream` (mmap replay —
         the text parser never runs here), so concurrent jobs over one
-        upload share pages, not Python state.
+        upload share pages, not Python state.  The body is
+        *side-effect-free on the service*: with the process pool it runs
+        in a forked child whose memory is discarded, so all stats
+        accounting happens in :meth:`_job_complete` (parent side) from
+        the returned metrics.
         """
+        store_dir = self.store_dir(digest)
 
         def run():
-            self._bump("store_replays")
-            stream = open_store(self.store_dir(digest))
+            stream = open_store(store_dir)
             with stream:
                 partitioner = self.build_partitioner(spec, stream.num_vertices)
                 result = partitioner.partition_stream(
@@ -664,14 +901,6 @@ class ServiceHandlers:
                 metrics["num_edges"] = stream.num_edges
                 metrics["num_pins"] = stream.num_pins
                 metrics["peak_resident_pins"] = int(stream.peak_resident_pins)
-            mode = result.metadata.get("kernel_mode", "python")
-            with self._stats_lock:
-                self.stats["pass_seconds"] += float(
-                    result.metadata.get("pass_seconds", 0.0)
-                )
-                self.stats[f"kernel_{mode}_runs"] = (
-                    self.stats.get(f"kernel_{mode}_runs", 0) + 1
-                )
             return result.assignment, spec["k"], metrics
 
         return run

@@ -1,11 +1,20 @@
-"""Asynchronous partition jobs: records, store, and the worker pool.
+"""Asynchronous partition jobs: records, execution pools, and the store.
 
 ``POST /v1/partitions`` returns before the partitioner runs; the work
 lands here.  :class:`Job` is the persistent record a client polls
 (``GET /v1/partitions/<id>``); :class:`JobStore` owns the records plus a
-fixed pool of daemon worker threads draining a FIFO queue.  Partitioning
-releases the GIL for long NumPy stretches and the sharded partitioners
-fork their own processes, so a small thread pool overlaps real work.
+fixed pool of worker threads draining a FIFO queue.  What a worker does
+with a popped job is delegated to an **execution pool**:
+
+* :class:`ProcessJobPool` (the default wherever ``fork`` exists) runs
+  each job in its own forked child via
+  :class:`repro.engine.parallel.ForkedCall` — N concurrent partition
+  jobs really use N cores instead of time-slicing one GIL, and a worker
+  that *dies* mid-job (OOM-kill, SIGKILL) marks the job ``failed`` with
+  the stable error code ``worker_crashed`` instead of hanging a poller.
+* :class:`ThreadJobPool` runs the job function inline on the worker
+  thread — the tested fallback where fork is unavailable, bit-identical
+  in results (partition runs are seeded and deterministic).
 
 Lifecycle::
 
@@ -15,7 +24,9 @@ Lifecycle::
 Jobs are kept in memory for the lifetime of the service (the hypergraph
 bytes themselves live in the on-disk chunk store, keyed by digest — see
 :mod:`repro.service.handlers`); ``sync`` requests execute the same job
-function inline on the request thread and return the finished record.
+function through the same pool on the request thread and return the
+finished record.  ``on_complete`` callbacks always run in the *parent*
+process — that is where the service's stats and store pins live.
 """
 
 from __future__ import annotations
@@ -28,10 +39,49 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Job", "JobStore", "JOB_STATUSES"]
+from repro.engine.parallel import ForkedCall, fork_available
+
+__all__ = [
+    "Job",
+    "JobStore",
+    "ThreadJobPool",
+    "ProcessJobPool",
+    "JOB_STATUSES",
+    "JOB_POOLS",
+    "resolve_pool",
+]
 
 #: Every state a job can report, in lifecycle order.
 JOB_STATUSES = ("queued", "running", "done", "failed")
+
+#: Accepted ``ServiceConfig.pool`` values; ``auto`` resolves at runtime.
+JOB_POOLS = ("auto", "process", "thread")
+
+#: Stable error code for a pool worker that died without reporting.
+WORKER_CRASHED = "worker_crashed"
+
+#: Stable error code for a job submitted after the pool shut down.
+POOL_CLOSED = "pool_closed"
+
+
+def resolve_pool(pool: str) -> str:
+    """The execution pool a config value actually gets on this platform.
+
+    ``auto`` prefers the process pool (real multi-core partition
+    throughput) and falls back to threads where ``fork`` does not exist;
+    an explicit ``process`` on a fork-less platform raises rather than
+    silently serialising.
+    """
+    if pool not in JOB_POOLS:
+        raise ValueError(f"pool must be one of {JOB_POOLS}, got {pool!r}")
+    if pool == "auto":
+        return "process" if fork_available() else "thread"
+    if pool == "process" and not fork_available():
+        raise ValueError(
+            "pool='process' requires the 'fork' start method; use "
+            "pool='auto' to fall back to threads on this platform"
+        )
+    return pool
 
 
 @dataclass
@@ -53,7 +103,9 @@ class Job:
     created_at / started_at / finished_at:
         UNIX timestamps; ``None`` until the phase is reached.
     error:
-        ``{"code", "message"}`` when ``status == "failed"``.
+        ``{"code", "message"}`` when ``status == "failed"``; ``code`` is
+        the raising exception's type name, or one of the pool's stable
+        codes (``worker_crashed``, ``pool_closed``).
     metrics:
         JSON-safe run metrics (partitioner metadata, timings, peak
         resident pins) when ``status == "done"``.
@@ -95,6 +147,110 @@ class Job:
         }
         return doc
 
+    def finish_ok(self, assignment, num_parts, metrics) -> None:
+        """Fill the success fields (shared by both pools)."""
+        self.assignment = np.asarray(assignment)
+        self.num_parts = int(num_parts)
+        self.metrics = metrics
+        self.status = "done"
+
+    def finish_failed(self, code: str, message: str) -> None:
+        """Fill the failure fields (shared by both pools)."""
+        self.error = {"code": code, "message": message}
+        self.status = "failed"
+
+
+class ThreadJobPool:
+    """Run job functions inline on the calling thread (GIL-sharing).
+
+    The tested fallback where ``fork`` is unavailable, and the explicit
+    choice for embedders who want zero process overhead.  A job function
+    takes no arguments and returns ``(assignment, num_parts, metrics)``;
+    any exception marks the job ``failed`` with the exception's type
+    name as the stable code (the service never dies with a job).
+    """
+
+    mode = "thread"
+
+    def execute(self, job: Job, fn) -> None:
+        try:
+            assignment, num_parts, metrics = fn()
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            job.finish_failed(type(exc).__name__, str(exc))
+        else:
+            job.finish_ok(assignment, num_parts, metrics)
+
+    def active_pid(self, job_id: str) -> "int | None":
+        """Thread jobs have no child process to target."""
+        return None
+
+    def close(self) -> None:
+        """Nothing to tear down."""
+
+
+class ProcessJobPool:
+    """Run each job in its own forked child process.
+
+    Partition jobs are CPU-bound and mostly interpreter-bound (chunk
+    loops, scoring); threads serialise on the GIL, so N sync requests on
+    N cores previously ran at ~1-core speed.  Forking per job (the
+    :class:`~repro.engine.parallel.ForkedCall` machinery) gives each job
+    a whole core and — because the fork inherits the mmap'd chunk store
+    pages copy-on-write — costs no re-ingest and no pickling of inputs;
+    only the result (assignment array + JSON-safe metrics) crosses the
+    pipe, however large (the pipe framing handles multi-megabyte
+    assignments).
+
+    Crash detection is the contract: a child that dies without
+    reporting (SIGKILL, OOM) marks its job ``failed`` with the stable
+    code ``worker_crashed`` *immediately* (pipe EOF, no timeout, no hung
+    poller).  In-child exceptions keep the exact ``{code, message}``
+    shape the thread pool produces, so clients cannot tell the pools
+    apart on the error path either.
+    """
+
+    mode = "process"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active: "dict[str, ForkedCall]" = {}
+
+    def execute(self, job: Job, fn) -> None:
+        call = ForkedCall(fn)
+        with self._lock:
+            self._active[job.id] = call
+        try:
+            outcome, payload = call.wait()
+        finally:
+            with self._lock:
+                self._active.pop(job.id, None)
+        if outcome == "ok":
+            assignment, num_parts, metrics = payload
+            job.finish_ok(assignment, num_parts, metrics)
+        elif outcome == "error":
+            code, message = payload
+            job.finish_failed(code, message)
+        else:
+            job.finish_failed(
+                WORKER_CRASHED,
+                f"partition worker died mid-job ({payload}); the job was "
+                "not retried",
+            )
+
+    def active_pid(self, job_id: str) -> "int | None":
+        """The child pid currently running ``job_id`` (fault injection)."""
+        with self._lock:
+            call = self._active.get(job_id)
+        return call.pid if call is not None else None
+
+    def close(self) -> None:
+        """Terminate any children still running (service shutdown)."""
+        with self._lock:
+            active = list(self._active.values())
+            self._active.clear()
+        for call in active:
+            call.terminate()
+
 
 class JobStore:
     """Thread-safe job registry plus a fixed worker pool.
@@ -103,25 +259,55 @@ class JobStore:
     ----------
     workers:
         worker thread count (>= 1).  Each worker pops one queued job at
-        a time and runs its job function to completion; queue order is
-        FIFO, so the pool bounds concurrent partition runs at
-        ``workers``.
+        a time and drives it through the execution pool to completion;
+        queue order is FIFO, so the pool bounds concurrent partition
+        runs at ``workers``.
+    pool:
+        execution pool: ``"process"`` (forked children — real
+        multi-core throughput), ``"thread"`` (inline), or ``"auto"``
+        (process where fork exists, thread otherwise).  See
+        :func:`resolve_pool`.
+    max_queue_depth:
+        admission bound on *queued* (not yet running) jobs; ``None``
+        disables the bound.  :meth:`try_submit` refuses beyond it — the
+        handlers turn that refusal into ``429 + Retry-After``
+        backpressure instead of letting the queue grow without bound.
 
     Notes
     -----
     A job function takes no arguments and returns
     ``(assignment, num_parts, metrics)``; any exception it raises marks
-    the job ``failed`` with the exception text (the service never dies
-    with a worker).
+    the job ``failed`` (the service never dies with a worker).  The
+    optional ``on_complete`` callback passed to :meth:`submit` /
+    :meth:`run` fires in the parent process after the job reaches a
+    terminal state — stats accounting and store unpinning belong there,
+    because in process mode the job function's own side effects happen
+    in a forked copy and are lost.
     """
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        pool: str = "auto",
+        max_queue_depth: "int | None" = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0 or None, got {max_queue_depth}"
+            )
         self.workers = int(workers)
+        self.pool = resolve_pool(pool)
+        self.max_queue_depth = max_queue_depth
+        self._pool_impl = (
+            ProcessJobPool() if self.pool == "process" else ThreadJobPool()
+        )
         self._jobs: "dict[str, Job]" = {}
         self._lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"partition-worker-{i}", daemon=True
@@ -139,14 +325,50 @@ class JobStore:
             self._jobs[job.id] = job
         return job
 
-    def submit(self, job: Job, fn) -> Job:
-        """Queue ``fn`` to run ``job`` on the worker pool (async path)."""
-        self._queue.put((job, fn))
+    def submit(self, job: Job, fn, *, on_complete=None) -> Job:
+        """Queue ``fn`` to run ``job`` on the worker pool (async path).
+
+        After :meth:`close`, the job is immediately marked ``failed``
+        with the stable code ``pool_closed`` (and ``on_complete`` still
+        fires) — a poller always reaches a terminal state, never a job
+        stranded on a queue nobody drains.
+        """
+        with self._lock:
+            closed = self._closed
+        if closed:
+            job.started_at = job.finished_at = time.time()
+            job.finish_failed(
+                POOL_CLOSED, "the job pool is shut down; job was not queued"
+            )
+            if on_complete is not None:
+                on_complete(job)
+            return job
+        self._queue.put((job, fn, on_complete))
         return job
 
-    def run(self, job: Job, fn) -> Job:
-        """Run ``fn`` inline on the calling thread (the ``sync=1`` path)."""
-        self._execute(job, fn)
+    def try_submit(self, job: Job, fn, *, on_complete=None) -> bool:
+        """Submit unless the queue is at ``max_queue_depth`` (backpressure).
+
+        Returns ``False`` — job untouched, nothing queued — when the
+        bound would be exceeded; the caller owns the 429 response.
+        """
+        if (
+            self.max_queue_depth is not None
+            and self.queue_depth() >= self.max_queue_depth
+        ):
+            return False
+        self.submit(job, fn, on_complete=on_complete)
+        return True
+
+    def run(self, job: Job, fn, *, on_complete=None) -> Job:
+        """Run ``fn`` through the pool on the calling thread (``sync=1``).
+
+        Bypasses the queue entirely (no backpressure interaction, works
+        even during shutdown): in process mode this forks a dedicated
+        child and blocks the request thread on its pipe — which releases
+        the GIL, so N concurrent sync requests genuinely run on N cores.
+        """
+        self._execute(job, fn, on_complete)
         return job
 
     def get(self, job_id: str) -> "Job | None":
@@ -161,13 +383,31 @@ class JobStore:
                 out[job.status] += 1
         return out
 
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet picked up by a worker (approximate)."""
+        return self._queue.qsize()
+
+    def active_pid(self, job_id: str) -> "int | None":
+        """The forked child pid running ``job_id``, if any (process pool)."""
+        return self._pool_impl.active_pid(job_id)
+
     def close(self) -> None:
-        """Stop the workers after the queue drains (idempotent)."""
+        """Stop the workers after the queue drains (idempotent).
+
+        Already-queued jobs finish; *new* submissions fail fast with
+        ``pool_closed``; children still running at the 30s join deadline
+        are terminated so shutdown is bounded.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         for _ in self._threads:
             self._queue.put(None)
         for t in self._threads:
             t.join(timeout=30)
         self._threads = []
+        self._pool_impl.close()
 
     # ------------------------------------------------------------------
     def _worker(self) -> None:
@@ -175,21 +415,20 @@ class JobStore:
             item = self._queue.get()
             if item is None:
                 return
-            job, fn = item
-            self._execute(job, fn)
+            job, fn, on_complete = item
+            self._execute(job, fn, on_complete)
 
-    def _execute(self, job: Job, fn) -> None:
+    def _execute(self, job: Job, fn, on_complete=None) -> None:
         job.status = "running"
         job.started_at = time.time()
         try:
-            assignment, num_parts, metrics = fn()
-        except Exception as exc:  # noqa: BLE001 — job isolation boundary
-            job.error = {"code": type(exc).__name__, "message": str(exc)}
-            job.status = "failed"
-        else:
-            job.assignment = np.asarray(assignment)
-            job.num_parts = int(num_parts)
-            job.metrics = metrics
-            job.status = "done"
+            self._pool_impl.execute(job, fn)
+        except Exception as exc:  # noqa: BLE001 — never kill a worker thread
+            job.finish_failed(type(exc).__name__, str(exc))
         finally:
             job.finished_at = time.time()
+        if on_complete is not None:
+            try:
+                on_complete(job)
+            except Exception:  # noqa: BLE001 — accounting must not kill jobs
+                pass

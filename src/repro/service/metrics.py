@@ -1,0 +1,175 @@
+"""A minimal Prometheus-text-format metrics registry (stdlib only).
+
+``GET /v1/metrics`` exposes everything the service already counts
+(healthz stats, job states) plus the operational signals this layer
+adds: queue depth, per-route request latency histograms, evictions,
+admission rejections.  The exposition format is Prometheus text v0.0.4
+— ``# HELP`` / ``# TYPE`` comments, one sample per line — which every
+scraper and ``curl | grep`` understands; no client library is needed to
+*produce* it, so none is imported.
+
+Three metric kinds cover the service:
+
+* :class:`Counter` — monotonically increasing event counts.
+* :class:`Gauge` — instantaneous values, read from a callable at scrape
+  time (queue depth, store bytes) so the registry never holds stale
+  copies of state owned elsewhere.
+* :class:`Histogram` — cumulative-bucket latency distributions with
+  optional label sets (one child per ``(method, path)`` route).
+
+All metrics are thread-safe; the HTTP layer observes latencies from
+many handler threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "LATENCY_BUCKETS"]
+
+#: Request-latency bucket bounds in seconds (Prometheus convention:
+#: cumulative ``le`` upper bounds; +Inf is implicit).
+LATENCY_BUCKETS = (0.005, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0, 30.0)
+
+
+def _fmt(value) -> str:
+    """A Prometheus-friendly number: integral values without the dot."""
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _fmt_labels(labels: "dict | None", extra: "dict | None" = None) -> str:
+    merged: "dict[str, str]" = {}
+    if labels:
+        merged.update(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in merged.items()
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonic event counter, optionally with fixed labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._values: "dict[tuple, float]" = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            items = [((), 0.0)]
+        for key, value in items:
+            yield f"{self.name}{_fmt_labels(dict(key))} {_fmt(value)}"
+
+
+class Gauge:
+    """Value pulled from ``fn`` at scrape time (no stale copies).
+
+    ``kind`` may be declared ``"counter"`` when the backing value is
+    monotonic but owned elsewhere (e.g. an existing stats dict entry) —
+    the exposition TYPE then matches the semantics scrapers expect.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, fn, *, kind: str = "gauge") -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self._fn = fn
+
+    def samples(self):
+        yield f"{self.name} {_fmt(self._fn())}"
+
+
+class Histogram:
+    """Cumulative-bucket distribution with per-label-set children."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, buckets=LATENCY_BUCKETS) -> None:
+        self.name = name
+        self.help = help_text
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self._lock = threading.Lock()
+        # label-key → [bucket_counts..., total_count, value_sum]
+        self._children: "dict[tuple, list]" = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = [0] * len(self.buckets) + [0, 0.0]
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    child[i] += 1
+            child[-2] += 1
+            child[-1] += float(value)
+
+    def samples(self):
+        with self._lock:
+            items = sorted((k, list(v)) for k, v in self._children.items())
+        for key, child in items:
+            labels = dict(key)
+            for i, bound in enumerate(self.buckets):
+                le = _fmt_labels(labels, {"le": _fmt(bound)})
+                yield f"{self.name}_bucket{le} {child[i]}"
+            inf = _fmt_labels(labels, {"le": "+Inf"})
+            yield f"{self.name}_bucket{inf} {child[-2]}"
+            yield f"{self.name}_sum{_fmt_labels(labels)} {_fmt(child[-1])}"
+            yield f"{self.name}_count{_fmt_labels(labels)} {child[-2]}"
+
+
+class MetricsRegistry:
+    """Holds every metric and renders the scrape body."""
+
+    def __init__(self) -> None:
+        self._metrics: "list" = []
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._add(Counter(name, help_text))
+
+    def gauge(self, name: str, help_text: str, fn, *, kind: str = "gauge") -> Gauge:
+        return self._add(Gauge(name, help_text, fn, kind=kind))
+
+    def histogram(self, name: str, help_text: str, buckets=LATENCY_BUCKETS) -> Histogram:
+        return self._add(Histogram(name, help_text, buckets))
+
+    def _add(self, metric):
+        with self._lock:
+            self._metrics.append(metric)
+        return metric
+
+    def render(self) -> str:
+        """The full Prometheus text-format exposition body."""
+        lines: "list[str]" = []
+        with self._lock:
+            metrics = list(self._metrics)
+        for metric in metrics:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.samples())
+        return "\n".join(lines) + "\n"

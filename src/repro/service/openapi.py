@@ -23,7 +23,7 @@ OPENAPI_VERSION = "3.0.3"
 #: The service's own version: reported in the spec's ``info.version``
 #: and by ``GET /v1/healthz``.  Single-sourced here; a test pins it to
 #: the ``version=`` in setup.py so a one-sided bump fails CI.
-SERVICE_VERSION = "0.5.0"
+SERVICE_VERSION = "0.6.0"
 
 _ERROR_SCHEMA = {
     "type": "object",
@@ -138,6 +138,22 @@ _HEALTH_SCHEMA = {
         "version": {"type": "string"},
         "uptime_s": {"type": "number"},
         "workers": {"type": "integer"},
+        "pool": {
+            "type": "string",
+            "enum": ["process", "thread"],
+            "description": "how partition jobs execute: one forked child "
+            "per job (process) or inline on the worker thread (thread)",
+        },
+        "queue_depth": {
+            "type": "integer",
+            "description": "jobs accepted but not yet running — the "
+            "backpressure signal behind 429 queue_full",
+        },
+        "auth": {
+            "type": "boolean",
+            "description": "true when API keys are configured (requests "
+            "to non-public routes need X-API-Key)",
+        },
         "jobs": {
             "type": "object",
             "description": "job count per status (queued/running/done/failed)",
@@ -146,13 +162,21 @@ _HEALTH_SCHEMA = {
             "type": "integer",
             "description": "chunk stores currently in the cache",
         },
+        "store_bytes": {
+            "type": "integer",
+            "description": "bytes of chunk stores on disk, the quantity "
+            "the LRU byte budget bounds",
+        },
         "stats": {
             "type": "object",
             "description": "uploads, text_ingests, store_replays counters "
             "— store_replays without text_ingests is the digest-reuse "
             "hit path — plus pass-kernel observability: pass_seconds "
             "(cumulative seconds inside pass_kernel across finished "
-            "runs) and kernel_python_runs / kernel_njit_runs",
+            "runs) and kernel_python_runs / kernel_njit_runs — plus "
+            "operational counters: rejected_requests (admission "
+            "refusals), evictions (stores reclaimed by the byte budget) "
+            "and jobs_crashed (pool workers that died mid-job)",
         },
     },
     "required": ["status", "jobs", "stats"],
@@ -331,6 +355,25 @@ def _json_response(description, ref):
     }
 
 
+def _auth_responses():
+    """The admission-control responses shared by every protected route.
+
+    Only reported when the service is configured with API keys; an open
+    service never returns them.
+    """
+    return {
+        "401": _error_response(
+            "no API key presented (code unauthorized); send X-API-Key "
+            "or Authorization: Bearer"
+        ),
+        "403": _error_response("unknown API key (code forbidden)"),
+        "429": _error_response(
+            "over the per-key rate limit (code rate_limited); the "
+            "Retry-After header says when to retry"
+        ),
+    }
+
+
 _SPEC = {
     "openapi": OPENAPI_VERSION,
     "info": {
@@ -368,11 +411,23 @@ _SPEC = {
                         "(codes bad_request / invalid_upload)"
                     ),
                     "404": _error_response("store= digest has no chunk store"),
+                    "409": _error_response(
+                        "store= digest was evicted by the byte budget "
+                        "(code store_evicted); re-upload the same bytes "
+                        "to restore it"
+                    ),
                     "411": _error_response(
                         "body without Content-Length or chunked framing"
                     ),
                     "413": _error_response(
                         "body exceeds the configured max_body_bytes cap"
+                    ),
+                    **_auth_responses(),
+                    "429": _error_response(
+                        "over the per-key rate limit (code rate_limited) "
+                        "or the job queue is at max_queue_depth (code "
+                        "queue_full); the Retry-After header says when "
+                        "to retry"
                     ),
                 },
             }
@@ -395,6 +450,7 @@ _SPEC = {
                         "the job record", "#/components/schemas/Job"
                     ),
                     "404": _error_response("unknown job id"),
+                    **_auth_responses(),
                 },
             }
         },
@@ -425,6 +481,7 @@ _SPEC = {
                         "job exists but is not done (queued, running or "
                         "failed)"
                     ),
+                    **_auth_responses(),
                 },
             }
         },
@@ -454,6 +511,7 @@ _SPEC = {
                     "413": _error_response(
                         "body exceeds the configured max_body_bytes cap"
                     ),
+                    **_auth_responses(),
                 },
             }
         },
@@ -465,6 +523,24 @@ _SPEC = {
                     "200": _json_response(
                         "service is up", "#/components/schemas/Health"
                     )
+                },
+            }
+        },
+        "/v1/metrics": {
+            "get": {
+                "operationId": "metrics",
+                "summary": "Operational metrics in Prometheus text format",
+                "responses": {
+                    "200": {
+                        "description": "the metrics exposition: healthz "
+                        "counters plus queue depth, store bytes, "
+                        "evictions, admission rejections and per-route "
+                        "request latency histograms "
+                        "(repro_request_seconds)",
+                        "content": {
+                            "text/plain": {"schema": {"type": "string"}}
+                        },
+                    }
                 },
             }
         },

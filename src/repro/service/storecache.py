@@ -1,0 +1,192 @@
+"""Byte-budgeted LRU eviction for the digest-keyed chunk-store directory.
+
+PR 5's store directory grew forever: every distinct upload left a
+``<sha256-hex>.chunkstore`` directory behind.  :class:`StoreCache` puts
+it under a byte budget with classic LRU semantics, made safe against the
+service's concurrency:
+
+* **Pinning.**  A partition job replays its store from a forked worker;
+  evicting the directory mid-replay would tear mmap'd pages out from
+  under it.  The request path pins the digest *before* the job is
+  scheduled and unpins it from the job's ``on_complete`` (which runs in
+  the parent) — pinned stores are never evicted, however cold.
+* **Atomic removal.**  Eviction renames the store directory to a
+  ``.evict-<uuid>`` tombstone first and removes the tree afterwards, so
+  any concurrent ``open_store`` sees either a complete store or a clean
+  ``ENOENT`` — never a half-deleted manifest.
+* **Re-upload path.**  Evicted digests are remembered; a later
+  ``POST /v1/partitions?store=<digest>`` gets ``409 store_evicted``
+  (re-upload the bytes — same digest, store restored) instead of the
+  404 a never-seen digest gets.
+
+With no budget configured (the default) the cache only does accounting:
+``store_bytes`` in ``/v1/healthz`` is the directory's live size.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import uuid
+from collections import OrderedDict
+from pathlib import Path
+
+__all__ = ["StoreCache", "dir_bytes"]
+
+
+def dir_bytes(path: Path) -> int:
+    """Total file bytes under ``path`` (0 if it vanished meanwhile)."""
+    total = 0
+    try:
+        for child in Path(path).rglob("*"):
+            try:
+                if child.is_file():
+                    total += child.stat().st_size
+            except OSError:
+                continue
+    except OSError:
+        return 0
+    return total
+
+
+class StoreCache:
+    """LRU byte accounting and eviction for one ``stores/`` directory.
+
+    Parameters
+    ----------
+    stores_dir:
+        directory holding ``<hex>.chunkstore`` stores (created on
+        demand).  Pre-existing stores are adopted on startup, oldest
+        modification time first, and stale ``.ingest-*`` / ``.evict-*``
+        temporaries are swept.
+    budget_bytes:
+        total byte budget across all stores; ``None`` disables eviction
+        (accounting only).  A single store larger than the budget is
+        admitted — the budget bounds the *cache*, it does not reject
+        uploads — and simply evicts everything else.
+    """
+
+    def __init__(self, stores_dir, *, budget_bytes: "int | None" = None) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(
+                f"budget_bytes must be >= 0 or None, got {budget_bytes}"
+            )
+        self.stores_dir = Path(stores_dir)
+        self.budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._sizes: "OrderedDict[str, int]" = OrderedDict()  # LRU: old → new
+        self._pins: "dict[str, int]" = {}
+        self._evicted: "set[str]" = set()
+        self.evictions = 0
+        self._adopt_existing()
+
+    # -- digest bookkeeping -------------------------------------------
+    @staticmethod
+    def _stem(digest: str) -> str:
+        """``sha256:<hex>`` → ``<hex>`` (the on-disk directory stem)."""
+        return digest.split(":", 1)[-1]
+
+    def path_for(self, digest: str) -> Path:
+        """The on-disk store directory for ``digest``."""
+        return self.stores_dir / f"{self._stem(digest)}.chunkstore"
+
+    def _adopt_existing(self) -> None:
+        if not self.stores_dir.is_dir():
+            return
+        entries = []
+        for child in self.stores_dir.iterdir():
+            name = child.name
+            if name.startswith((".ingest-", ".evict-")):
+                shutil.rmtree(child, ignore_errors=True)
+                continue
+            if child.is_dir() and name.endswith(".chunkstore"):
+                try:
+                    mtime = child.stat().st_mtime
+                except OSError:
+                    continue
+                entries.append((mtime, name[: -len(".chunkstore")], child))
+        for _, stem, child in sorted(entries):
+            self._sizes[stem] = dir_bytes(child)
+        self._evict_excess()
+
+    # -- the request-path API -----------------------------------------
+    def pin(self, digest: str) -> None:
+        """Protect ``digest`` from eviction until :meth:`unpin`."""
+        stem = self._stem(digest)
+        with self._lock:
+            self._pins[stem] = self._pins.get(stem, 0) + 1
+
+    def unpin(self, digest: str) -> None:
+        stem = self._stem(digest)
+        with self._lock:
+            count = self._pins.get(stem, 0) - 1
+            if count > 0:
+                self._pins[stem] = count
+            else:
+                self._pins.pop(stem, None)
+            doomed = self._evict_excess()
+        self._reap(doomed)
+
+    def touch(self, digest: str) -> None:
+        """Record a use of ``digest`` (moves it to the LRU's fresh end)."""
+        stem = self._stem(digest)
+        with self._lock:
+            if stem in self._sizes:
+                self._sizes.move_to_end(stem)
+
+    def added(self, digest: str) -> None:
+        """Account a just-published store and enforce the budget."""
+        stem = self._stem(digest)
+        size = dir_bytes(self.path_for(digest))
+        with self._lock:
+            self._sizes[stem] = size
+            self._sizes.move_to_end(stem)
+            self._evicted.discard(stem)
+            doomed = self._evict_excess()
+        self._reap(doomed)
+
+    def was_evicted(self, digest: str) -> bool:
+        """True when ``digest`` was ingested once and later evicted."""
+        with self._lock:
+            return self._stem(digest) in self._evicted
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(self._sizes.values())
+
+    def known(self) -> int:
+        """Stores currently on disk (healthz's ``stores`` count)."""
+        with self._lock:
+            return len(self._sizes)
+
+    # -- eviction ------------------------------------------------------
+    def _evict_excess(self) -> "list[Path]":
+        """Under ``self._lock``: tombstone-rename LRU victims until the
+        budget holds; returns the tombstones for out-of-lock removal."""
+        if self.budget_bytes is None:
+            return []
+        doomed: "list[Path]" = []
+        total = sum(self._sizes.values())
+        stems = list(self._sizes)  # oldest → freshest
+        for stem in stems[:-1]:  # the freshest store is always admitted
+            if total <= self.budget_bytes:
+                break
+            if self._pins.get(stem, 0) > 0:
+                continue
+            size = self._sizes.pop(stem)
+            total -= size
+            self._evicted.add(stem)
+            self.evictions += 1
+            src = self.stores_dir / f"{stem}.chunkstore"
+            tomb = self.stores_dir / f".evict-{uuid.uuid4().hex}"
+            try:
+                src.rename(tomb)
+            except OSError:
+                continue  # already gone — accounting was stale
+            doomed.append(tomb)
+        return doomed
+
+    @staticmethod
+    def _reap(doomed: "list[Path]") -> None:
+        for tomb in doomed:
+            shutil.rmtree(tomb, ignore_errors=True)

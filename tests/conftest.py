@@ -12,6 +12,7 @@ Conventions
 from __future__ import annotations
 
 import tempfile
+import time
 
 import numpy as np
 import pytest
@@ -22,6 +23,32 @@ from repro.architecture.topology import archer_like_topology, flat_topology
 from repro.hypergraph.model import Hypergraph
 from repro.hypergraph.suite import load_instance
 from repro.simcomm.network import LinkModel
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02, message="condition"):
+    """Poll ``predicate`` until truthy, with a hard deadline.
+
+    Returns the predicate's (truthy) value.  Raises ``AssertionError``
+    after ``timeout`` seconds — a hung service fails the test in
+    seconds, never by running into the CI job timeout.  Concurrency
+    tests must use this instead of bare ``time.sleep`` loops.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"timed out after {timeout}s waiting for {message}"
+            )
+        time.sleep(interval)
+
+
+@pytest.fixture
+def wait_for():
+    """The bounded :func:`wait_until` poller, as a fixture."""
+    return wait_until
 
 
 @pytest.fixture(autouse=True)

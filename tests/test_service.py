@@ -14,7 +14,6 @@ import http.client
 import json
 import socket
 import threading
-import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -75,15 +74,20 @@ def _request(url, data=None, method=None):
         return status, body.decode()
 
 
-def _wait(svc, job, timeout=120):
-    deadline = time.time() + timeout
-    while time.time() < deadline:
+def _wait(svc, job, wait, timeout=120):
+    """Poll a job to a terminal state via the bounded ``wait_for`` fixture."""
+
+    def _terminal():
         status, doc = _request(svc.url + job["links"]["self"])
         assert status == 200
-        if doc["status"] in ("done", "failed"):
-            return doc
-        time.sleep(0.05)
-    raise AssertionError(f"job {job['id']} still {doc['status']} after {timeout}s")
+        return doc if doc["status"] in ("done", "failed") else None
+
+    return wait(
+        _terminal,
+        timeout=timeout,
+        interval=0.05,
+        message=f"job {job['id']} to finish",
+    )
 
 
 def _assignment_lines(svc, job):
@@ -97,7 +101,7 @@ def _assignment_lines(svc, job):
 # ----------------------------------------------------------------------
 class TestPartitionLifecycle:
     @pytest.mark.parametrize("partitioner", ["onepass", "buffered", "sharded"])
-    def test_upload_poll_assignment(self, service, tiny_hgr, partitioner):
+    def test_upload_poll_assignment(self, service, tiny_hgr, partitioner, wait_for):
         # chunk_size=2 gives the 6-vertex graph 3 chunks, so sharded
         # runs genuinely fan out over 2 workers instead of clamping.
         status, job = _request(
@@ -107,7 +111,7 @@ class TestPartitionLifecycle:
         )
         assert status == 202
         assert job["status"] in ("queued", "running", "done")
-        done = _wait(service, job)
+        done = _wait(service, job, wait_for)
         assert done["status"] == "done", done["error"]
         assert done["metrics"]["algorithm"].startswith("stream")
         assert done["metrics"]["num_vertices"] == 6
@@ -365,7 +369,7 @@ class TestDigestReuse:
 # concurrency on the job pool
 # ----------------------------------------------------------------------
 class TestConcurrentUploads:
-    def test_parallel_uploads_all_complete(self, service, tmp_path):
+    def test_parallel_uploads_all_complete(self, service, tmp_path, wait_for):
         rng = np.random.default_rng(0)
         uploads = []
         for i in range(5):
@@ -403,7 +407,7 @@ class TestConcurrentUploads:
         assert not errors
 
         for (n, _), job in zip(uploads, jobs):
-            done = _wait(service, job)
+            done = _wait(service, job, wait_for)
             assert done["status"] == "done", done["error"]
             assert len(_assignment_lines(service, done)) == n
         _, health = _request(f"{service.url}/v1/healthz")
@@ -446,6 +450,10 @@ class TestMetaEndpoints:
         assert status == 200
         assert health["status"] == "ok"
         assert health["workers"] == 2
+        assert health["pool"] in ("process", "thread")
+        assert health["queue_depth"] == 0
+        assert health["auth"] is False
+        assert health["store_bytes"] == 0
         assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
         assert set(health["stats"]) == {
             "uploads",
@@ -454,6 +462,9 @@ class TestMetaEndpoints:
             "pass_seconds",
             "kernel_python_runs",
             "kernel_njit_runs",
+            "rejected_requests",
+            "evictions",
+            "jobs_crashed",
         }
 
     def test_version_single_sourced(self, service):
@@ -501,6 +512,9 @@ class TestMetaEndpoints:
             ),
             ("get", "/v1/healthz"): lambda: _request(
                 f"{service.url}/v1/healthz"
+            ),
+            ("get", "/v1/metrics"): lambda: _request(
+                f"{service.url}/v1/metrics"
             ),
             ("get", "/v1/openapi.json"): lambda: _request(
                 f"{service.url}/v1/openapi.json"
