@@ -39,6 +39,9 @@ exactly without opening a socket.  Wall-clock drift only *warns* — CI
 boxes are not benchmark boxes — but determinism drift fails, so the
 committed numbers can never silently go stale.  The default subset keeps
 the check cheap; ``REPRO_BENCH_FULL=1`` reruns every baseline record.
+The same test gates the lean wire: on every clean multi-worker cell
+benchmarked under both wire modes, the tailored+compressed v2 frames
+must put >= 2x fewer bytes on the socket than the legacy v1 broadcast.
 
 ``test_streaming_baseline_diff`` is the same contract for the committed
 ``BENCH_STREAMING.json`` (written by ``scripts/run_streaming_bench.py
@@ -208,9 +211,42 @@ def test_cluster_baseline_diff(benchmark):
         pytest.skip("no committed BENCH_CLUSTER.json baseline")
     baseline = json.loads(baseline_path.read_text())
     assert baseline["schema"] == "bench-cluster"
-    assert baseline["version"] == 1, "bump this check with the schema"
+    assert baseline["version"] == 2, "bump this check with the schema"
 
-    records = [r for r in baseline["records"] if r["payload"] == "boundary"]
+    # The lean-wire acceptance gate: tailored rows + zlib frames must
+    # cut the bytes on the wire at least 2x against the legacy v1
+    # broadcast on every multi-worker clean cell where both were
+    # benchmarked (the assignments are bit-identical by contract, so
+    # this is pure wire savings, not an algorithm change).
+    by_cell = {
+        (r["instance"], r["workers"], r["payload"], r.get("wire", "lean")): r
+        for r in baseline["records"]
+        if r.get("netem", "clean") == "clean"
+    }
+    lean_vs_v1 = [
+        (key, lean, by_cell[key[:3] + ("v1",)])
+        for key, lean in by_cell.items()
+        if key[3] == "lean" and key[1] >= 2 and key[:3] + ("v1",) in by_cell
+    ]
+    for key, lean, legacy in lean_vs_v1:
+        ratio = legacy["wire_bytes"] / max(1, lean["wire_bytes"])
+        benchmark.extra_info[f"wire_ratio[{key[0]} x w{key[1]}]"] = round(
+            ratio, 2
+        )
+        assert ratio >= 2.0, (
+            f"{key[:3]}: lean wire {lean['wire_bytes']}B is only "
+            f"{ratio:.2f}x smaller than the v1 broadcast "
+            f"{legacy['wire_bytes']}B — the tailored+compressed wire "
+            f"must stay >= 2x leaner"
+        )
+
+    records = [
+        r
+        for r in baseline["records"]
+        if r["payload"] == "boundary"
+        and r.get("wire", "lean") == "lean"
+        and r.get("netem", "clean") == "clean"
+    ]
     if not FULL:
         # Cheap subset: the boundary-sparse mesh at every worker count
         # plus the power-law instance sequentially — still covers both

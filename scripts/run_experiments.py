@@ -26,6 +26,11 @@ Typical invocations::
     # drive pre-started remote workers instead of launching local ones
     python scripts/run_experiments.py --hosts hostA:7311 hostB:7311
 
+    # compare the lean v2 wire (tailored rows + zlib) against the
+    # legacy v1 broadcast, authenticated, through a flaky network
+    python scripts/run_experiments.py --workers 2 --loopback \
+        --wire lean v1 --netem clean flaky --psk-file cluster.key
+
 Teardown is SIGINT first (workers exit their accept loop cleanly), then
 SIGKILL after a grace period — a wedged worker can never wedge the
 harness.
@@ -47,12 +52,17 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 SRC = REPO / "src"
+TESTS = REPO / "tests"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+if str(TESTS) not in sys.path:
+    sys.path.insert(0, str(TESTS))  # netsim lives with the tests
 
 import numpy as np  # noqa: E402
 
+from netsim import NETEM_PROFILES, FaultyProxy, netem_profile  # noqa: E402
 from repro.cluster import DistributedStreamer  # noqa: E402
+from repro.cluster.protocol import load_psk  # noqa: E402
 from repro.core.metrics import hyperedge_cut, imbalance  # noqa: E402
 from repro.hypergraph.suite import STREAMING_INSTANCE, load_instance  # noqa: E402
 from repro.streaming import (  # noqa: E402
@@ -63,7 +73,17 @@ from repro.streaming import (  # noqa: E402
 from repro.utils.rng import derive_seed  # noqa: E402
 
 #: Schema version of BENCH_CLUSTER.json; bump on layout changes.
-BENCH_SCHEMA_VERSION = 1
+#: v2 added the ``wire`` (lean vs v1 legacy broadcast) and ``netem``
+#: (netsim degradation profile) matrix dimensions to every record.
+BENCH_SCHEMA_VERSION = 2
+
+#: wire modes: what the coordinator puts on the socket per cell.
+#: ``lean`` = tailored boundary rows + zlib frames (the v2 default);
+#: ``v1``   = full-snapshot broadcast, uncompressed (the PR 6 wire).
+WIRE_MODES = {
+    "lean": {"tailored": True, "compress": True},
+    "v1": {"tailored": False, "compress": False},
+}
 
 _LISTEN_TIMEOUT_S = 30.0
 _SIGINT_GRACE_S = 5.0
@@ -124,6 +144,31 @@ def parse_args(argv=None):
         choices=("boundary", "full"),
         default=["boundary"],
         help="merge payload modes to matrix over",
+    )
+    parser.add_argument(
+        "--wire",
+        nargs="+",
+        choices=sorted(WIRE_MODES),
+        default=["lean"],
+        help="wire modes to matrix over: 'lean' ships tailored boundary "
+        "rows in zlib frames, 'v1' reproduces the legacy uncompressed "
+        "broadcast (assignments are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--netem",
+        nargs="+",
+        choices=sorted(NETEM_PROFILES),
+        default=["clean"],
+        help="netsim degradation profiles to matrix over; non-clean "
+        "cells route every worker link through a tests/netsim.py "
+        "FaultyProxy with that profile's latency/bandwidth shaping",
+    )
+    parser.add_argument(
+        "--psk-file",
+        default=None,
+        metavar="PATH",
+        help="pre-shared key file: loopback workers are launched with "
+        "it and the coordinator authenticates every session",
     )
     parser.add_argument(
         "--scorer",
@@ -220,19 +265,22 @@ class WorkerFleet:
             # reuses it: drop stale logs or _wait_listening would read
             # a dead port from the previous fleet's 'listening' event.
             log_path.unlink(missing_ok=True)
+            argv = [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "worker",
+                "--port",
+                str(port),
+                "--seed",
+                str(worker_seed),
+                "--log-file",
+                str(log_path),
+            ]
+            if args.psk_file:
+                argv += ["--psk-file", str(args.psk_file)]
             proc = subprocess.Popen(
-                [
-                    sys.executable,
-                    "-m",
-                    "repro.experiments.cli",
-                    "worker",
-                    "--port",
-                    str(port),
-                    "--seed",
-                    str(worker_seed),
-                    "--log-file",
-                    str(log_path),
-                ],
+                argv,
                 stdout=open(stdout_path, "w"),
                 stderr=subprocess.STDOUT,
                 env=env,
@@ -266,7 +314,8 @@ def _digest(assignment: np.ndarray) -> str:
     ).hexdigest()[:16]
 
 
-def _run_cell(args, endpoints, instance: str, payload: str) -> dict:
+def _run_cell(args, endpoints, instance: str, payload: str, wire: str,
+              netem: str, psk) -> dict:
     """One matrix cell: distributed run (+ optional golden twin)."""
     hg = load_instance(instance, scale=args.scale)
     base_kwargs = dict(scorer=args.scorer)
@@ -277,24 +326,43 @@ def _run_cell(args, endpoints, instance: str, payload: str) -> dict:
             kw["boundary_max_iterations"] = args.max_iterations
         return kw
 
-    stream = HypergraphChunkStream(hg, args.chunk_size)
-    streamer = DistributedStreamer(
-        OnePassStreamer(**base_kwargs),
-        hosts=endpoints,
-        timeout=args.run_timeout_seconds,
-        **streamer_kwargs(),
-    )
-    t0 = time.perf_counter()
-    result = streamer.partition_stream(
-        stream, args.num_parts, seed=args.seed
-    )
-    wall = time.perf_counter() - t0
+    proxies = []
+    cell_endpoints = list(endpoints)
+    if netem != "clean":
+        # route every worker link through a per-cell fault proxy; the
+        # shaping applies to this cell only and is torn down after it
+        knobs = netem_profile(netem)
+        for ep in endpoints:
+            host, port = ep.rsplit(":", 1)
+            proxies.append(FaultyProxy((host, int(port)), **knobs))
+        cell_endpoints = [f"127.0.0.1:{p.port}" for p in proxies]
+    try:
+        stream = HypergraphChunkStream(hg, args.chunk_size)
+        streamer = DistributedStreamer(
+            OnePassStreamer(**base_kwargs),
+            hosts=cell_endpoints,
+            timeout=args.run_timeout_seconds,
+            psk=psk,
+            **WIRE_MODES[wire],
+            **streamer_kwargs(),
+        )
+        t0 = time.perf_counter()
+        result = streamer.partition_stream(
+            stream, args.num_parts, seed=args.seed
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        for proxy in proxies:
+            proxy.close()
     md = result.metadata
+    saved = md.get("broadcast_bytes_saved")
     record = {
         "instance": instance,
         "scale": args.scale,
         "workers": len(endpoints),
         "payload": payload,
+        "wire": wire,
+        "netem": netem,
         "scorer": args.scorer,
         "num_parts": args.num_parts,
         "chunk_size": args.chunk_size,
@@ -303,6 +371,9 @@ def _run_cell(args, endpoints, instance: str, payload: str) -> dict:
         "cut": hyperedge_cut(hg, result.assignment, args.num_parts),
         "imbalance": round(imbalance(hg, result.assignment, args.num_parts), 6),
         "wire_bytes": md.get("cluster_wire_bytes"),
+        "wire_versions": md.get("cluster_wire_versions"),
+        "compressed_links": md.get("cluster_compress"),
+        "broadcast_bytes_saved": int(sum(saved)) if saved else 0,
         "parallel_mode": md.get("parallel_mode"),
         "degraded_shards": md.get("degraded_shards"),
         "assignment_digest": _digest(result.assignment),
@@ -334,13 +405,51 @@ def _bench_payload(args, records) -> dict:
             {
                 k: r[k]
                 for k in (
-                    "instance", "workers", "payload", "wall_s", "cut",
-                    "imbalance", "wire_bytes", "assignment_digest",
+                    "instance", "workers", "payload", "wire", "netem",
+                    "wall_s", "cut", "imbalance", "wire_bytes",
+                    "broadcast_bytes_saved", "assignment_digest",
                 )
             }
             for r in records
         ],
     }
+
+
+def _cell_key(r: dict):
+    """Identity of a benchmark cell across the full matrix."""
+    return (
+        r["instance"],
+        r["workers"],
+        r["payload"],
+        r.get("wire", "lean"),
+        r.get("netem", "clean"),
+    )
+
+
+def _write_bench(path: Path, args, records) -> None:
+    """Write (or merge into) the committed benchmark baseline.
+
+    If ``path`` already holds a same-version baseline, records for the
+    cells just run replace their old rows and every other row is kept —
+    so the netem rows and the clean matrix can be regenerated by
+    separate invocations of this script into one file.
+    """
+    payload = _bench_payload(args, records)
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except ValueError:
+            old = {}
+        if (
+            old.get("schema") == "bench-cluster"
+            and old.get("version") == BENCH_SCHEMA_VERSION
+        ):
+            fresh = {_cell_key(r) for r in payload["records"]}
+            payload["records"] = [
+                r for r in old["records"] if _cell_key(r) not in fresh
+            ] + payload["records"]
+            payload["records"].sort(key=_cell_key)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _diff_against(path: Path, args, records) -> list:
@@ -360,22 +469,21 @@ def _diff_against(path: Path, args, records) -> list:
             stacklevel=2,
         )
         return []
-    key = lambda r: (r["instance"], r["workers"], r["payload"])  # noqa: E731
-    base_by_key = {key(r): r for r in baseline["records"]}
+    base_by_key = {_cell_key(r): r for r in baseline["records"]}
     failures = []
     for record in records:
-        base = base_by_key.get(key(record))
+        base = base_by_key.get(_cell_key(record))
         if base is None:
             continue
         for field in ("cut", "assignment_digest"):
             if record[field] != base[field]:
                 failures.append(
-                    f"{key(record)}: {field} {record[field]!r} != "
+                    f"{_cell_key(record)}: {field} {record[field]!r} != "
                     f"baseline {base[field]!r}"
                 )
         if base["wall_s"] and record["wall_s"] > 1.5 * base["wall_s"]:
             warnings.warn(
-                f"{key(record)}: wall {record['wall_s']:.3f}s > 1.5x "
+                f"{_cell_key(record)}: wall {record['wall_s']:.3f}s > 1.5x "
                 f"baseline {base['wall_s']:.3f}s",
                 RuntimeWarning,
                 stacklevel=2,
@@ -412,37 +520,47 @@ def main(argv=None) -> int:
         raise SystemExit(
             f"--workers-matrix must be within 1..{len(endpoints)}, got {counts}"
         )
+    psk = load_psk(args.psk_file) if args.psk_file else None
     records, status, failures = [], "ok", []
+    cells = [
+        (instance, nworkers, payload, wire, netem)
+        for instance in args.instances
+        for nworkers in counts
+        for payload in args.payloads
+        for wire in args.wire
+        for netem in args.netem
+    ]
     try:
-        for instance in args.instances:
-            for nworkers in counts:
-                for payload in args.payloads:
-                    record = _run_cell(
-                        args, endpoints[:nworkers], instance, payload
-                    )
-                    records.append(record)
-                    cell = f"{instance} x w{nworkers} x {payload}"
-                    print(
-                        f"[{cell}] wall={record['wall_s']}s "
-                        f"cut={record['cut']} wire={record['wire_bytes']}B "
-                        f"digest={record['assignment_digest']}"
-                        + (
-                            f" golden_match={record['golden_match']}"
-                            if "golden_match" in record
-                            else ""
-                        )
-                    )
-                    if record.get("golden_match") is False:
-                        failures.append(
-                            f"{cell}: assignment differs from "
-                            f"ShardedStreamer golden"
-                        )
-                    if record.get("degraded_shards"):
-                        failures.append(
-                            f"{cell}: shards "
-                            f"{record['degraded_shards']} degraded to local "
-                            f"— not a clean distributed measurement"
-                        )
+        for instance, nworkers, payload, wire, netem in cells:
+            record = _run_cell(
+                args, endpoints[:nworkers], instance, payload, wire,
+                netem, psk,
+            )
+            records.append(record)
+            cell = (
+                f"{instance} x w{nworkers} x {payload} x {wire} x {netem}"
+            )
+            print(
+                f"[{cell}] wall={record['wall_s']}s "
+                f"cut={record['cut']} wire={record['wire_bytes']}B "
+                f"digest={record['assignment_digest']}"
+                + (
+                    f" golden_match={record['golden_match']}"
+                    if "golden_match" in record
+                    else ""
+                )
+            )
+            if record.get("golden_match") is False:
+                failures.append(
+                    f"{cell}: assignment differs from "
+                    f"ShardedStreamer golden"
+                )
+            if record.get("degraded_shards"):
+                failures.append(
+                    f"{cell}: shards "
+                    f"{record['degraded_shards']} degraded to local "
+                    f"— not a clean distributed measurement"
+                )
         if args.diff_against:
             failures.extend(_diff_against(Path(args.diff_against), args, records))
     except Exception as exc:  # noqa: BLE001 — recorded in summary.json
@@ -464,8 +582,7 @@ def main(argv=None) -> int:
         print(f"artifacts: {run_dir}")
 
     if args.bench_out and not failures:
-        payload = _bench_payload(args, records)
-        Path(args.bench_out).write_text(json.dumps(payload, indent=2) + "\n")
+        _write_bench(Path(args.bench_out), args, records)
         print(f"baseline written: {args.bench_out}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

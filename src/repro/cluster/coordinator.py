@@ -27,13 +27,19 @@ contract):
 
 from __future__ import annotations
 
+import hmac
 import socket
+import threading
 
 from repro.cluster.protocol import (
     DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    AuthError,
     ProtocolError,
     VersionMismatchError,
+    fresh_nonce,
+    hmac_proof,
     recv_message,
     send_message,
 )
@@ -47,7 +53,12 @@ _LINK_ERRORS = (OSError, socket.timeout, ProtocolError)
 
 
 class _WorkerLink:
-    """One coordinator-to-worker connection with wire accounting."""
+    """One coordinator-to-worker connection with wire accounting.
+
+    ``version``/``compress`` start at the pre-negotiation defaults (v1
+    frames, uncompressed — what any peer must accept) and are switched
+    by the handshake once the worker's ``hello_ack`` lands.
+    """
 
     def __init__(
         self, host: str, port: int, *, timeout: float, max_frame: int
@@ -55,19 +66,31 @@ class _WorkerLink:
         self.host, self.port = host, port
         self.max_frame = max_frame
         self.wire_bytes = 0
+        self.version = 1
+        self.compress = False
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.settimeout(timeout)
 
     def send(self, message) -> None:
-        self.wire_bytes += send_message(self.sock, message)
+        self.wire_bytes += send_message(
+            self.sock,
+            message,
+            version=self.version,
+            compress=self.compress,
+        )
 
     def recv(self):
         message, nbytes = recv_message(self.sock, max_frame=self.max_frame)
         self.wire_bytes += nbytes
         if isinstance(message, dict) and message.get("type") == "error":
-            raise ProtocolError(
-                f"worker {self.host}:{self.port} reported: {message['error']}"
-            )
+            code = message.get("code")
+            where = f"worker {self.host}:{self.port}"
+            if code in ("auth_required", "auth_failed"):
+                raise AuthError(
+                    f"{where} refused the handshake: {message['error']}",
+                    code=code,
+                )
+            raise ProtocolError(f"{where} reported: {message['error']}")
         return message
 
     def close(self) -> None:
@@ -101,6 +124,7 @@ class ClusterRounds:
         local_tasks: list,
         on_loss: str = "degrade",
         reconnect: bool = True,
+        orphan_meter: "dict | None" = None,
     ) -> None:
         n = len(endpoints)
         if len(local_tasks) != n:
@@ -110,7 +134,14 @@ class ClusterRounds:
         self._local_tasks = list(local_tasks)
         self.on_loss = on_loss
         self.reconnect = reconnect
+        # Bytes put on the wire by attach() attempts that never returned
+        # a link (handshake or shipping died mid-way) — shared with the
+        # attach closure so cluster_wire_bytes never undercounts.
+        self.orphan_meter = (
+            orphan_meter if orphan_meter is not None else {"bytes": 0}
+        )
         self._links: "list[_WorkerLink | None]" = [None] * n
+        self._link_info: "list[dict | None]" = [None] * n
         self._gens: list = [None] * n
         self._history: "list[list]" = [[] for _ in range(n)]
         self._tried_reconnect = [False] * n
@@ -123,13 +154,29 @@ class ClusterRounds:
     def _n(self) -> int:
         return len(self.endpoints)
 
+    def _note(self, k: int, link: "_WorkerLink") -> None:
+        """Record a live link (and its negotiated session facts)."""
+        self._links[k] = link
+        self._link_info[k] = {
+            "version": link.version,
+            "compress": link.compress,
+        }
+
     def _lose(self, k: int, exc: Exception) -> None:
-        """Mark worker ``k`` lost; raise instead under ``on_loss="fail"``."""
+        """Mark worker ``k`` lost; raise instead under ``on_loss="fail"``.
+
+        An :class:`AuthError` is never degradable: a refused PSK means a
+        configuration (or adversary) problem that running the shard
+        locally would silently paper over.
+        """
         link = self._links[k]
         if link is not None:
             self._closed_wire_bytes += link.wire_bytes
             link.close()
             self._links[k] = None
+        if isinstance(exc, AuthError):
+            self.close()
+            raise exc
         if self.on_loss == "fail":
             self.close()
             raise RuntimeError(
@@ -168,9 +215,15 @@ class ClusterRounds:
                     {"type": "round", "kind": message[0], "ctl": message[1]}
                 )
                 reply = link.recv()
-                self._links[k] = link
+                self._note(k, link)
                 self.reconnected_shards.add(k)
                 return reply["body"]
+            except AuthError:
+                if link is not None:
+                    self._closed_wire_bytes += link.wire_bytes
+                    link.close()
+                self.close()
+                raise
             except _LINK_ERRORS:
                 if link is not None:
                     self._closed_wire_bytes += link.wire_bytes
@@ -190,7 +243,7 @@ class ClusterRounds:
         n = self._n
         for k in range(n):
             try:
-                self._links[k] = self._attach(k)
+                self._note(k, self._attach(k))
             except _LINK_ERRORS as exc:
                 self._lose(k, exc)
         firsts = [None] * n
@@ -236,42 +289,75 @@ class ClusterRounds:
         return {
             "parallel_mode": "distributed",
             "hosts": [f"{h}:{p}" for h, p in self.endpoints],
-            "cluster_wire_bytes": int(self._closed_wire_bytes + live),
+            "cluster_wire_bytes": int(
+                self._closed_wire_bytes + live + self.orphan_meter["bytes"]
+            ),
+            "cluster_wire_versions": [
+                info["version"] if info is not None else None
+                for info in self._link_info
+            ],
+            "cluster_compress": [
+                info["compress"] if info is not None else None
+                for info in self._link_info
+            ],
             "degraded_shards": sorted(self.degraded_shards),
             "reconnected_shards": sorted(self.reconnected_shards),
         }
 
     # ------------------------------------------------------------------
     def _round(self, messages: list) -> list:
-        # Send everything first so remote shards compute concurrently,
-        # then collect at the barrier in shard order (same concurrency
-        # shape as the forked ShardRounds).
-        for k, link in enumerate(self._links):
-            if link is not None:
-                try:
-                    link.send(
-                        {
-                            "type": "round",
-                            "kind": messages[k][0],
-                            "ctl": messages[k][1],
-                        }
-                    )
-                except _LINK_ERRORS as exc:
-                    self._lose(k, exc)
+        # Pipelined sends: a sender thread encodes and ships the round
+        # frames in shard order while this thread collects replies in
+        # the same order — serialisation (and zlib) for shard k+1
+        # overlaps both shard k's compute and its reply in flight.
+        # The sender only ever touches links the collector has not yet
+        # reached (it stays ahead by construction: the collector waits
+        # on ``sent[k]`` before acting on shard ``k``).
+        n = self._n
+        send_errs: "list[Exception | None]" = [None] * n
+        sent = [threading.Event() for _ in range(n)]
+
+        def pump() -> None:
+            for k in range(n):
+                link = self._links[k]
+                if link is not None:
+                    try:
+                        link.send(
+                            {
+                                "type": "round",
+                                "kind": messages[k][0],
+                                "ctl": messages[k][1],
+                            }
+                        )
+                    except _LINK_ERRORS as exc:
+                        send_errs[k] = exc
+                sent[k].set()
+
+        sender = threading.Thread(
+            target=pump, name="cluster-round-sender", daemon=True
+        )
+        sender.start()
         outs = []
-        for k in range(self._n):
-            link = self._links[k]
-            if link is not None:
-                try:
-                    outs.append(link.recv()["body"])
-                except _LINK_ERRORS as exc:
-                    self._lose(k, exc)
+        try:
+            for k in range(n):
+                sent[k].wait()
+                link = self._links[k]
+                if send_errs[k] is not None:
+                    self._lose(k, send_errs[k])
                     outs.append(self._fallback(k, messages[k]))
-            elif self._gens[k] is not None:
-                outs.append(self._drive(self._gens[k], messages[k]))
-            else:
-                outs.append(self._fallback(k, messages[k]))
-            self._history[k].append(messages[k])
+                elif link is not None:
+                    try:
+                        outs.append(link.recv()["body"])
+                    except _LINK_ERRORS as exc:
+                        self._lose(k, exc)
+                        outs.append(self._fallback(k, messages[k]))
+                elif self._gens[k] is not None:
+                    outs.append(self._drive(self._gens[k], messages[k]))
+                else:
+                    outs.append(self._fallback(k, messages[k]))
+                self._history[k].append(messages[k])
+        finally:
+            sender.join()
         return outs
 
 
@@ -300,6 +386,18 @@ class DistributedStreamer(ShardedStreamer):
         whether degrade mode attempts one re-dial before going local.
     max_frame:
         protocol frame bound for received replies.
+    compress:
+        offer zlib frame compression in the handshake (default
+        ``True``).  Only takes effect when the worker negotiates
+        protocol v2 and accepts; a v1 worker silently gets
+        uncompressed frames.  Compression changes bytes on the wire,
+        never decoded content — assignments are bit-identical.
+    psk:
+        pre-shared key bytes for the mutual HMAC handshake (``None``
+        disables auth).  Workers started with a ``--psk-file`` refuse
+        unauthenticated coordinators with a stable error frame, and
+        vice versa a wrong key raises :class:`AuthError` here —
+        auth failures never silently degrade to a local run.
     """
 
     name = "stream-cluster"
@@ -314,12 +412,15 @@ class DistributedStreamer(ShardedStreamer):
         on_loss: str = "degrade",
         reconnect: bool = True,
         max_frame: int = DEFAULT_MAX_FRAME,
+        compress: bool = True,
+        psk: "bytes | None" = None,
         boundary_max_iterations: "int | None" = (
             ShardedStreamer.DEFAULT_BOUNDARY_MAX_ITERATIONS
         ),
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         payload: str = "boundary",
         shard_by: str = "pins",
+        tailored: bool = True,
     ) -> None:
         endpoints = [self._parse_host(h) for h in hosts]
         if not endpoints:
@@ -339,6 +440,7 @@ class DistributedStreamer(ShardedStreamer):
             chunk_size=chunk_size,
             payload=payload,
             shard_by=shard_by,
+            tailored=tailored,
         )
         if not hasattr(self.base, "_shard_spec"):
             raise TypeError(
@@ -351,6 +453,8 @@ class DistributedStreamer(ShardedStreamer):
         self.on_loss = on_loss
         self.reconnect = bool(reconnect)
         self.max_frame = int(max_frame)
+        self.compress = bool(compress)
+        self.psk = bytes(psk) if psk is not None else None
 
     @staticmethod
     def _parse_host(value) -> "tuple[str, int]":
@@ -397,6 +501,8 @@ class DistributedStreamer(ShardedStreamer):
         common = {
             "type": "hello",
             "version": PROTOCOL_VERSION,
+            "max_version": PROTOCOL_VERSION,
+            "compress": self.compress,
             "nshards": nshards,
             "num_parts": ctx["num_parts"],
             "num_vertices": int(stream.num_vertices),
@@ -416,6 +522,9 @@ class DistributedStreamer(ShardedStreamer):
             "text_model": text_model,
         }
 
+        orphan_meter = {"bytes": 0}
+        psk = self.psk
+
         def attach(k: int) -> _WorkerLink:
             host, port = endpoints[k]
             link = _WorkerLink(
@@ -424,28 +533,73 @@ class DistributedStreamer(ShardedStreamer):
             try:
                 lo, hi = ctx["ranges"][k]
                 v_lo, v_hi = ctx["vertex_bounds"][k]
-                link.send(
-                    dict(
-                        common,
-                        shard_index=k,
-                        lo=int(lo),
-                        hi=int(hi),
-                        v_lo=int(v_lo),
-                        v_hi=int(v_hi),
-                        shard_weight=float(ctx["shard_weights"][k]),
-                    )
+                hello = dict(
+                    common,
+                    shard_index=k,
+                    lo=int(lo),
+                    hi=int(hi),
+                    v_lo=int(v_lo),
+                    v_hi=int(v_hi),
+                    shard_weight=float(ctx["shard_weights"][k]),
                 )
+                nonce_c = None
+                if psk is not None:
+                    nonce_c = fresh_nonce()
+                    hello["auth"] = True
+                    hello["nonce"] = nonce_c
+                # The hello (and the whole auth exchange) is framed at
+                # v1 — the one dialect every peer speaks — so a v1
+                # worker can read it and negotiate down.
+                link.send(hello)
                 ack = link.recv()
+                if psk is not None:
+                    if ack.get("type") != "auth_challenge":
+                        raise AuthError(
+                            f"worker {host}:{port} did not answer the "
+                            f"auth challenge (got {ack.get('type')!r}); "
+                            "is it running with the same --psk-file?",
+                            code="auth_required",
+                        )
+                    nonce_w = ack["nonce"]
+                    want = hmac_proof(psk, "worker", nonce_c, nonce_w)
+                    if not hmac.compare_digest(ack["proof"], want):
+                        link.send(
+                            {
+                                "type": "error",
+                                "code": "auth_failed",
+                                "error": "bad worker proof",
+                            }
+                        )
+                        raise AuthError(
+                            f"worker {host}:{port} presented a bad PSK "
+                            "proof",
+                        )
+                    link.send(
+                        {
+                            "type": "auth_response",
+                            "proof": hmac_proof(
+                                psk, "coord", nonce_c, nonce_w
+                            ),
+                        }
+                    )
+                    ack = link.recv()
                 if ack.get("type") != "hello_ack":
                     raise ProtocolError(
                         f"expected hello_ack, got {ack.get('type')!r}"
                     )
-                if ack.get("version") != PROTOCOL_VERSION:
+                negotiated = ack.get("version")
+                if negotiated not in SUPPORTED_VERSIONS:
                     raise VersionMismatchError(
-                        f"worker {host}:{port} speaks protocol "
-                        f"v{ack.get('version')}, coordinator speaks "
-                        f"v{PROTOCOL_VERSION}"
+                        f"worker {host}:{port} negotiated protocol "
+                        f"v{negotiated}, coordinator speaks "
+                        f"v{'/v'.join(str(v) for v in SUPPORTED_VERSIONS)}"
                     )
+                link.version = int(negotiated)
+                link.compress = bool(
+                    self.compress
+                    and link.version >= 2
+                    and ack.get("compress", False)
+                )
                 if self.ship == "chunks":
                     for chunk in stream.iter_range(lo, hi):
                         link.send(
@@ -467,6 +621,9 @@ class DistributedStreamer(ShardedStreamer):
                             link.send({"type": "blocks", "data": block})
                 link.send({"type": "ingest_done"})
             except BaseException:
+                # The attempt still cost wire bytes; without this the
+                # meter undercounts every failed handshake/ship.
+                orphan_meter["bytes"] += link.wire_bytes
                 link.close()
                 raise
             return link
@@ -477,4 +634,5 @@ class DistributedStreamer(ShardedStreamer):
             local_tasks=self._local_tasks(stream, ctx),
             on_loss=self.on_loss,
             reconnect=self.reconnect,
+            orphan_meter=orphan_meter,
         )

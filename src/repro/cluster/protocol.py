@@ -25,18 +25,48 @@ boundary rows and load vectors (the PR 4 payload protocol) ship without
 pickling, and raw text blocks feed the byte-source readers
 (``repro.streaming.reader``) straight off the socket.
 
+Protocol **v2** adds a frame-level compression flag
+(:data:`FLAG_ZLIB`: the payload bytes are one zlib stream, decompressed
+before the normal payload decode) and in-band version negotiation: the
+coordinator's ``hello`` advertises ``max_version`` (and, optionally,
+``compress``), the worker answers ``hello_ack`` with the *negotiated*
+session version ``min(peer max, ours)``, and both sides frame at that
+version afterwards.  The ``hello`` itself always travels as an
+uncompressed v1 frame, which is what makes a v2 coordinator
+interoperable with a v1 worker (and vice versa — a v1 ``hello``
+carries no ``max_version`` and negotiates down to 1).  Compression is
+only legal on v2 frames; unknown flag bits are rejected.
+
 Failure taxonomy (all subclasses of :class:`ProtocolError`):
 
-* :class:`TruncatedFrameError` — the peer hung up mid-frame.
+* :class:`TruncatedFrameError` — the peer hung up mid-frame, or a
+  payload declares sections longer than the bytes that arrived.
 * :class:`ConnectionClosedError` — the peer hung up *between* frames
   (a clean EOF; distinct because a worker session may legitimately end
   there while a half-frame never is legitimate).
-* :class:`VersionMismatchError` — frame header carries a different
-  protocol version; negotiation is deliberately absent (v1).
+* :class:`VersionMismatchError` — frame header carries a version this
+  build does not speak (outside :data:`SUPPORTED_VERSIONS`).
 * :class:`OversizedFrameError` — declared payload exceeds the receiver's
   ``max_frame`` bound; the frame is rejected *before* allocation, and
   the connection is unusable afterwards (the stream is mid-frame).
 * :class:`BadMagicError` — the peer is not speaking this protocol.
+* :class:`CorruptFrameError` — the frame arrived whole but its payload
+  does not decode (bad flags, broken zlib stream, malformed JSON
+  header, bogus section manifest).  Bit corruption on a hostile
+  network lands here instead of leaking ``json``/``zlib``/``numpy``
+  internals (fuzz-tested in ``tests/test_cluster_protocol.py``).
+* :class:`AuthError` — the PSK handshake failed (missing, wrong, or
+  unanswered); carries the peer's stable error ``code`` when one was
+  reported (``auth_required`` / ``auth_failed``).
+
+PSK authentication (v2): when both ends share a pre-shared key, the
+``hello`` carries a coordinator nonce, the worker interposes an
+``auth_challenge`` (its own nonce plus an HMAC-SHA256 proof over both),
+and the coordinator answers ``auth_response`` with the complementary
+proof before the session continues — mutual, replay-safe, and cheap.
+:func:`hmac_proof` / :func:`fresh_nonce` / :func:`load_psk` are the
+shared primitives; rejected peers receive a stable
+``{"type": "error", "code": ...}`` frame.
 
 :func:`base_from_spec` decodes the JSON-safe recipe produced by the
 base partitioners' ``_shard_spec`` so a remote worker can rebuild an
@@ -46,14 +76,20 @@ equivalent single-worker base and run the identical
 
 from __future__ import annotations
 
+import hmac
+import hashlib
 import json
+import os
 import struct
+import zlib
 
 import numpy as np
 
 __all__ = [
     "PROTOCOL_MAGIC",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "FLAG_ZLIB",
     "HEADER",
     "DEFAULT_MAX_FRAME",
     "ProtocolError",
@@ -62,22 +98,36 @@ __all__ = [
     "VersionMismatchError",
     "OversizedFrameError",
     "BadMagicError",
+    "CorruptFrameError",
+    "AuthError",
     "encode_payload",
     "decode_payload",
     "frame",
     "send_message",
     "recv_message",
+    "negotiate_version",
+    "fresh_nonce",
+    "hmac_proof",
+    "load_psk",
     "base_from_spec",
 ]
 
 PROTOCOL_MAGIC = b"HPCL"
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+#: frame versions this build can receive (negotiation picks the send one)
+SUPPORTED_VERSIONS = (1, 2)
 #: frame header: magic, version, flags, payload length (little-endian)
 HEADER = struct.Struct("<4sHHQ")
+#: header flag bit: the payload bytes are one zlib stream (v2 frames only)
+FLAG_ZLIB = 0x1
+_KNOWN_FLAGS = FLAG_ZLIB
 _JSON_LEN = struct.Struct("<I")
 #: default per-frame payload bound (1 GiB) — a sanity rail against a
 #: corrupt or hostile length prefix, not a streaming chunk size.
 DEFAULT_MAX_FRAME = 1 << 30
+#: frames smaller than this are never compressed (the zlib header would
+#: cost more than it saves, and the flag stays honest either way)
+COMPRESS_MIN_BYTES = 128
 
 
 class ProtocolError(RuntimeError):
@@ -102,6 +152,18 @@ class OversizedFrameError(ProtocolError):
 
 class BadMagicError(ProtocolError):
     """The first bytes were not the ``HPCL`` magic."""
+
+
+class CorruptFrameError(ProtocolError):
+    """A whole frame arrived but its payload does not decode."""
+
+
+class AuthError(ProtocolError):
+    """The PSK handshake failed or was refused by the peer."""
+
+    def __init__(self, message: str, *, code: str = "auth_failed"):
+        super().__init__(message)
+        self.code = code
 
 
 # ----------------------------------------------------------------------
@@ -178,26 +240,62 @@ def decode_payload(payload: bytes):
     (json_len,) = _JSON_LEN.unpack_from(payload)
     if len(payload) < _JSON_LEN.size + json_len:
         raise TruncatedFrameError("payload shorter than its JSON header")
-    head = json.loads(payload[_JSON_LEN.size : _JSON_LEN.size + json_len])
+    try:
+        head = json.loads(
+            payload[_JSON_LEN.size : _JSON_LEN.size + json_len]
+        )
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CorruptFrameError(f"payload JSON does not parse: {exc}")
+    if not isinstance(head, dict) or "body" not in head or "nd" not in head:
+        raise CorruptFrameError("payload JSON is not a {body, nd} envelope")
+    manifest = head["nd"]
+    if not isinstance(manifest, list):
+        raise CorruptFrameError("payload section manifest is not a list")
     offset = _JSON_LEN.size + json_len
     arrays: "list[np.ndarray]" = []
-    for meta in head["nd"]:
-        nbytes = meta["nbytes"]
-        if offset + nbytes > len(payload):
+    for meta in manifest:
+        try:
+            nbytes = int(meta["nbytes"])
+            dtype = np.dtype(meta["dtype"])
+            shape = tuple(int(d) for d in meta["shape"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise CorruptFrameError(f"bad section manifest entry: {exc}")
+        if nbytes < 0 or offset + nbytes > len(payload):
             raise TruncatedFrameError("payload shorter than its sections")
         buf = payload[offset : offset + nbytes]
         offset += nbytes
-        arrays.append(
-            np.frombuffer(buf, dtype=np.dtype(meta["dtype"]))
-            .reshape(meta["shape"])
-            .copy()
-        )
-    return _unpack(head["body"], arrays)
+        try:
+            arrays.append(
+                np.frombuffer(buf, dtype=dtype).reshape(shape).copy()
+            )
+        except (TypeError, ValueError) as exc:
+            raise CorruptFrameError(f"section does not decode: {exc}")
+    try:
+        return _unpack(head["body"], arrays)
+    except (IndexError, TypeError) as exc:
+        raise CorruptFrameError(f"body references bad sections: {exc}")
 
 
-def frame(payload: bytes, *, version: int = PROTOCOL_VERSION) -> bytes:
-    """Wrap an encoded payload in the length-prefixed frame header."""
-    return HEADER.pack(PROTOCOL_MAGIC, version, 0, len(payload)) + payload
+def frame(
+    payload: bytes,
+    *,
+    version: int = PROTOCOL_VERSION,
+    compress: bool = False,
+) -> bytes:
+    """Wrap an encoded payload in the length-prefixed frame header.
+
+    With ``compress=True`` (v2 frames only) the payload is deflated and
+    the :data:`FLAG_ZLIB` header bit set — unless the payload is tiny or
+    incompressible, in which case the flag stays clear and the raw bytes
+    ship (the receiver trusts the flag, not the intent).
+    """
+    flags = 0
+    if compress and version >= 2 and len(payload) >= COMPRESS_MIN_BYTES:
+        packed = zlib.compress(payload, 1)
+        if len(packed) < len(payload):
+            payload = packed
+            flags |= FLAG_ZLIB
+    return HEADER.pack(PROTOCOL_MAGIC, version, flags, len(payload)) + payload
 
 
 # ----------------------------------------------------------------------
@@ -220,9 +318,15 @@ def _recv_exact(sock, n: int, *, at_boundary: bool) -> bytes:
     return b"".join(chunks)
 
 
-def send_message(sock, message, *, version: int = PROTOCOL_VERSION) -> int:
+def send_message(
+    sock,
+    message,
+    *,
+    version: int = PROTOCOL_VERSION,
+    compress: bool = False,
+) -> int:
     """Encode, frame and send; returns the bytes put on the wire."""
-    data = frame(encode_payload(message), version=version)
+    data = frame(encode_payload(message), version=version, compress=compress)
     sock.sendall(data)
     return len(data)
 
@@ -235,21 +339,82 @@ def recv_message(sock, *, max_frame: int = DEFAULT_MAX_FRAME):
     (the straggler-timeout rail belongs to the caller).
     """
     header = _recv_exact(sock, HEADER.size, at_boundary=True)
-    magic, version, _flags, payload_len = HEADER.unpack(header)
+    magic, version, flags, payload_len = HEADER.unpack(header)
     if magic != PROTOCOL_MAGIC:
         raise BadMagicError(f"expected {PROTOCOL_MAGIC!r}, got {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise VersionMismatchError(
             f"peer speaks protocol v{version}, this build speaks "
-            f"v{PROTOCOL_VERSION}"
+            f"v{'/v'.join(str(v) for v in SUPPORTED_VERSIONS)}"
         )
+    if flags & ~_KNOWN_FLAGS:
+        raise CorruptFrameError(f"unknown frame flags 0x{flags:04x}")
+    if flags & FLAG_ZLIB and version < 2:
+        raise CorruptFrameError("compressed flag on a v1 frame")
     if payload_len > max_frame:
         raise OversizedFrameError(
             f"frame declares {payload_len} payload bytes, over the "
             f"{max_frame}-byte bound"
         )
     payload = _recv_exact(sock, payload_len, at_boundary=False)
-    return decode_payload(payload), HEADER.size + payload_len
+    wire = HEADER.size + payload_len
+    if flags & FLAG_ZLIB:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise CorruptFrameError(f"zlib payload does not inflate: {exc}")
+        if len(payload) > max_frame:
+            raise OversizedFrameError(
+                f"payload inflates to {len(payload)} bytes, over the "
+                f"{max_frame}-byte bound"
+            )
+    return decode_payload(payload), wire
+
+
+def negotiate_version(peer_max) -> int:
+    """Session version from a peer's advertised ``max_version``.
+
+    A v1 peer advertises nothing (``None``) and negotiates down to 1;
+    anything else clamps into ``[1, PROTOCOL_VERSION]`` so a future v3
+    coordinator still lands on the highest version we both speak.
+    """
+    if peer_max is None:
+        return 1
+    try:
+        peer_max = int(peer_max)
+    except (TypeError, ValueError):
+        raise CorruptFrameError(f"bad max_version {peer_max!r}")
+    return max(1, min(peer_max, PROTOCOL_VERSION))
+
+
+# ----------------------------------------------------------------------
+# PSK authentication primitives
+# ----------------------------------------------------------------------
+def fresh_nonce() -> bytes:
+    """A 16-byte random nonce for the HMAC challenge exchange."""
+    return os.urandom(16)
+
+
+def hmac_proof(psk: bytes, role: str, nonce_c: bytes, nonce_w: bytes) -> bytes:
+    """HMAC-SHA256 proof over both handshake nonces.
+
+    ``role`` ("worker" or "coord") is baked into the MAC so one side's
+    proof can never be replayed as the other's — that is what makes the
+    challenge-response mutual.
+    """
+    mac = hmac.new(psk, role.encode("ascii"), hashlib.sha256)
+    mac.update(nonce_c)
+    mac.update(nonce_w)
+    return mac.digest()
+
+
+def load_psk(path) -> bytes:
+    """Read a pre-shared key file (whitespace-stripped raw bytes)."""
+    with open(path, "rb") as fh:
+        psk = fh.read().strip()
+    if not psk:
+        raise ValueError(f"PSK file {path} is empty")
+    return psk
 
 
 # ----------------------------------------------------------------------

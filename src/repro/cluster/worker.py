@@ -37,12 +37,17 @@ import time
 
 import numpy as np
 
+import hmac
+
 from repro.cluster.protocol import (
     DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
     ConnectionClosedError,
     ProtocolError,
     base_from_spec,
+    fresh_nonce,
+    hmac_proof,
+    negotiate_version,
     recv_message,
     send_message,
 )
@@ -101,6 +106,15 @@ class ClusterWorker:
     log_path:
         JSONL event log destination (appended); events always also go
         to stdout.
+    psk:
+        pre-shared key bytes.  When set, every session must complete
+        the mutual HMAC challenge (coordinators without the key get a
+        stable ``auth_required``/``auth_failed`` error frame and are
+        dropped before any shard data flows).
+    max_version:
+        highest protocol version this worker negotiates (default: the
+        build's own).  Clamping to 1 makes a current worker behave as
+        a v1 peer — the compatibility tests use it.
     """
 
     def __init__(
@@ -111,12 +125,21 @@ class ClusterWorker:
         seed: "int | None" = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         log_path=None,
+        psk: "bytes | None" = None,
+        max_version: int = PROTOCOL_VERSION,
     ) -> None:
+        if not 1 <= int(max_version) <= PROTOCOL_VERSION:
+            raise ValueError(
+                f"max_version must be in [1, {PROTOCOL_VERSION}], "
+                f"got {max_version}"
+            )
         self.host = host
         self.port = int(port)
         self.seed = seed
         self.max_frame = int(max_frame)
         self.log_path = log_path
+        self.psk = bytes(psk) if psk is not None else None
+        self.max_version = int(max_version)
         self._server: "socket.socket | None" = None
         self._stop = threading.Event()
 
@@ -193,8 +216,12 @@ class ClusterWorker:
                 # unrecoverable — and go back to accepting.
                 self._log("protocol_error", error=str(exc))
                 try:
+                    # v1 framing: pre-negotiation frames must be
+                    # readable by any peer.
                     send_message(
-                        conn, {"type": "error", "error": str(exc)}
+                        conn,
+                        {"type": "error", "error": str(exc)},
+                        version=1,
                     )
                 except OSError:
                     pass
@@ -202,7 +229,7 @@ class ClusterWorker:
             kind = msg.get("type")
             if kind == "shutdown":
                 try:
-                    send_message(conn, {"type": "bye"})
+                    send_message(conn, {"type": "bye"}, version=1)
                 except OSError:
                     pass
                 raise _Shutdown
@@ -210,6 +237,7 @@ class ClusterWorker:
                 send_message(
                     conn,
                     {"type": "error", "error": f"expected hello, got {kind!r}"},
+                    version=1,
                 )
                 return
             try:
@@ -225,7 +253,11 @@ class ClusterWorker:
             except Exception as exc:  # surface shard crashes to the peer
                 self._log("session_error", error=repr(exc))
                 try:
-                    send_message(conn, {"type": "error", "error": repr(exc)})
+                    send_message(
+                        conn,
+                        {"type": "error", "error": repr(exc)},
+                        version=1,
+                    )
                 except OSError:
                     pass
                 return
@@ -306,19 +338,91 @@ class ClusterWorker:
             return stream
         raise ProtocolError(f"unknown ship mode {ship!r}")
 
+    def _refuse(self, conn: socket.socket, code: str, error: str) -> None:
+        """Send a stable coded error frame, then abort the session."""
+        self._log("auth_refused", code=code, error=error)
+        try:
+            send_message(
+                conn,
+                {"type": "error", "code": code, "error": error},
+                version=1,
+            )
+        except OSError:
+            pass
+        raise ProtocolError(f"{code}: {error}")
+
+    def _authenticate(self, conn: socket.socket, hello: dict) -> None:
+        """Mutual PSK challenge-response (v1-framed, pre-negotiation).
+
+        The worker proves knowledge of the key first (its challenge
+        carries the proof over both nonces), then requires the
+        coordinator's complementary proof before any shard data flows.
+        """
+        if self.psk is None:
+            if hello.get("auth"):
+                self._refuse(
+                    conn,
+                    "auth_required",
+                    "coordinator requires auth but this worker has no PSK",
+                )
+            return
+        if not hello.get("auth"):
+            self._refuse(
+                conn,
+                "auth_required",
+                "this worker requires a PSK handshake (--psk-file)",
+            )
+        nonce_c = hello["nonce"]
+        nonce_w = fresh_nonce()
+        send_message(
+            conn,
+            {
+                "type": "auth_challenge",
+                "nonce": nonce_w,
+                "proof": hmac_proof(self.psk, "worker", nonce_c, nonce_w),
+            },
+            version=1,
+        )
+        reply, _ = recv_message(conn, max_frame=self.max_frame)
+        if reply.get("type") != "auth_response":
+            self._refuse(
+                conn,
+                "auth_failed",
+                f"expected auth_response, got {reply.get('type')!r}",
+            )
+        want = hmac_proof(self.psk, "coord", nonce_c, nonce_w)
+        proof = reply.get("proof")
+        if not isinstance(proof, bytes) or not hmac.compare_digest(
+            proof, want
+        ):
+            self._refuse(conn, "auth_failed", "bad coordinator proof")
+        self._log("auth_ok")
+
     def _run_session(self, conn: socket.socket, hello: dict) -> None:
         k = hello["shard_index"]
         nshards = hello["nshards"]
+        self._authenticate(conn, hello)
+        # Version negotiation: the session speaks the highest version
+        # both peers know (a v1 coordinator sends no max_version and
+        # lands on 1); compression only on v2+ sessions, and only when
+        # both sides opted in.
+        version = min(
+            negotiate_version(hello.get("max_version")), self.max_version
+        )
+        compress = bool(hello.get("compress")) and version >= 2
         send_message(
             conn,
             {
                 "type": "hello_ack",
-                "version": PROTOCOL_VERSION,
+                "version": version,
+                "compress": compress,
                 "shard_index": k,
                 "worker_seed": self.seed,
                 "seed_entropy": hello["seed_entropy"],
             },
+            version=1,
         )
+        self._log("session_negotiated", version=version, compress=compress)
         stream = self._ingest(conn, hello)
         try:
             profile = hello["profile"]
@@ -352,7 +456,12 @@ class ClusterWorker:
                 edge_degrees=hello["edge_degrees"],
                 boundary_ship=hello["boundary_ship"],
             )
-            send_message(conn, {"type": "reply", "body": next(gen)})
+            send_message(
+                conn,
+                {"type": "reply", "body": next(gen)},
+                version=version,
+                compress=compress,
+            )
             self._log("phase1_done", shard=k)
             rounds = 0
             while True:
@@ -366,7 +475,10 @@ class ClusterWorker:
                         gen.send(("stop", msg["ctl"]))
                     except StopIteration as stop_exc:
                         send_message(
-                            conn, {"type": "reply", "body": stop_exc.value}
+                            conn,
+                            {"type": "reply", "body": stop_exc.value},
+                            version=version,
+                            compress=compress,
                         )
                         self._log("session_done", shard=k, rounds=rounds)
                         return
@@ -376,7 +488,12 @@ class ClusterWorker:
                 rounds += 1
                 send_message(
                     conn,
-                    {"type": "reply", "body": gen.send((msg["kind"], msg["ctl"]))},
+                    {
+                        "type": "reply",
+                        "body": gen.send((msg["kind"], msg["ctl"])),
+                    },
+                    version=version,
+                    compress=compress,
                 )
         finally:
             close = getattr(stream, "close", None)
@@ -393,9 +510,19 @@ def main(argv=None) -> int:
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--log-file", default=None)
+    parser.add_argument("--psk-file", default=None)
     args = parser.parse_args(argv)
+    psk = None
+    if args.psk_file is not None:
+        from repro.cluster.protocol import load_psk
+
+        psk = load_psk(args.psk_file)
     ClusterWorker(
-        args.host, args.port, seed=args.seed, log_path=args.log_file
+        args.host,
+        args.port,
+        seed=args.seed,
+        log_path=args.log_file,
+        psk=psk,
     ).serve_forever()
     return 0
 

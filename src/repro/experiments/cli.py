@@ -340,6 +340,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker: append JSONL events here as well as stdout "
         "(resolved against the invocation directory at parse time)",
     )
+    cluster_group.add_argument(
+        "--psk-file",
+        default=None,
+        type=_resolved_path,
+        metavar="PATH",
+        help="worker/cluster: pre-shared key file enabling the mutual "
+        "HMAC handshake; both ends must point at the same key "
+        "(docs/cluster.md, 'running on untrusted networks')",
+    )
+    cluster_group.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="cluster: disable zlib frame compression (v2 sessions "
+        "compress by default; v1 peers never compress)",
+    )
+    cluster_group.add_argument(
+        "--no-tailored",
+        action="store_true",
+        help="cluster: broadcast full boundary snapshots instead of "
+        "shipping each worker only the rows its shard touches "
+        "(the pre-v2 wire behaviour; results are bit-identical)",
+    )
     return parser
 
 
@@ -595,9 +617,14 @@ def _run_worker(args) -> int:
     cross-checks it against the coordinator's seed (docs/cluster.md).
     """
     from repro.cluster import ClusterWorker
+    from repro.cluster.protocol import load_psk
 
     worker = ClusterWorker(
-        args.host, args.port, seed=args.seed, log_path=args.log_file
+        args.host,
+        args.port,
+        seed=args.seed,
+        log_path=args.log_file,
+        psk=load_psk(args.psk_file) if args.psk_file else None,
     )
     try:
         worker.serve_forever()
@@ -658,6 +685,8 @@ def _run_cluster(ctx: ExperimentContext, args) -> str:
             workers=1,
             kernel=args.kernel,
         )
+    from repro.cluster.protocol import load_psk
+
     streamer = DistributedStreamer(
         base,
         hosts=args.hosts,
@@ -667,6 +696,9 @@ def _run_cluster(ctx: ExperimentContext, args) -> str:
         chunk_size=args.chunk_size,
         payload=args.shard_payload,
         shard_by=args.shard_by,
+        compress=not args.no_compress,
+        tailored=not args.no_tailored,
+        psk=load_psk(args.psk_file) if args.psk_file else None,
     )
     sections = []
     for stream, via in open_streams():
@@ -689,6 +721,9 @@ def _run_cluster(ctx: ExperimentContext, args) -> str:
                         "pins": stream.num_pins,
                         "parallel mode": md.get("parallel_mode"),
                         "cluster wire bytes": md.get("cluster_wire_bytes"),
+                        "wire versions": md.get("cluster_wire_versions"),
+                        "compressed links": md.get("cluster_compress"),
+                        "tailored rows": md.get("tailored_rows"),
                         "degraded shards": md.get("degraded_shards"),
                         "reconnected shards": md.get("reconnected_shards"),
                         "monitored pc cost": md.get(

@@ -23,7 +23,7 @@ OPENAPI_VERSION = "3.0.3"
 #: The service's own version: reported in the spec's ``info.version``
 #: and by ``GET /v1/healthz``.  Single-sourced here; a test pins it to
 #: the ``version=`` in setup.py so a one-sided bump fails CI.
-SERVICE_VERSION = "0.6.0"
+SERVICE_VERSION = "0.7.0"
 
 _ERROR_SCHEMA = {
     "type": "object",

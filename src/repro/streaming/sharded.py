@@ -168,6 +168,17 @@ class ShardedStreamer(Partitioner):
         pin skew exceeds :data:`PIN_SKEW_THRESHOLD` (and falls back to
         chunk counts when the stream cannot report per-chunk pins);
         ``"chunks"`` always uses the chunk-count split.
+    tailored:
+        ``True`` (default) ships each shard only the merged presence
+        rows for boundary nets *that shard touches* each restream round
+        (after a one-time announce round where every shard reports its
+        touched set), instead of broadcasting the full boundary
+        snapshot.  Bit-identical by construction — each shard overlays
+        exactly the rows it would have selected from the broadcast —
+        and the per-worker row counts / bytes saved land in the run
+        metadata (``tailored_rows`` / ``broadcast_bytes_saved``).
+        ``False`` keeps the v1 full-snapshot broadcast, for
+        measurement and for the equivalence tests.
     """
 
     name = "stream-sharded"
@@ -194,6 +205,7 @@ class ShardedStreamer(Partitioner):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         payload: str = "boundary",
         shard_by: str = "pins",
+        tailored: bool = True,
     ) -> None:
         if base is None:
             from repro.streaming.restream import BufferedRestreamer
@@ -227,6 +239,7 @@ class ShardedStreamer(Partitioner):
         self.chunk_size = int(chunk_size)
         self.payload = payload
         self.shard_by = shard_by
+        self.tailored = bool(tailored)
 
     # ------------------------------------------------------------------
     def partition(
@@ -386,6 +399,8 @@ class ShardedStreamer(Partitioner):
             boundary_iterations = 0
             boundary_payload_bytes = 0
             rollback = False
+            sels: "list[np.ndarray] | None" = None
+            broadcast_saved = [0] * nshards
             # Merged global rows for the boundary nets — the restream
             # rounds' shared snapshot, and the driver's share of the
             # monitored cost either way.
@@ -401,31 +416,70 @@ class ShardedStreamer(Partitioner):
                     tempering_update=profile["alpha_update"],
                     refinement_factor=profile["refinement_factor"],
                 )
+                # What the v1 full-snapshot broadcast would ship to one
+                # shard each round — the yardstick tailoring is measured
+                # against (broadcast_bytes_saved metadata).
+                snapshot_bytes = (
+                    boundary.nbytes
+                    + bound_counts.nbytes
+                    + global_loads.nbytes
+                )
+                if self.tailored:
+                    # One-time announce round: every shard reports which
+                    # boundary rows it touches; each later round ships
+                    # only those rows instead of the full snapshot.
+                    announce = pool.exchange(
+                        [("boundary", {"boundary_edges": boundary})]
+                        * nshards
+                    )
+                    sels = [reply["edge_sel"] for reply in announce]
+                    for reply in announce:
+                        boundary_payload_bytes += (
+                            boundary.nbytes + reply["payload_bytes"]
+                        )
                 best_cost = np.inf
                 record_best = False
                 damp = True  # over tolerance until a pass proves otherwise
                 for it in range(1, max_boundary + 1):
-                    ctl = {
+                    loads_snap = global_loads.copy()
+                    base_ctl = {
                         "alpha": schedule.alpha,
-                        "loads": global_loads.copy(),
-                        "boundary_edges": boundary,
-                        "boundary_counts": bound_counts.copy(),
+                        "loads": loads_snap,
                         "record_best": record_best,
                         "damp": damp,
                     }
+                    if sels is not None:
+                        messages = [
+                            (
+                                "pass",
+                                dict(base_ctl, rows=bound_counts[sels[k]]),
+                            )
+                            for k in range(nshards)
+                        ]
+                    else:
+                        ctl = dict(
+                            base_ctl,
+                            boundary_edges=boundary,
+                            boundary_counts=bound_counts.copy(),
+                        )
+                        messages = [("pass", ctl)] * nshards
                     record_best = False
-                    broadcast_bytes = (
-                        boundary.nbytes
-                        + bound_counts.nbytes
-                        + global_loads.nbytes
-                    )
-                    replies = pool.exchange([("pass", ctl)] * nshards)
+                    replies = pool.exchange(messages)
                     boundary_iterations = it
-                    for reply in replies:
+                    for k, reply in enumerate(replies):
                         global_loads += reply["delta_loads"]
-                        bound_counts[reply["edge_sel"]] += reply["delta_counts"]
+                        sel = sels[k] if sels is not None else reply["edge_sel"]
+                        bound_counts[sel] += reply["delta_counts"]
+                        if sels is not None:
+                            sent = (
+                                messages[k][1]["rows"].nbytes
+                                + loads_snap.nbytes
+                            )
+                            broadcast_saved[k] += snapshot_bytes - sent
+                        else:
+                            sent = snapshot_bytes
                         boundary_payload_bytes += (
-                            broadcast_bytes + reply["payload_bytes"]
+                            sent + reply["payload_bytes"]
                         )
                     # Capped tables can under-report phase-1 rows, so a
                     # real move off an undercounted part may dip below
@@ -502,6 +556,17 @@ class ShardedStreamer(Partitioner):
                     else None
                 ),
                 "payload": self.payload,
+                "tailored": self.tailored,
+                "tailored_rows": (
+                    [int(sel.size) for sel in sels]
+                    if sels is not None
+                    else None
+                ),
+                "broadcast_bytes_saved": (
+                    [int(b) for b in broadcast_saved]
+                    if sels is not None
+                    else None
+                ),
                 "merge_payload_bytes": int(merge_payload_bytes),
                 "merge_full_payload_bytes": int(full_payload_bytes),
                 "boundary_payload_bytes": int(boundary_payload_bytes),
@@ -656,6 +721,48 @@ def shard_stream_task(
     best: "np.ndarray | None" = None
     loads_after = state.loads.copy()
 
+    boundary = np.empty(0, dtype=np.int64)
+
+    def build_block(boundary_edges):
+        """One-time boundary block setup (announce round or lazy v1)."""
+        nonlocal block, scaled_block, my_edges, my_sel, pin_rows, pin_owner
+        nonlocal boundary
+        boundary = boundary_edges
+        block = _boundary_block(stream, boundary, lo, hi)
+        # Boundary nets with pins in this shard are exactly
+        # the boundary nets its boundary vertices touch.
+        my_edges = (
+            np.intersect1d(boundary, block.vertex_edges)
+            if block.num_vertices
+            else np.empty(0, dtype=np.int64)
+        )
+        my_sel = np.searchsorted(boundary, my_edges)
+        # Per-pin scatter indices for move_deltas: which
+        # boundary row and which block vertex each pin of
+        # the block belongs to.
+        pin_mask = np.isin(block.vertex_edges, my_edges)
+        pin_rows = np.searchsorted(my_edges, block.vertex_edges[pin_mask])
+        pin_owner = np.repeat(
+            np.arange(block.num_vertices, dtype=np.int64),
+            np.diff(block.vertex_ptr),
+        )[pin_mask]
+        # The fix-up scores against global targets, not the
+        # shard-scoped ones phase 1 streamed with.
+        state.expected_loads = np.full(p, total_weight / p)
+        # Mean-field damping: every shard restreams against
+        # the same loads snapshot simultaneously, so each
+        # scores its own moves scaled by the shard count —
+        # anticipating that the other shards make similar
+        # moves — or the synchronised overshoot oscillates
+        # and tempering never reaches tolerance.  Deltas are
+        # normalised back before they reach the driver.
+        scaled_block = VertexBlock(
+            ids=block.ids,
+            vertex_ptr=block.vertex_ptr,
+            vertex_edges=block.vertex_edges,
+            vertex_weights=block.vertex_weights * nshards,
+        )
+
     def move_deltas(prev: np.ndarray, new: np.ndarray) -> np.ndarray:
         """Boundary-row deltas from the block's actual moves.
 
@@ -671,51 +778,30 @@ def shard_stream_task(
             np.add.at(delta, (pin_rows, new[pin_owner]), 1)
         return delta
 
-    while msg[0] == "pass":
+    tailored = False
+    while msg[0] in ("boundary", "pass"):
+        if msg[0] == "boundary":
+            # Announce round (tailored mode): build the block once and
+            # report the touched boundary rows; every later round ships
+            # only those rows back.
+            tailored = True
+            build_block(msg[1]["boundary_edges"])
+            msg = yield {
+                "edge_sel": my_sel,
+                "payload_bytes": int(my_sel.nbytes),
+            }
+            continue
         ctl = msg[1]
         if block is None:
-            boundary = ctl["boundary_edges"]
-            block = _boundary_block(stream, boundary, lo, hi)
-            # Boundary nets with pins in this shard are exactly
-            # the boundary nets its boundary vertices touch.
-            my_edges = (
-                np.intersect1d(boundary, block.vertex_edges)
-                if block.num_vertices
-                else np.empty(0, dtype=np.int64)
-            )
-            my_sel = np.searchsorted(boundary, my_edges)
-            # Per-pin scatter indices for move_deltas: which
-            # boundary row and which block vertex each pin of
-            # the block belongs to.
-            pin_mask = np.isin(block.vertex_edges, my_edges)
-            pin_rows = np.searchsorted(
-                my_edges, block.vertex_edges[pin_mask]
-            )
-            pin_owner = np.repeat(
-                np.arange(block.num_vertices, dtype=np.int64),
-                np.diff(block.vertex_ptr),
-            )[pin_mask]
-            # The fix-up scores against global targets, not the
-            # shard-scoped ones phase 1 streamed with.
-            state.expected_loads = np.full(p, total_weight / p)
-            # Mean-field damping: every shard restreams against
-            # the same loads snapshot simultaneously, so each
-            # scores its own moves scaled by the shard count —
-            # anticipating that the other shards make similar
-            # moves — or the synchronised overshoot oscillates
-            # and tempering never reaches tolerance.  Deltas are
-            # normalised back before they reach the driver.
-            scaled_block = VertexBlock(
-                ids=block.ids,
-                vertex_ptr=block.vertex_ptr,
-                vertex_edges=block.vertex_edges,
-                vertex_weights=block.vertex_weights * nshards,
-            )
+            build_block(ctl["boundary_edges"])
         if ctl["record_best"] and block.num_vertices:
             best = local[block.ids].copy()
         # Overlay the driver's merged snapshot: global counts for
-        # the boundary nets this shard touches, global loads.
-        state.set_rows(my_edges, ctl["boundary_counts"][my_sel])
+        # the boundary nets this shard touches, global loads.  A
+        # tailored round ships exactly those rows (``rows``); a v1
+        # broadcast ships the full snapshot and we select our slice.
+        rows = ctl["rows"] if tailored else ctl["boundary_counts"][my_sel]
+        state.set_rows(my_edges, rows)
         state.loads[:] = ctl["loads"]
         prev = local[block.ids].copy() if block.num_vertices else None
         damp = ctl["damp"]
@@ -739,17 +825,22 @@ def shard_stream_task(
             if block.num_vertices
             else np.zeros((0, p), dtype=np.int64)
         )
-        msg = yield {
+        reply = {
             "delta_loads": loads_after - ctl["loads"],
-            "edge_sel": my_sel,
             "delta_counts": delta_counts,
             "interior_cost": state.pc_cost(
                 C, edge_weights=edge_w, exclude_edges=boundary
             ),
             "payload_bytes": int(
-                my_sel.nbytes + delta_counts.nbytes + loads_after.nbytes
+                delta_counts.nbytes + loads_after.nbytes
             ),
         }
+        if not tailored:
+            # v1 rounds ship the row selector every pass; tailored
+            # rounds announced it once, so the driver already has it.
+            reply["edge_sel"] = my_sel
+            reply["payload_bytes"] += int(my_sel.nbytes)
+        msg = yield reply
 
     # -------- stop: optional rollback, final payload --------
     ctl = msg[1]

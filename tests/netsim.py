@@ -1,0 +1,264 @@
+"""In-process faulty-network simulation for the cluster layer.
+
+:class:`FaultyProxy` is a tiny TCP proxy that sits between a
+coordinator and one :class:`~repro.cluster.worker.ClusterWorker`,
+forwarding bytes through injectable faults:
+
+* ``latency_s`` — added delay before each forwarded chunk (both
+  directions), a crude but effective RTT model;
+* ``bandwidth_bps`` — throughput cap (sleep ``len/bw`` per chunk);
+* ``truncate_after`` — after N forwarded bytes in a direction, hard-
+  close both sockets: the classic mid-frame cut;
+* ``stall_after`` — after N forwarded bytes in a direction, stop
+  forwarding but keep the sockets open: the worst case for a
+  coordinator without timeouts (it must *time out*, not hang);
+* ``drop_up`` / ``drop_down`` — one-way partition: bytes in that
+  direction are read and silently discarded.
+
+Per-direction byte counters (``bytes_up`` = coordinator→worker,
+``bytes_down`` = worker→coordinator) are the *ground truth* the
+``cluster_wire_bytes`` meter is audited against — the proxy counts what
+actually crossed the socket, independent of the coordinator's own
+accounting.
+
+Faults and counters are applied per proxied connection (a reconnect
+through the same proxy sees the same fault fresh), and cumulative
+totals are kept across connections for the audit.  Used by
+``tests/test_cluster_faults.py`` and by
+``scripts/run_experiments.py --netem``; stdlib + threads only, no
+external dependencies, everything loopback.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+__all__ = ["FaultyProxy", "NETEM_PROFILES", "netem_profile"]
+
+#: named degradation profiles for the experiment harness (--netem)
+NETEM_PROFILES = {
+    "clean": {},
+    "slow": {"bandwidth_bps": 4 << 20},
+    "latency": {"latency_s": 0.02},
+    "flaky": {"latency_s": 0.005, "bandwidth_bps": 16 << 20},
+}
+
+
+def netem_profile(name: str) -> dict:
+    """Resolve a named ``--netem`` profile to :class:`FaultyProxy` knobs."""
+    try:
+        return dict(NETEM_PROFILES[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown netem profile {name!r}; "
+            f"choose from {sorted(NETEM_PROFILES)}"
+        )
+
+
+class _Pump(threading.Thread):
+    """Forward one direction of one proxied connection through faults."""
+
+    #: shaping granularity — small enough that bandwidth caps and
+    #: latency are smooth, large enough to stay cheap
+    CHUNK = 16384
+
+    def __init__(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        proxy: "FaultyProxy",
+        direction: str,
+        counters: dict,
+    ) -> None:
+        super().__init__(daemon=True, name=f"netsim-{direction}")
+        self.src, self.dst = src, dst
+        self.proxy = proxy
+        self.direction = direction
+        self.counters = counters
+
+    def run(self) -> None:
+        p = self.proxy
+        drop = p.drop_up if self.direction == "up" else p.drop_down
+        cut = (
+            p.truncate_after
+            if p.truncate_direction in (self.direction, "both")
+            else None
+        )
+        stall = (
+            p.stall_after
+            if p.stall_direction in (self.direction, "both")
+            else None
+        )
+        try:
+            while not p._closed.is_set():
+                try:
+                    data = self.src.recv(self.CHUNK)
+                except OSError:
+                    break
+                if not data:
+                    break
+                seen = self.counters[self.direction] + len(data)
+                if cut is not None and seen > cut:
+                    # forward the prefix up to the cut, then sever —
+                    # the receiver sees a mid-frame EOF
+                    keep = max(0, cut - self.counters[self.direction])
+                    if keep and not drop:
+                        try:
+                            self.dst.sendall(data[:keep])
+                        except OSError:
+                            pass
+                    self.counters[self.direction] += keep
+                    p._bump(self.direction, keep)
+                    p._sever()
+                    break
+                if p.latency_s:
+                    time.sleep(p.latency_s)
+                if p.bandwidth_bps:
+                    time.sleep(len(data) / p.bandwidth_bps)
+                self.counters[self.direction] = seen
+                p._bump(self.direction, len(data))
+                if not drop:
+                    try:
+                        self.dst.sendall(data)
+                    except OSError:
+                        break
+                if stall is not None and seen >= stall:
+                    # stop forwarding, keep the sockets open: the peer
+                    # must hit its own timeout, never a clean EOF
+                    p._closed.wait()
+                    break
+        finally:
+            if not p.hold_open:
+                for sock in (self.src, self.dst):
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+
+
+class FaultyProxy:
+    """Loopback TCP proxy with injectable network faults.
+
+    Parameters
+    ----------
+    target:
+        ``(host, port)`` of the real worker.
+    latency_s, bandwidth_bps, truncate_after, stall_after,
+    drop_up, drop_down:
+        the fault knobs (see module docstring).  ``truncate_direction``
+        / ``stall_direction`` pick which flow the byte threshold
+        watches (``"up"``, ``"down"`` or ``"both"``).
+    """
+
+    def __init__(
+        self,
+        target: "tuple[str, int]",
+        *,
+        latency_s: float = 0.0,
+        bandwidth_bps: "int | None" = None,
+        truncate_after: "int | None" = None,
+        truncate_direction: str = "down",
+        stall_after: "int | None" = None,
+        stall_direction: str = "down",
+        drop_up: bool = False,
+        drop_down: bool = False,
+    ) -> None:
+        self.target = (str(target[0]), int(target[1]))
+        self.latency_s = float(latency_s)
+        self.bandwidth_bps = bandwidth_bps
+        self.truncate_after = truncate_after
+        self.truncate_direction = truncate_direction
+        self.stall_after = stall_after
+        self.stall_direction = stall_direction
+        self.drop_up = bool(drop_up)
+        self.drop_down = bool(drop_down)
+        #: cumulative ground-truth forwarded bytes, across connections
+        self.bytes_up = 0
+        self.bytes_down = 0
+        self.connections = 0
+        self.hold_open = False  # set while a stall is in force
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._pairs: "list[tuple[socket.socket, socket.socket]]" = []
+        self._threads: "list[threading.Thread]" = []
+        srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(8)
+        srv.settimeout(0.2)
+        self._server = srv
+        self.port = srv.getsockname()[1]
+        self.hold_open = stall_after is not None
+        accept = threading.Thread(
+            target=self._accept_loop, daemon=True, name="netsim-accept"
+        )
+        accept.start()
+        self._threads.append(accept)
+
+    # ------------------------------------------------------------------
+    def _bump(self, direction: str, n: int) -> None:
+        with self._lock:
+            if direction == "up":
+                self.bytes_up += n
+            else:
+                self.bytes_down += n
+
+    def _sever(self) -> None:
+        """Hard-close every proxied socket (mid-frame truncation)."""
+        with self._lock:
+            pairs, self._pairs = self._pairs, []
+        for a, b in pairs:
+            for sock in (a, b):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                client, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                upstream = socket.create_connection(self.target, timeout=5.0)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                self.connections += 1
+                self._pairs.append((client, upstream))
+            counters = {"up": 0, "down": 0}  # per-connection fault state
+            for pump in (
+                _Pump(client, upstream, self, "up", counters),
+                _Pump(upstream, client, self, "down", counters),
+            ):
+                pump.start()
+                self._threads.append(pump)
+
+    @property
+    def bytes_total(self) -> int:
+        with self._lock:
+            return self.bytes_up + self.bytes_down
+
+    def close(self) -> None:
+        self._closed.set()
+        self.hold_open = False
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        self._sever()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FaultyProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

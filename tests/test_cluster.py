@@ -125,6 +125,125 @@ class TestLoopbackGoldens:
         assert len(result.metadata["hosts"]) == 1
 
 
+_PSK = b"equivalence-suite-key"
+
+
+@pytest.fixture(scope="module")
+def psk_fleet():
+    """Loopback workers that *require* the shared key (PSK combos)."""
+    workers = [
+        ClusterWorker("127.0.0.1", 0, seed=k, psk=_PSK)
+        for k in range(N_WORKERS)
+    ]
+    threads = [w.start_in_thread() for w in workers]
+    yield [("127.0.0.1", w.port) for w in workers]
+    for w in workers:
+        w.stop()
+    for t in threads:
+        t.join(timeout=TIMEOUT)
+        assert not t.is_alive()
+
+
+class TestKnobEquivalence:
+    """Every combination of the wire knobs — tailored rows ×
+    compression × PSK (8 combos, Eq. 1 and FENNEL scorers) — must be
+    bit-identical to the local sharded golden.  The knobs change what
+    crosses the wire, never what is computed."""
+
+    _goldens: dict = {}
+
+    def _golden(self, base_key):
+        if base_key not in self._goldens:
+            self._goldens[base_key] = ShardedStreamer(
+                _bases()[base_key](), workers=N_WORKERS, chunk_size=32
+            ).partition_stream(HypergraphChunkStream(_hg(), 32), P, seed=7)
+        return self._goldens[base_key]
+
+    @pytest.mark.parametrize("base_key", ["onepass-eq1", "onepass-fennel"])
+    @pytest.mark.parametrize("tailored", [False, True])
+    @pytest.mark.parametrize("compress", [False, True])
+    @pytest.mark.parametrize("auth", [False, True])
+    def test_knob_combo_bit_identical(
+        self, fleet, psk_fleet, base_key, tailored, compress, auth
+    ):
+        result = DistributedStreamer(
+            _bases()[base_key](),
+            hosts=psk_fleet if auth else fleet,
+            timeout=TIMEOUT,
+            chunk_size=32,
+            tailored=tailored,
+            compress=compress,
+            psk=_PSK if auth else None,
+        ).partition_stream(HypergraphChunkStream(_hg(), 32), P, seed=7)
+        np.testing.assert_array_equal(
+            result.assignment, self._golden(base_key).assignment
+        )
+        md = result.metadata
+        assert md["degraded_shards"] == []
+        assert md["tailored"] == tailored
+        # all workers here speak v2: compression lands iff requested
+        assert md["cluster_wire_versions"] == [2] * N_WORKERS
+        assert md["cluster_compress"] == [compress] * N_WORKERS
+        if tailored:
+            assert len(md["tailored_rows"]) == N_WORKERS
+            assert all(n >= 0 for n in md["tailored_rows"])
+            assert all(s >= 0 for s in md["broadcast_bytes_saved"])
+        else:
+            assert md["tailored_rows"] is None
+
+
+class TestVersionCompat:
+    """A v2 coordinator against v1-clamped workers (and a mixed fleet)
+    negotiates down per link and still lands on the golden bits."""
+
+    def _run_fleet(self, workers, **kwargs):
+        threads = [w.start_in_thread() for w in workers]
+        try:
+            hg = _hg()
+            golden = ShardedStreamer(
+                OnePassStreamer(), workers=len(workers), chunk_size=32
+            ).partition_stream(HypergraphChunkStream(hg, 32), P, seed=7)
+            result = DistributedStreamer(
+                OnePassStreamer(),
+                hosts=[("127.0.0.1", w.port) for w in workers],
+                timeout=TIMEOUT,
+                chunk_size=32,
+                **kwargs,
+            ).partition_stream(HypergraphChunkStream(hg, 32), P, seed=7)
+            np.testing.assert_array_equal(result.assignment, golden.assignment)
+            assert result.metadata["degraded_shards"] == []
+            return result.metadata
+        finally:
+            for w in workers:
+                w.stop()
+            for t in threads:
+                t.join(timeout=TIMEOUT)
+                assert not t.is_alive()
+
+    def test_v1_workers_negotiate_down(self):
+        """Old workers (max_version=1): the session runs at v1 with
+        compression off, even though the coordinator asked for both —
+        and tailored rows (an app-level protocol, not a frame format)
+        still work."""
+        workers = [
+            ClusterWorker("127.0.0.1", 0, seed=k, max_version=1)
+            for k in range(2)
+        ]
+        md = self._run_fleet(workers, compress=True, tailored=True)
+        assert md["cluster_wire_versions"] == [1, 1]
+        assert md["cluster_compress"] == [False, False]
+        assert md["tailored"] is True
+
+    def test_mixed_fleet_negotiates_per_link(self):
+        workers = [
+            ClusterWorker("127.0.0.1", 0, seed=0, max_version=1),
+            ClusterWorker("127.0.0.1", 0, seed=1),
+        ]
+        md = self._run_fleet(workers, compress=True)
+        assert md["cluster_wire_versions"] == [1, 2]
+        assert md["cluster_compress"] == [False, True]
+
+
 class TestConstruction:
     def test_host_parsing(self):
         assert DistributedStreamer._parse_host("node-a:7101") == ("node-a", 7101)

@@ -1,0 +1,296 @@
+"""Fault-matrix tests: the cluster layer on a hostile network.
+
+Every scenario routes one worker's traffic through the
+:class:`tests.netsim.FaultyProxy` and asserts the documented
+reconnect-then-degrade contract end to end:
+
+* the run **terminates** well inside its watchdog bound (no-hang);
+* the final assignment is **bit-identical** to the undisturbed
+  forked-sharding golden (degrade-to-local replay is exact by
+  construction);
+* the loss is visible in metadata (``degraded_shards``).
+
+A clean (fault-free) proxied run doubles as the wire-meter audit:
+``cluster_wire_bytes`` must equal the bytes the proxy actually saw
+cross the socket, in both directions — the ground truth that catches
+any under-counting in the coordinator's own accounting.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterWorker, DistributedStreamer
+from repro.hypergraph.generators import powerlaw_hypergraph
+from repro.streaming import (
+    HypergraphChunkStream,
+    OnePassStreamer,
+    ShardedStreamer,
+)
+
+from netsim import FaultyProxy
+
+#: per-run watchdog — generous; the point is "bounded", not "fast"
+RUN_BOUND = 90.0
+N_WORKERS = 2
+PARTS = 4
+SEED = 7
+CHUNK = 32
+
+
+def _hg():
+    return powerlaw_hypergraph(320, 240, 4.0, seed=3, name="faults")
+
+
+def _stream():
+    return HypergraphChunkStream(_hg(), CHUNK)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    workers = [
+        ClusterWorker("127.0.0.1", 0, seed=100 + i) for i in range(N_WORKERS)
+    ]
+    threads = [w.start_in_thread() for w in workers]
+    yield workers
+    for w in workers:
+        w.stop()
+    for t in threads:
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return ShardedStreamer(
+        OnePassStreamer(), workers=N_WORKERS, chunk_size=CHUNK
+    ).partition_stream(_stream(), PARTS, seed=SEED)
+
+
+def _bounded(fn, bound=RUN_BOUND):
+    """Run ``fn`` under a watchdog; a hang fails instead of wedging CI."""
+    done = {}
+
+    def target():
+        try:
+            done["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            done["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(bound)
+    assert not thread.is_alive(), f"cluster run exceeded its {bound}s bound"
+    if "error" in done:
+        raise done["error"]
+    return done["value"]
+
+
+def _run_against(hosts, *, timeout, **kwargs):
+    streamer = DistributedStreamer(
+        OnePassStreamer(),
+        hosts=hosts,
+        timeout=timeout,
+        chunk_size=CHUNK,
+        **kwargs,
+    )
+    return streamer.partition_stream(_stream(), PARTS, seed=SEED)
+
+
+class TestWireMeterGroundTruth:
+    def test_meter_matches_proxy_byte_count(self, fleet, golden):
+        """Clean proxies on *both* links: the coordinator's
+        cluster_wire_bytes must equal the proxies' forwarded totals
+        exactly — every hello, chunk, round frame and reply, both
+        directions."""
+        with FaultyProxy(("127.0.0.1", fleet[0].port)) as p0, FaultyProxy(
+            ("127.0.0.1", fleet[1].port)
+        ) as p1:
+            result = _bounded(
+                lambda: _run_against(
+                    [("127.0.0.1", p0.port), ("127.0.0.1", p1.port)],
+                    timeout=10.0,
+                )
+            )
+            np.testing.assert_array_equal(
+                result.assignment, golden.assignment
+            )
+            assert result.metadata["degraded_shards"] == []
+            meter = result.metadata["cluster_wire_bytes"]
+            truth = p0.bytes_total + p1.bytes_total
+        assert meter == truth, (
+            f"cluster_wire_bytes={meter} but the proxies saw {truth} "
+            "bytes cross the wire"
+        )
+
+    def test_meter_counts_orphaned_attach_bytes(self, fleet, golden):
+        """A handshake that dies mid-ship must still be accounted: the
+        truncated attach's bytes show up in the meter (the PR 6 code
+        dropped them on the floor)."""
+        with FaultyProxy(
+            ("127.0.0.1", fleet[0].port),
+            truncate_after=512,
+            truncate_direction="up",
+        ) as p0:
+            result = _bounded(
+                lambda: _run_against(
+                    [
+                        ("127.0.0.1", p0.port),
+                        ("127.0.0.1", fleet[1].port),
+                    ],
+                    timeout=5.0,
+                )
+            )
+            np.testing.assert_array_equal(
+                result.assignment, golden.assignment
+            )
+            assert result.metadata["degraded_shards"] == [0]
+            # both the original attach and the one reconnect attempt
+            # put bytes on the wire before dying; the meter must see
+            # them even though no link ever came back
+            assert result.metadata["cluster_wire_bytes"] > 0
+
+
+class TestFaultMatrix:
+    """Slow link, latency, mid-run stall, one-way partition."""
+
+    def _assert_degraded_identical(self, result, golden):
+        np.testing.assert_array_equal(result.assignment, golden.assignment)
+        assert result.metadata["degraded_shards"] == [0]
+        assert result.metadata["parallel_mode"] == "distributed"
+
+    def test_slow_link_degrades(self, fleet, golden):
+        """Bandwidth-capped link: shipping the shard outruns the
+        straggler timeout, the shard runs locally, result unchanged."""
+        with FaultyProxy(
+            ("127.0.0.1", fleet[0].port), bandwidth_bps=2_000
+        ) as p0:
+            result = _bounded(
+                lambda: _run_against(
+                    [
+                        ("127.0.0.1", p0.port),
+                        ("127.0.0.1", fleet[1].port),
+                    ],
+                    timeout=0.75,
+                )
+            )
+        self._assert_degraded_identical(result, golden)
+
+    def test_high_latency_degrades(self, fleet, golden):
+        """500 ms injected latency against a tighter straggler bound:
+        the handshake times out, reconnect times out, shard 0 runs
+        locally — bounded and exact."""
+        with FaultyProxy(
+            ("127.0.0.1", fleet[0].port), latency_s=0.5
+        ) as p0:
+            result = _bounded(
+                lambda: _run_against(
+                    [
+                        ("127.0.0.1", p0.port),
+                        ("127.0.0.1", fleet[1].port),
+                    ],
+                    timeout=0.45,
+                )
+            )
+        self._assert_degraded_identical(result, golden)
+
+    def test_midrun_stall_degrades(self, fleet, golden):
+        """The nasty one: the link goes silent *mid-session* with the
+        sockets held open.  A coordinator without timeouts would hang
+        forever; ours must time out, fail the one reconnect (the worker
+        is still wedged in the stalled session) and replay locally."""
+        # Calibrate the stall point from a clean proxied run so the
+        # cut lands well into the session (past the handshake).
+        with FaultyProxy(("127.0.0.1", fleet[0].port)) as probe:
+            clean = _bounded(
+                lambda: _run_against(
+                    [
+                        ("127.0.0.1", probe.port),
+                        ("127.0.0.1", fleet[1].port),
+                    ],
+                    timeout=10.0,
+                )
+            )
+            np.testing.assert_array_equal(
+                clean.assignment, golden.assignment
+            )
+            stall_at = int(probe.bytes_down * 0.8)
+        assert stall_at > 0
+        with FaultyProxy(
+            ("127.0.0.1", fleet[0].port),
+            stall_after=stall_at,
+            stall_direction="down",
+        ) as p0:
+            result = _bounded(
+                lambda: _run_against(
+                    [
+                        ("127.0.0.1", p0.port),
+                        ("127.0.0.1", fleet[1].port),
+                    ],
+                    timeout=1.0,
+                )
+            )
+        self._assert_degraded_identical(result, golden)
+
+    def test_oneway_partition_degrades(self, fleet, golden):
+        """One-way partition: coordinator→worker flows, every reply is
+        silently dropped.  No EOF ever arrives, so only the timeout
+        rail can save the run."""
+        with FaultyProxy(
+            ("127.0.0.1", fleet[0].port), drop_down=True
+        ) as p0:
+            result = _bounded(
+                lambda: _run_against(
+                    [
+                        ("127.0.0.1", p0.port),
+                        ("127.0.0.1", fleet[1].port),
+                    ],
+                    timeout=0.75,
+                )
+            )
+        self._assert_degraded_identical(result, golden)
+
+    def test_midframe_truncation_degrades(self, fleet, golden):
+        """Hard mid-frame cut on the reply path: surfaces instantly as
+        TruncatedFrameError (no timeout wait), then the documented
+        reconnect-or-local path."""
+        with FaultyProxy(
+            ("127.0.0.1", fleet[0].port),
+            truncate_after=4096,
+            truncate_direction="down",
+        ) as p0:
+            result = _bounded(
+                lambda: _run_against(
+                    [
+                        ("127.0.0.1", p0.port),
+                        ("127.0.0.1", fleet[1].port),
+                    ],
+                    timeout=5.0,
+                )
+            )
+        self._assert_degraded_identical(result, golden)
+
+    def test_degraded_run_same_result_with_legacy_knobs(
+        self, fleet, golden
+    ):
+        """The degrade path is knob-independent: uncompressed v1-style
+        broadcast rounds through a truncating proxy land on the same
+        assignment."""
+        with FaultyProxy(
+            ("127.0.0.1", fleet[0].port),
+            truncate_after=4096,
+            truncate_direction="down",
+        ) as p0:
+            result = _bounded(
+                lambda: _run_against(
+                    [
+                        ("127.0.0.1", p0.port),
+                        ("127.0.0.1", fleet[1].port),
+                    ],
+                    timeout=5.0,
+                    compress=False,
+                    tailored=False,
+                )
+            )
+        self._assert_degraded_identical(result, golden)

@@ -12,17 +12,20 @@ mid-ingest or mid-round degrades (or fails loudly under
 import socket
 import struct
 import threading
+import zlib
 
 import numpy as np
 import pytest
 
 from repro.cluster.protocol import (
     DEFAULT_MAX_FRAME,
+    FLAG_ZLIB,
     HEADER,
     PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
     BadMagicError,
     ConnectionClosedError,
+    CorruptFrameError,
     OversizedFrameError,
     ProtocolError,
     TruncatedFrameError,
@@ -31,6 +34,8 @@ from repro.cluster.protocol import (
     decode_payload,
     encode_payload,
     frame,
+    hmac_proof,
+    negotiate_version,
     recv_message,
     send_message,
 )
@@ -139,7 +144,9 @@ class TestFraming:
         b = self._deliver(
             pair, frame(encode_payload({"t": 1}), version=PROTOCOL_VERSION + 1)
         )
-        with pytest.raises(VersionMismatchError, match="protocol v2"):
+        with pytest.raises(
+            VersionMismatchError, match=f"protocol v{PROTOCOL_VERSION + 1}"
+        ):
             recv_message(b)
 
     def test_bad_magic(self, pair):
@@ -209,6 +216,38 @@ class TestBaseFromSpec:
             base_from_spec({"kind": "quantum"})
 
 
+def _full_hello(**overrides):
+    """A minimal but complete coordinator hello for a 1-shard session."""
+    hello = {
+        "type": "hello",
+        "version": PROTOCOL_VERSION,
+        "max_version": PROTOCOL_VERSION,
+        "shard_index": 0,
+        "nshards": 1,
+        "num_parts": 2,
+        "num_vertices": 8,
+        "counts": [1, 1],
+        "total_weight": 8.0,
+        "seed_entropy": 7,
+        "seed_spawn_key": [],
+        "base": OnePassStreamer()._shard_spec(),
+        "profile": {"use_edge_weights": False},
+        "C": 4.0,
+        "edge_weights": np.ones(4),
+        "edge_degrees": np.full(4, 2.0),
+        "boundary_ship": "boundary",
+        "ship": "chunks",
+        "chunk_size": 4,
+        "lo": 0,
+        "hi": 2,
+        "v_lo": 0,
+        "v_hi": 8,
+        "shard_weight": 8.0,
+    }
+    hello.update(overrides)
+    return hello
+
+
 class TestWorkerSessionFailures:
     """Worker-side protocol handling over a live (threaded) worker."""
 
@@ -254,33 +293,8 @@ class TestWorkerSessionFailures:
             assert reply["type"] == "bye"
 
     def test_worker_survives_disconnect_during_ingest(self, worker):
-        hello = {
-            "type": "hello",
-            "version": PROTOCOL_VERSION,
-            "shard_index": 0,
-            "nshards": 1,
-            "num_parts": 2,
-            "num_vertices": 8,
-            "counts": [1, 1],
-            "total_weight": 8.0,
-            "seed_entropy": 7,
-            "seed_spawn_key": [],
-            "base": OnePassStreamer()._shard_spec(),
-            "profile": {"use_edge_weights": False},
-            "C": 4.0,
-            "edge_weights": np.ones(4),
-            "edge_degrees": np.full(4, 2.0),
-            "boundary_ship": "boundary",
-            "ship": "chunks",
-            "chunk_size": 4,
-            "lo": 0,
-            "hi": 2,
-            "v_lo": 0,
-            "v_hi": 8,
-            "shard_weight": 8.0,
-        }
         sock = self._connect(worker)
-        send_message(sock, hello)
+        send_message(sock, _full_hello())
         ack, _ = recv_message(sock)
         assert ack["type"] == "hello_ack"
         assert ack["version"] == PROTOCOL_VERSION
@@ -290,6 +304,46 @@ class TestWorkerSessionFailures:
         with self._connect(worker) as sock2:
             send_message(sock2, {"type": "shutdown"})
             reply, _ = recv_message(sock2)
+            assert reply["type"] == "bye"
+
+    def test_worker_negotiates_down_for_v1_hello(self, worker):
+        """A v1 coordinator sends no ``max_version``: the session must
+        run at v1, uncompressed, even if the hello asks for zlib."""
+        hello = _full_hello(compress=True)
+        del hello["max_version"]
+        with self._connect(worker) as sock:
+            send_message(sock, hello, version=1)
+            ack, _ = recv_message(sock)
+            assert ack["type"] == "hello_ack"
+            assert ack["version"] == 1
+            assert not ack.get("compress", False)
+
+    def test_worker_survives_fuzzed_first_frames(self, worker):
+        """Garbage first frames (bad magic, corrupt header, random
+        bytes) must never wedge the accept loop — each hostile peer is
+        dropped and the next honest one is served."""
+        rng = np.random.default_rng(0xF055)
+        hostile = [
+            b"GET / HTTP/1.1\r\n\r\n",
+            HEADER.pack(b"HPCL", PROTOCOL_VERSION, 0xFFFF, 64) + b"\x00" * 64,
+            HEADER.pack(b"HPCL", PROTOCOL_VERSION, FLAG_ZLIB, 32)
+            + b"not a zlib stream at all!!!!!!!!",
+            rng.integers(0, 256, size=200, dtype=np.uint8).tobytes(),
+            frame(encode_payload({"type": "hello"}))[:11],  # half a header
+        ]
+        for data in hostile:
+            with self._connect(worker) as sock:
+                sock.sendall(data)
+                # the worker either reports an error frame or just
+                # hangs up; both are fine — reading until EOF bounds it
+                try:
+                    while sock.recv(1 << 16):
+                        pass
+                except OSError:
+                    pass
+        with self._connect(worker) as sock:
+            send_message(sock, {"type": "shutdown"})
+            reply, _ = recv_message(sock)
             assert reply["type"] == "bye"
 
 
@@ -377,3 +431,186 @@ class TestCoordinatorNeverHangs:
     def test_midround_loss_fails_loudly(self):
         with pytest.raises(RuntimeError, match="lost \\(shard 1\\)"):
             self._run("fail")
+
+
+class TestCompression:
+    """The v2 zlib frame flag: honest, bounded, bit-transparent."""
+
+    def _flags(self, data: bytes) -> int:
+        return HEADER.unpack(data[: HEADER.size])[2]
+
+    def test_compressed_roundtrip_is_transparent(self, pair):
+        a, b = pair
+        message = {
+            "type": "round",
+            "rows": np.zeros((64, 8)),  # very compressible
+            "note": "x" * 512,
+        }
+        nbytes = send_message(a, message, compress=True)
+        out, wire = recv_message(b)
+        assert out["note"] == "x" * 512
+        np.testing.assert_array_equal(out["rows"], np.zeros((64, 8)))
+        # it actually compressed: far fewer wire bytes than the payload
+        assert wire == nbytes < len(encode_payload(message))
+
+    def test_flag_is_set_only_when_it_helps(self):
+        compressible = encode_payload({"z": np.zeros(1024)})
+        assert self._flags(frame(compressible, compress=True)) & FLAG_ZLIB
+        rng = np.random.default_rng(11)
+        noise = encode_payload(
+            {"r": rng.integers(0, 256, 4096, dtype=np.uint8)}
+        )
+        # incompressible: ships raw, flag honest
+        assert not self._flags(frame(noise, compress=True)) & FLAG_ZLIB
+
+    def test_tiny_payloads_ship_raw(self):
+        tiny = encode_payload({"t": 1})
+        framed = frame(tiny, compress=True)
+        assert not self._flags(framed) & FLAG_ZLIB
+        assert framed.endswith(tiny)
+
+    def test_v1_frames_never_compress(self):
+        payload = encode_payload({"z": np.zeros(4096)})
+        framed = frame(payload, version=1, compress=True)
+        assert not self._flags(framed) & FLAG_ZLIB
+        assert framed.endswith(payload)
+
+    def test_zlib_garbage_is_corrupt_frame(self, pair):
+        a, b = pair
+        bogus = b"definitely not a deflate stream, but a whole frame"
+        a.sendall(
+            HEADER.pack(PROTOCOL_MAGIC, 2, FLAG_ZLIB, len(bogus)) + bogus
+        )
+        with pytest.raises(CorruptFrameError, match="inflate"):
+            recv_message(b)
+
+    def test_unknown_flag_bits_rejected(self, pair):
+        a, b = pair
+        payload = encode_payload({"t": 1})
+        a.sendall(HEADER.pack(PROTOCOL_MAGIC, 2, 0x8000, len(payload)) + payload)
+        with pytest.raises(CorruptFrameError, match="unknown frame flags"):
+            recv_message(b)
+
+    def test_compressed_flag_on_v1_rejected(self, pair):
+        a, b = pair
+        packed = zlib.compress(encode_payload({"t": 1}), 1)
+        a.sendall(HEADER.pack(PROTOCOL_MAGIC, 1, FLAG_ZLIB, len(packed)) + packed)
+        with pytest.raises(CorruptFrameError, match="v1 frame"):
+            recv_message(b)
+
+    def test_decompression_bomb_bounded(self, pair):
+        """A tiny wire frame that inflates past ``max_frame`` must be
+        rejected *after* inflation is measured, before decode."""
+        a, b = pair
+        packed = zlib.compress(b"\x00" * 200_000, 9)  # ~200 wire bytes
+        a.sendall(HEADER.pack(PROTOCOL_MAGIC, 2, FLAG_ZLIB, len(packed)) + packed)
+        with pytest.raises(OversizedFrameError, match="inflates"):
+            recv_message(b, max_frame=65536)
+
+
+class TestNegotiation:
+    def test_negotiate_version_rules(self):
+        assert negotiate_version(None) == 1  # a v1 peer says nothing
+        assert negotiate_version(1) == 1
+        assert negotiate_version(2) == 2
+        assert negotiate_version(99) == PROTOCOL_VERSION  # future peer
+        assert negotiate_version(0) == 1  # nonsense clamps, not crashes
+        with pytest.raises(CorruptFrameError, match="max_version"):
+            negotiate_version("banana")
+
+    def test_hmac_proof_separates_roles_and_nonces(self):
+        psk, nc, nw = b"secret", b"c" * 16, b"w" * 16
+        w = hmac_proof(psk, "worker", nc, nw)
+        assert w == hmac_proof(psk, "worker", nc, nw)  # deterministic
+        assert w != hmac_proof(psk, "coord", nc, nw)  # no reflection
+        assert w != hmac_proof(psk, "worker", nw, nc)  # nonce order
+        assert w != hmac_proof(b"other", "worker", nc, nw)
+        assert len(w) == 32  # SHA-256
+
+
+class TestProtocolFuzz:
+    """Property tests: *any* corruption of a valid frame must land in
+    the :class:`ProtocolError` taxonomy — never a hang, never a raw
+    ``json``/``zlib``/``struct``/``numpy`` exception leaking through,
+    and (because decode happens before any state is touched) never a
+    partially-applied message."""
+
+    def _frames(self):
+        payload = encode_payload(
+            {
+                "type": "round",
+                "kind": "pass",
+                "ctl": {
+                    "alpha": 0.5,
+                    "rows": np.arange(64, dtype=np.float64).reshape(8, 8),
+                },
+            }
+        )
+        return [
+            frame(payload, version=1),
+            frame(payload, version=2),
+            frame(payload, version=2, compress=True),
+        ]
+
+    def _recv_bytes(self, data: bytes):
+        """Deliver raw bytes then EOF; receive with the guard timeout."""
+        a, b = socket.socketpair()
+        try:
+            a.settimeout(TIMEOUT)
+            b.settimeout(TIMEOUT)
+            a.sendall(data)
+            a.close()
+            return recv_message(b)
+        finally:
+            b.close()
+
+    def test_truncation_at_every_offset(self):
+        """Cutting a valid frame at *every* byte offset is either a
+        clean EOF (cut at 0) or a truncated frame — nothing else, and
+        no cut may hang or return a message."""
+        for data in self._frames():
+            for cut in range(len(data)):
+                expected = (
+                    ConnectionClosedError if cut == 0 else TruncatedFrameError
+                )
+                with pytest.raises(expected):
+                    self._recv_bytes(data[:cut])
+
+    def test_every_header_bit_flip_is_taxonomy_error(self):
+        """Flipping any single bit of the 16-byte header must raise a
+        ProtocolError subclass: magic bits → BadMagic, version bits →
+        VersionMismatch, flag bits → CorruptFrame, length bits →
+        Oversized/Truncated/Corrupt.  No flip may decode successfully
+        (the payload length is exact, so any length change breaks the
+        section arithmetic)."""
+        for data in self._frames():
+            for byte in range(HEADER.size):
+                for bit in range(8):
+                    mutated = bytearray(data)
+                    mutated[byte] ^= 1 << bit
+                    with pytest.raises(ProtocolError):
+                        self._recv_bytes(bytes(mutated))
+
+    def test_random_corruption_never_leaks_or_hangs(self):
+        """Seeded random byte corruption (with random truncation mixed
+        in): every outcome is either a taxonomy error or — when the
+        flips land entirely inside array section bytes — a message that
+        decodes to different *values*.  No other exception type, no
+        hang."""
+        rng = np.random.default_rng(0xBADF)
+        frames = self._frames()
+        for trial in range(300):
+            data = bytearray(frames[trial % len(frames)])
+            for _ in range(int(rng.integers(1, 9))):
+                pos = int(rng.integers(0, len(data)))
+                data[pos] ^= int(rng.integers(1, 256))
+            if rng.random() < 0.3:
+                data = data[: int(rng.integers(0, len(data)))]
+            try:
+                message, _ = self._recv_bytes(bytes(data))
+            except ProtocolError:
+                continue
+            # survivable corruption: the frame still decoded — the
+            # property under test is the failure *type*, not that
+            # every flip is detected (array bytes carry no checksum)
+            assert isinstance(message, (dict, list, str, int, float))
