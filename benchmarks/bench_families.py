@@ -1,0 +1,131 @@
+"""Benchmark: the partitioner-family head-to-head and its baseline diff.
+
+``test_families_comparison`` runs
+:func:`repro.bench.families.compare_families` on the streaming stress
+instance and attaches every family's cut, imbalance and resident-pin
+figures to ``extra_info``; it also asserts the acceptance criterion for
+the FM polish stage: ``hyperpraw+fm`` may never *worsen* the anchor's
+hyperedge cut, and must stay inside the refinement balance cap.
+
+``test_families_baseline_diff`` is the determinism contract for the
+committed ``BENCH_FAMILIES.json`` (written by
+``scripts/run_families_bench.py --bench-out``, docs/performance.md):
+every row's cut and assignment digest must reproduce exactly, wall-time
+drift only warns with 1.5x slack — CI boxes are not benchmark boxes.
+The default subset reruns one instance's table; ``REPRO_BENCH_FULL=1``
+reruns them all.
+"""
+
+import json
+import os
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.bench.families import compare_families
+from repro.hypergraph.suite import STREAMING_INSTANCE, load_instance
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def test_families_comparison(benchmark, bench_ctx):
+    scale = 1.0 if FULL else 0.05
+    hg = load_instance(STREAMING_INSTANCE, scale=scale)
+    report = benchmark.pedantic(
+        lambda: compare_families(
+            hg,
+            bench_ctx.num_parts,
+            chunk_size=512 if FULL else 128,
+            max_iterations=bench_ctx.max_iterations,
+            seed=bench_ctx.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["instance_pins"] = report.num_pins
+    for record in report.records:
+        key = record.algorithm.replace(" ", "")
+        benchmark.extra_info[f"cut[{key}]"] = float(
+            record.quality.hyperedge_cut
+        )
+        benchmark.extra_info[f"imbalance[{key}]"] = round(
+            float(record.quality.imbalance), 4
+        )
+        if record.peak_resident_pins is not None:
+            benchmark.extra_info[f"resident_pins[{key}]"] = (
+                record.peak_resident_pins
+            )
+    anchor = report.record("hyperpraw")
+    polished = report.record("hyperpraw+fm")
+    # Acceptance for the polish stage: strictly never worse than the
+    # anchor on cut, and within the refinement balance cap.
+    assert polished.quality.hyperedge_cut <= anchor.quality.hyperedge_cut
+    assert polished.quality.imbalance <= 1.1 + 1e-9
+    print()
+    print(report.render())
+
+
+def test_families_baseline_diff(benchmark):
+    """BENCH_FAMILIES.json must reproduce: digest exactly, wall w/ slack."""
+    baseline_path = Path(__file__).resolve().parents[1] / "BENCH_FAMILIES.json"
+    if not baseline_path.exists():
+        pytest.skip("no committed BENCH_FAMILIES.json baseline")
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["schema"] == "bench-families"
+    assert baseline["version"] == 1, "bump this check with the schema"
+
+    instances = sorted({r["instance"] for r in baseline["records"]})
+    if not FULL:
+        # Cheap subset: one full table still exercises every family
+        # (anchor, polish, onepass, hype, minmax x2) in a few seconds.
+        instances = instances[:1]
+    by_key = {
+        (r["instance"], r["algorithm"]): r for r in baseline["records"]
+    }
+
+    def rerun():
+        out = []
+        for instance in instances:
+            hg = load_instance(instance, scale=baseline["scale"])
+            report = compare_families(
+                hg,
+                baseline["num_parts"],
+                chunk_size=baseline["chunk_size"],
+                max_iterations=baseline["max_iterations"],
+                refine_passes=baseline["refine_passes"],
+                kernel=baseline["kernel"],
+                seed=baseline["seed"],
+            )
+            for record in report.records:
+                out.append((instance, record))
+        return out
+
+    reruns = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    for instance, record in reruns:
+        rec = by_key.get((instance, record.algorithm))
+        assert rec is not None, (
+            f"{instance}: row {record.algorithm!r} missing from the "
+            f"baseline — regenerate BENCH_FAMILIES.json via "
+            f"scripts/run_families_bench.py --bench-out"
+        )
+        cell = f"{instance} x {record.algorithm}"
+        assert record.assignment_digest == rec["assignment_digest"], (
+            f"{cell}: assignment digest {record.assignment_digest} != "
+            f"committed {rec['assignment_digest']} — the partitioner's "
+            f"output changed; regenerate BENCH_FAMILIES.json via "
+            f"scripts/run_families_bench.py --bench-out if intentional"
+        )
+        assert record.quality.hyperedge_cut == rec["cut"], (
+            f"{cell}: cut {record.quality.hyperedge_cut} != committed "
+            f"{rec['cut']}"
+        )
+        benchmark.extra_info[f"wall_s[{cell}]"] = round(record.wall_time_s, 4)
+        if rec["wall_s"] and record.wall_time_s > 1.5 * rec["wall_s"]:
+            warnings.warn(
+                f"{cell}: local rerun wall {record.wall_time_s:.3f}s "
+                f"exceeds 1.5x the committed baseline {rec['wall_s']:.3f}s "
+                f"— possible performance regression",
+                RuntimeWarning,
+                stacklevel=2,
+            )

@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Record / verify the committed partitioner-family baseline.
+
+Runs the family head-to-head
+(:func:`repro.bench.families.compare_families`) on a matrix of suite
+instances and writes a versioned ``BENCH_FAMILIES.json`` baseline — the
+competitor twin of ``BENCH_STREAMING.json`` (docs/performance.md).
+
+Typical invocations::
+
+    # refresh the committed baseline (run on a quiet box)
+    python scripts/run_families_bench.py --bench-out BENCH_FAMILIES.json
+
+    # verify a rerun reproduces the committed numbers: cut + assignment
+    # digest must match exactly, wall-time drift only warns
+    python scripts/run_families_bench.py --diff-against BENCH_FAMILIES.json
+
+Every row records the hyperedge cut, PC cost, imbalance, wall time,
+peak resident pins, presence-table size and a sha256 digest of the
+assignment, so the committed numbers double as a determinism contract:
+a rerun with the same seed must reproduce cut and digest bit-exactly on
+any box, while wall-clock is only sanity-checked with 1.5x slack — CI
+boxes are not benchmark boxes.  ``benchmarks/bench_families.py::
+test_families_baseline_diff`` runs the cheap subset of this diff in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.families import compare_families  # noqa: E402
+from repro.hypergraph.suite import load_instance  # noqa: E402
+
+#: Schema version of BENCH_FAMILIES.json; bump on layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default instance matrix: the quality-ladder mesh, the power-law
+#: stress instance and the banded boundary-sparse shell mesh — three
+#: structurally different workloads for the head-to-head.
+DEFAULT_INSTANCES = ("2cubes_sphere", "sparsine", "ABACUS_shell_hd")
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument(
+        "--instances",
+        nargs="+",
+        default=list(DEFAULT_INSTANCES),
+        help="suite instances to run the head-to-head on",
+    )
+    parser.add_argument("--scale", type=float, default=0.25, help="instance scale")
+    parser.add_argument("--num-parts", type=int, default=8)
+    parser.add_argument("--chunk-size", type=int, default=64)
+    parser.add_argument("--max-iterations", type=int, default=20)
+    parser.add_argument(
+        "--refine-passes",
+        type=int,
+        default=4,
+        help="FM polish rounds for the hyperpraw+fm row",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("auto", "python", "njit"),
+        default="python",
+        help="pass-kernel mode recorded in the baseline; the committed "
+        "file uses 'python' so the digests reproduce on boxes without "
+        "numba",
+    )
+    parser.add_argument("--seed", type=int, default=20190805, help="master seed")
+    parser.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help="write the versioned benchmark baseline JSON here",
+    )
+    parser.add_argument(
+        "--diff-against",
+        default=None,
+        metavar="PATH",
+        help="compare against a committed baseline: cut/digest mismatch "
+        "fails, wall-time regression only warns",
+    )
+    return parser.parse_args(argv)
+
+
+def run_matrix(args) -> list:
+    """One compare_families table per instance; flat record list."""
+    records = []
+    for instance in args.instances:
+        hg = load_instance(instance, scale=args.scale)
+        t0 = time.perf_counter()
+        report = compare_families(
+            hg,
+            args.num_parts,
+            chunk_size=args.chunk_size,
+            max_iterations=args.max_iterations,
+            refine_passes=args.refine_passes,
+            kernel=args.kernel,
+            seed=args.seed,
+        )
+        print(
+            f"[{instance}] head-to-head of {len(report.records)} families "
+            f"in {time.perf_counter() - t0:.2f}s"
+        )
+        print(report.render())
+        for r in report.records:
+            rec = {
+                "instance": instance,
+                "algorithm": r.algorithm,
+                "wall_s": round(r.wall_time_s, 4),
+                "cut": float(r.quality.hyperedge_cut),
+                "pc_cost": round(float(r.quality.pc_cost), 6),
+                "imbalance": round(float(r.quality.imbalance), 6),
+                "peak_resident_pins": r.peak_resident_pins,
+                "peak_tracked_edges": r.peak_tracked_edges,
+                "kernel_mode": r.kernel_mode,
+                "assignment_digest": r.assignment_digest,
+            }
+            if r.refine_moves is not None:
+                rec["refine_cut_before"] = float(r.refine_cut_before)
+                rec["refine_cut_after"] = float(r.refine_cut_after)
+                rec["refine_moves"] = int(r.refine_moves)
+            records.append(rec)
+    return records
+
+
+def bench_payload(args, records) -> dict:
+    return {
+        "schema": "bench-families",
+        "version": BENCH_SCHEMA_VERSION,
+        "seed": args.seed,
+        "scale": args.scale,
+        "num_parts": args.num_parts,
+        "chunk_size": args.chunk_size,
+        "max_iterations": args.max_iterations,
+        "refine_passes": args.refine_passes,
+        "kernel": args.kernel,
+        "records": records,
+    }
+
+
+def diff_against(path: Path, records) -> list:
+    """Compare a rerun against the committed baseline.
+
+    Determinism (cut + assignment digest) is a hard failure; wall-time
+    regressions only warn — CI boxes are not benchmark boxes.
+    """
+    baseline = json.loads(path.read_text())
+    if baseline.get("schema") != "bench-families":
+        raise SystemExit(f"{path} is not a bench-families baseline")
+    if baseline.get("version") != BENCH_SCHEMA_VERSION:
+        warnings.warn(
+            f"baseline schema v{baseline.get('version')} != "
+            f"v{BENCH_SCHEMA_VERSION}; skipping diff",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return []
+    key = lambda r: (r["instance"], r["algorithm"])  # noqa: E731
+    base_by_key = {key(r): r for r in baseline["records"]}
+    failures = []
+    for record in records:
+        base = base_by_key.get(key(record))
+        if base is None:
+            continue
+        for field in ("cut", "assignment_digest"):
+            if record[field] != base[field]:
+                failures.append(
+                    f"{key(record)}: {field} {record[field]!r} != "
+                    f"baseline {base[field]!r}"
+                )
+        if base["wall_s"] and record["wall_s"] > 1.5 * base["wall_s"]:
+            warnings.warn(
+                f"{key(record)}: wall {record['wall_s']:.3f}s > 1.5x "
+                f"baseline {base['wall_s']:.3f}s",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.diff_against:
+        # The diff must rerun the baseline's own matrix, not the CLI
+        # defaults, or every knob change would read as a digest drift.
+        baseline = json.loads(Path(args.diff_against).read_text())
+        for field in (
+            "seed", "scale", "num_parts", "chunk_size", "max_iterations",
+            "refine_passes", "kernel",
+        ):
+            if field in baseline:
+                setattr(args, field, baseline[field])
+        args.instances = sorted(
+            {r["instance"] for r in baseline["records"]}
+        )
+    records = run_matrix(args)
+    failures = []
+    if args.diff_against:
+        failures = diff_against(Path(args.diff_against), records)
+    if args.bench_out and not failures:
+        Path(args.bench_out).write_text(
+            json.dumps(bench_payload(args, records), indent=2) + "\n"
+        )
+        print(f"baseline written: {args.bench_out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ _readme = _here / "README.md"
 
 setup(
     name="hyperpraw-repro",
-    version="0.7.0",
+    version="0.8.0",
     description=(
         "Reproduction of HyperPRAW: architecture-aware hypergraph "
         "restreaming partitioning (ICPP 2019), with out-of-core streaming "

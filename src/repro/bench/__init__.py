@@ -17,6 +17,10 @@ cut traffic lands on — fully determines runtime.
 * :func:`~repro.bench.streaming.compare_streaming` — the streamed vs
   in-memory scenario: quality / peak-memory / runtime of the
   :mod:`repro.streaming` partitioners against the in-memory anchor.
+* :func:`~repro.bench.families.compare_families` — the competitor
+  head-to-head: every registered partitioner family (HyperPRAW, its
+  FM-polished twin, onepass, HYPE-style expansion, min-max streaming)
+  on one instance, one table.
 * :func:`~repro.bench.service.compare_service` — the HTTP traffic
   scenario: upload-to-result latency, digest-reuse speedup and sync
   requests-per-second against an in-process
@@ -30,6 +34,7 @@ cut traffic lands on — fully determines runtime.
 from repro.bench.synthetic import SyntheticBenchmark, BenchmarkOutcome, partition_traffic
 from repro.bench.runner import ExperimentRunner, JobContext, RunRecord
 from repro.bench.streaming import StreamingRecord, StreamingReport, compare_streaming
+from repro.bench.families import FamilyRecord, FamilyReport, compare_families
 from repro.bench.service import (
     PoolLadder,
     PoolRun,
@@ -50,6 +55,9 @@ __all__ = [
     "StreamingRecord",
     "StreamingReport",
     "compare_streaming",
+    "FamilyRecord",
+    "FamilyReport",
+    "compare_families",
     "PoolLadder",
     "PoolRun",
     "ServiceRecord",

@@ -34,11 +34,13 @@ parallel sharded streamer — is a thin driver around one loop:
 
 from repro.engine.blocks import (
     ChunkStoreSource,
+    FringeExpansionSource,
     InMemorySource,
     VertexBlock,
     VertexSource,
     block_of,
     blocks_of,
+    expansion_order,
     segment_gather_index,
     shard_ranges,
     shard_ranges_by_pins,
@@ -56,16 +58,23 @@ from repro.engine.parallel import (
     merge_shard_tables,
     run_tasks,
 )
-from repro.engine.scorers import FennelScorer, HyperPRAWScorer
+from repro.engine.scorers import (
+    FennelScorer,
+    HyperPRAWScorer,
+    HypeScorer,
+    MinMaxScorer,
+)
 from repro.engine.states import DenseKernelState
 
 __all__ = [
     "VertexBlock",
     "VertexSource",
     "InMemorySource",
+    "FringeExpansionSource",
     "ChunkStoreSource",
     "block_of",
     "blocks_of",
+    "expansion_order",
     "segment_gather_index",
     "shard_ranges",
     "shard_ranges_by_pins",
@@ -77,6 +86,8 @@ __all__ = [
     "resolve_kernel",
     "HyperPRAWScorer",
     "FennelScorer",
+    "HypeScorer",
+    "MinMaxScorer",
     "DenseKernelState",
     "fork_available",
     "run_tasks",

@@ -38,9 +38,11 @@ __all__ = [
     "VertexBlock",
     "VertexSource",
     "InMemorySource",
+    "FringeExpansionSource",
     "ChunkStoreSource",
     "block_of",
     "blocks_of",
+    "expansion_order",
     "segment_gather_index",
     "shard_ranges",
     "shard_ranges_by_pins",
@@ -191,6 +193,123 @@ class InMemorySource:
                 vertex_edges=vedges[segment_gather_index(vptr[ids], degs)],
                 vertex_weights=weights[ids],
             )
+
+
+def expansion_order(
+    hg: Hypergraph, *, max_expand_net: "int | None" = 256
+) -> np.ndarray:
+    """HYPE-style neighbourhood-expansion visit order (a permutation).
+
+    Grows a fringe the way HYPE grows a part: seed at the lowest-degree
+    unvisited vertex, then repeatedly pop the fringe vertex with the
+    fewest incident nets (the cheapest external neighbourhood) and push
+    its hyperedge neighbours.  When the fringe runs dry — a connected
+    component is exhausted — the next lowest-degree unvisited vertex
+    seeds a new expansion.  Every hyperedge is expanded through at most
+    once (its first touch queues all its pins), so the whole order costs
+    ``O(pins + |V| log |V|)``.
+
+    Parameters
+    ----------
+    hg:
+        the hypergraph.
+    max_expand_net:
+        nets with more pins than this are never expanded through —
+        HYPE's own guard against hub nets turning the fringe into the
+        whole graph in one step (``None`` expands through everything).
+
+    Returns
+    -------
+    np.ndarray
+        a permutation of ``arange(num_vertices)`` in expansion order.
+    """
+    import heapq
+
+    n = hg.num_vertices
+    degrees = np.diff(hg.vertex_ptr)
+    net_sizes = np.diff(hg.edge_ptr)
+    order = np.empty(n, dtype=np.int64)
+    queued = np.zeros(n, dtype=bool)
+    edge_done = np.zeros(hg.num_edges, dtype=bool)
+    seeds = np.argsort(degrees, kind="stable")
+    vptr, vedges = hg.vertex_ptr, hg.vertex_edges
+    eptr, epins = hg.edge_ptr, hg.edge_pins
+    heap: "list[tuple[int, int]]" = []
+    seed_pos = 0
+    for pos in range(n):
+        if not heap:
+            while queued[seeds[seed_pos]]:
+                seed_pos += 1
+            v = int(seeds[seed_pos])
+            queued[v] = True
+            heapq.heappush(heap, (int(degrees[v]), v))
+        _, v = heapq.heappop(heap)
+        order[pos] = v
+        for e in vedges[vptr[v] : vptr[v + 1]].tolist():
+            if edge_done[e]:
+                continue
+            edge_done[e] = True
+            if max_expand_net is not None and net_sizes[e] > max_expand_net:
+                continue
+            for u in epins[eptr[e] : eptr[e + 1]].tolist():
+                if not queued[u]:
+                    queued[u] = True
+                    heapq.heappush(heap, (int(degrees[u]), u))
+    return order
+
+
+class FringeExpansionSource:
+    """Blocks over an in-memory hypergraph in fringe-expansion order.
+
+    The :class:`VertexSource` face of :func:`expansion_order`: block
+    ``k`` holds the ``k``-th slice of the expansion, so a place-only
+    kernel pass fills parts neighbourhood by neighbourhood instead of in
+    arrival order.  This stresses the presence table very differently
+    from sequential streaming — consecutive vertices share nets, so the
+    LRU working set is the *fringe's* nets, not the arrival window's.
+
+    The order is computed lazily on first use and cached; gathering the
+    reordered CSR reuses :class:`InMemorySource`'s segmented fancy
+    indexing.
+
+    Parameters
+    ----------
+    hg:
+        the hypergraph.
+    block_size:
+        vertices per block (``None`` = one block, right for per-vertex
+        scoring).
+    max_expand_net:
+        hub-net expansion guard, see :func:`expansion_order`.
+    """
+
+    def __init__(
+        self,
+        hg: Hypergraph,
+        *,
+        block_size: "int | None" = None,
+        max_expand_net: "int | None" = 256,
+    ) -> None:
+        if block_size is not None and block_size < 1:
+            raise ValueError(f"block_size must be >= 1 or None, got {block_size}")
+        self.hg = hg
+        self.block_size = block_size
+        self.max_expand_net = max_expand_net
+        self._order: "np.ndarray | None" = None
+
+    @property
+    def order(self) -> np.ndarray:
+        """The cached expansion order (computed on first access)."""
+        if self._order is None:
+            self._order = expansion_order(
+                self.hg, max_expand_net=self.max_expand_net
+            )
+        return self._order
+
+    def blocks(self) -> Iterator[VertexBlock]:
+        return InMemorySource(
+            self.hg, order=self.order, block_size=self.block_size
+        ).blocks()
 
 
 class ChunkStoreSource:

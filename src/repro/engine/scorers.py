@@ -1,7 +1,7 @@
 """Pluggable vertex scorers for the pass kernel.
 
 A scorer turns a vertex's neighbour counts ``X`` and the live partition
-loads into the length-``p`` value vector the kernel argmaxes over.  Two
+loads into the length-``p`` value vector the kernel argmaxes over.  Four
 families cover every partitioner in the repository:
 
 * :class:`HyperPRAWScorer` — the paper's Eq. 1,
@@ -9,6 +9,15 @@ families cover every partitioner in the repository:
   out-of-core streamers and the sharded boundary restream.
 * :class:`FennelScorer` — FENNEL's
   ``|N(v) cap S_i| - alpha gamma |S_i|^{gamma-1}``.
+* :class:`HypeScorer` — HYPE's external-neighbour minimisation,
+  ``X_i - lambda (T - X_i)`` with ``T = sum_j X_j``; balance comes from
+  the kernel's hard cap, matching HYPE's fixed part-size bound.
+* :class:`MinMaxScorer` — the greedy min-max connectivity objective of
+  the limited-memory streamers (arXiv:2103.05394): place where the
+  projected per-part net-connectivity stays smallest.  Pairs with a
+  state whose ``gather`` returns net *presence* counts and that
+  maintains a live ``connectivity`` vector (see
+  ``repro.partitioning.families.MinMaxState``).
 
 Each scorer exposes the same three entry points:
 
@@ -32,7 +41,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["HyperPRAWScorer", "FennelScorer"]
+__all__ = ["HyperPRAWScorer", "FennelScorer", "HypeScorer", "MinMaxScorer"]
 
 
 class HyperPRAWScorer:
@@ -155,3 +164,123 @@ class FennelScorer:
     ) -> None:
         """Finish one block vertex: neighbour-count row minus live penalty."""
         np.subtract(terms, self._penalty(loads), out=out)
+
+
+class HypeScorer:
+    """HYPE's external-neighbour minimisation score (Mayer et al.).
+
+    HYPE grows each part from a fringe, preferring the candidate whose
+    neighbourhood leaks least outside the part.  Against the engine's
+    per-partition neighbour counts ``X`` that objective is
+    ``score_i = X_i - lambda (T - X_i)`` with ``T = sum_j X_j``: the
+    neighbours already inside part ``i`` minus ``lambda`` times the
+    neighbours that would become external.  There is no load term —
+    exactly as in HYPE, parts fill to a hard size bound (the kernel's
+    balance cap) and the expansion then spills into the next part.
+    Pair with :class:`~repro.engine.blocks.FringeExpansionSource` so the
+    visit order is neighbourhood expansion rather than arrival order.
+
+    Parameters
+    ----------
+    expansion_penalty:
+        ``lambda`` >= 0, the weight on external neighbours.  Any
+        positive value keeps the argmax on the densest part while making
+        the *scores* reflect the external-neighbour count (reported by
+        diagnostics and tie-broken by the cap fallback).
+    """
+
+    def __init__(self, expansion_penalty: float = 1.0) -> None:
+        if expansion_penalty < 0:
+            raise ValueError(
+                f"expansion_penalty must be >= 0, got {expansion_penalty}"
+            )
+        self.expansion_penalty = float(expansion_penalty)
+
+    def vertex_values(
+        self, X: "np.ndarray | None", loads: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Write the vertex's length-``p`` expansion scores into ``out``."""
+        if X is None:
+            out[:] = 0.0
+            return
+        lam = self.expansion_penalty
+        np.multiply(X, 1.0 + lam, out=out)
+        out -= lam * float(np.asarray(X).sum())
+
+    def block_terms(self, X: np.ndarray) -> np.ndarray:
+        """Block scores are state-independent: counts dressed per vertex."""
+        X = np.asarray(X, dtype=np.float64)
+        lam = self.expansion_penalty
+        return (1.0 + lam) * X - lam * X.sum(axis=1, keepdims=True)
+
+    def chunk_values(
+        self, terms: np.ndarray, loads: np.ndarray, out: np.ndarray
+    ) -> None:
+        """No live load term — the hard cap is the balance mechanism."""
+        out[:] = terms
+
+
+class MinMaxScorer:
+    """Greedy min-max net-connectivity objective (arXiv:2103.05394).
+
+    The limited-memory streamers of Taşyaran et al. place each vertex
+    where the *maximum* per-part connectivity (distinct nets with a pin
+    in the part) grows least.  Placing ``v`` on part ``i`` raises its
+    connectivity by ``k_v - X_i`` where ``X_i`` counts how many of
+    ``v``'s nets already touch ``i`` — so minimising the projected
+    connectivity is ``argmax_i (X_i - conn_i)`` (``k_v`` is constant
+    across parts).  A small load tie-break steers between
+    connectivity-equal parts; hard balance comes from the kernel cap.
+
+    The scorer must be paired with a state whose ``gather`` returns net
+    *presence* counts (not summed pin counts) and that maintains
+    ``connectivity`` live — ``repro.partitioning.families.MinMaxState``.
+    The arrays are shared by reference, so the scorer always sees the
+    state's current connectivity without a callback protocol.
+
+    Parameters
+    ----------
+    connectivity:
+        live length-``p`` per-part distinct-net counters (mutated by the
+        paired state as placements happen).
+    expected_loads:
+        target load per partition (tie-break normalisation).
+    tie_penalty:
+        weight of the load tie-break; small enough that connectivity
+        always dominates (default ``1e-3``).
+    """
+
+    def __init__(
+        self,
+        connectivity: np.ndarray,
+        expected_loads: np.ndarray,
+        tie_penalty: float = 1e-3,
+    ) -> None:
+        if tie_penalty < 0:
+            raise ValueError(f"tie_penalty must be >= 0, got {tie_penalty}")
+        self._conn = connectivity
+        self._inv_expected = 1.0 / np.asarray(expected_loads, dtype=np.float64)
+        self.tie_penalty = float(tie_penalty)
+
+    def vertex_values(
+        self, X: "np.ndarray | None", loads: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Write the vertex's length-``p`` min-max scores into ``out``."""
+        np.multiply(loads, self._inv_expected, out=out)
+        out *= -self.tie_penalty
+        out -= self._conn
+        if X is not None:
+            out += X
+
+    def block_terms(self, X: np.ndarray) -> np.ndarray:
+        """Presence counts frozen at block start (``m x p``)."""
+        return np.asarray(X, dtype=np.float64)
+
+    def chunk_values(
+        self, terms: np.ndarray, loads: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Finish one block vertex against live connectivity and loads."""
+        np.multiply(loads, self._inv_expected, out=out)
+        out *= -self.tie_penalty
+        out -= self._conn
+        out += terms

@@ -110,6 +110,12 @@ def _resolved_path(value: str) -> str:
     return str(Path(value).expanduser().resolve())
 
 
+def _family_names() -> "tuple[str, ...]":
+    from repro.partitioning.families import family_names
+
+    return family_names()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hyperpraw-repro",
@@ -195,6 +201,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(pip install hyperpraw-repro[fast]), 'python' forces the "
         "bit-for-bit reference loop, 'njit' requires the compiled "
         "kernel and warns on fallback",
+    )
+    stream_group.add_argument(
+        "--partitioner",
+        choices=_family_names(),
+        default=None,
+        help="stream: run only this registered partitioner family on the "
+        "suite --instances or on --stream-input (default: the streaming "
+        "comparison ladder); the choices are the "
+        "repro.partitioning.families registry",
+    )
+    stream_group.add_argument(
+        "--refine",
+        action="store_true",
+        help="stream: polish each result with FM-style boundary "
+        "refinement (PolishedStreamer; works with any family)",
+    )
+    stream_group.add_argument(
+        "--refine-passes",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="maximum refinement propose/apply rounds (--refine)",
     )
     stream_group.add_argument(
         "--pin-budget",
@@ -390,6 +418,8 @@ def _run_stream(ctx: ExperimentContext, args) -> str:
         return _stream_file(ctx, args)
     names = ctx.instances if ctx.instances else [STREAMING_INSTANCE]
     job = ctx.one_job()
+    if args.partitioner:
+        return _stream_family(ctx, args, names, job)
     reports = []
     for name in names:
         hg = load_instance(name, scale=ctx.scale)
@@ -424,6 +454,72 @@ def _run_stream(ctx: ExperimentContext, args) -> str:
             )
             reports.append(sharded.render())
     return "\n\n".join(reports)
+
+
+def _stream_family(ctx: ExperimentContext, args, names, job) -> str:
+    """Run one registered family (``--partitioner``) on suite instances.
+
+    The default-configuration factory from the registry is used, so the
+    printout matches what the invariant matrix and BENCH_FAMILIES pin;
+    ``--refine`` attaches the FM polish exactly as the service's
+    ``refine=1`` knob does.
+    """
+    from repro.core.metrics import evaluate_partition
+    from repro.hypergraph.suite import load_instance
+    from repro.partitioning.families import (
+        PolishedStreamer,
+        RefineConfig,
+        get_family,
+    )
+    from repro.utils.tables import format_kv
+
+    spec = get_family(args.partitioner)
+    label = spec.name + ("+fm" if args.refine else "")
+    sections = []
+    for name in names:
+        hg = load_instance(name, scale=ctx.scale)
+        partitioner = spec.make(hg, args.workers)
+        if args.refine:
+            partitioner = PolishedStreamer(
+                partitioner,
+                refine=RefineConfig(
+                    passes=args.refine_passes, workers=args.workers
+                ),
+            )
+        result = partitioner.partition(
+            hg, ctx.num_parts, cost_matrix=job.cost_matrix, seed=ctx.seed
+        )
+        quality = evaluate_partition(
+            hg, result.assignment, ctx.num_parts, job.cost_matrix
+        )
+        md = result.metadata
+        sections.append(
+            format_kv(
+                {
+                    "vertices": hg.num_vertices,
+                    "hyperedges": hg.num_edges,
+                    "pins": hg.num_pins,
+                    "hyperedge cut": quality.hyperedge_cut,
+                    "pc cost": quality.pc_cost,
+                    "imbalance": round(quality.imbalance, 4),
+                    "wall time [s]": md.get("wall_time_s"),
+                    **(
+                        {
+                            "refined cut": "%s -> %s"
+                            % (
+                                md.get("refine_cut_before"),
+                                md.get("refine_cut_after"),
+                            ),
+                            "refine moves": md.get("refine_moves"),
+                        }
+                        if md.get("refined")
+                        else {}
+                    ),
+                },
+                title=f"{label} — {name} -> {ctx.num_parts} parts",
+            )
+        )
+    return "\n\n".join(sections)
 
 
 def _opener_for(path: Path):
@@ -480,11 +576,33 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
             workers=args.workers,
         )
 
-    # One open serves both partitioners: streams are re-iterable, and a
-    # cached run then hashes/validates the source exactly once.
-    stream, via = _open_input(path, args)
-    with stream:
-        for label, make_partitioner in (
+    if args.partitioner:
+        from repro.partitioning.families import build_partitioner
+
+        fractions = tuple(args.buffer_fractions) or (0.125,)
+        spec = {
+            "partitioner": args.partitioner,
+            "scorer": "eq1",
+            "gamma": 1.5,
+            "kernel": args.kernel,
+            "workers": args.workers,
+            "shard_payload": args.shard_payload,
+            "shard_by": args.shard_by,
+            "buffer_fraction": fractions[0],
+            "buffer_size": None,
+            "max_tracked_edges": args.max_tracked_edges,
+            "max_iterations": ctx.max_iterations,
+            "refine": args.refine,
+            "refine_passes": args.refine_passes,
+        }
+        contenders = [
+            (
+                args.partitioner + ("+fm" if args.refine else ""),
+                lambda stream: build_partitioner(spec, stream.num_vertices),
+            )
+        ]
+    else:
+        contenders = [
             (
                 "stream-onepass",
                 lambda stream: OnePassStreamer(
@@ -496,7 +614,31 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
                 ),
             ),
             ("stream-buffered", buffered),
-        ):
+        ]
+        if args.refine:
+            from repro.partitioning.families import (
+                PolishedStreamer,
+                RefineConfig,
+            )
+
+            contenders = [
+                (
+                    label + "+fm",
+                    lambda stream, make=make: PolishedStreamer(
+                        make(stream),
+                        refine=RefineConfig(
+                            passes=args.refine_passes, workers=args.workers
+                        ),
+                    ),
+                )
+                for label, make in contenders
+            ]
+
+    # One open serves every contender: streams are re-iterable, and a
+    # cached run then hashes/validates the source exactly once.
+    stream, via = _open_input(path, args)
+    with stream:
+        for label, make_partitioner in contenders:
             result = make_partitioner(stream).partition_stream(
                 stream, ctx.num_parts, cost_matrix=job.cost_matrix, seed=ctx.seed
             )
@@ -517,6 +659,18 @@ def _stream_file(ctx: ExperimentContext, args) -> str:
                         "kernel mode": md.get("kernel_mode"),
                         "kernel seconds": md.get("pass_seconds"),
                         "wall time [s]": md.get("wall_time_s"),
+                        **(
+                            {
+                                "refined cut": "%s -> %s"
+                                % (
+                                    md.get("refine_cut_before"),
+                                    md.get("refine_cut_after"),
+                                ),
+                                "refine moves": md.get("refine_moves"),
+                            }
+                            if md.get("refined")
+                            else {}
+                        ),
                     },
                     title=f"{label} — {stream.name} -> {ctx.num_parts} parts",
                 )

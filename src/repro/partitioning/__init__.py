@@ -23,6 +23,15 @@ roster for experiments, even though their native entry point is
 :class:`~repro.cluster.coordinator.DistributedStreamer`, the multi-node
 variant that drives the same sharded protocol over TCP workers
 (docs/cluster.md).
+
+:mod:`~repro.partitioning.families` adds the competitor families that run
+on the same engine — HYPE-style neighbourhood expansion
+(:class:`~repro.partitioning.families.NeighborhoodExpansion`),
+limited-memory min-max streaming
+(:class:`~repro.partitioning.families.MinMaxStreamer`) and the FM-style
+post-streaming polish (:class:`~repro.partitioning.families.PolishedStreamer`)
+— together with :data:`~repro.partitioning.families.PARTITIONERS`, the
+registry the service, CLI and invariant tests all introspect.
 """
 
 from repro.partitioning.multilevel import MultilevelRB
@@ -34,6 +43,18 @@ from repro.partitioning.simple import (
 )
 from repro.streaming import BufferedRestreamer, OnePassStreamer, ShardedStreamer
 from repro.cluster import DistributedStreamer
+from repro.partitioning.families import (
+    PARTITIONERS,
+    FamilySpec,
+    MinMaxStreamer,
+    NeighborhoodExpansion,
+    PolishedStreamer,
+    RefineConfig,
+    build_partitioner,
+    family_names,
+    get_family,
+    refine_partition,
+)
 
 __all__ = [
     "MultilevelRB",
@@ -45,4 +66,14 @@ __all__ = [
     "BufferedRestreamer",
     "ShardedStreamer",
     "DistributedStreamer",
+    "NeighborhoodExpansion",
+    "MinMaxStreamer",
+    "PolishedStreamer",
+    "RefineConfig",
+    "refine_partition",
+    "FamilySpec",
+    "PARTITIONERS",
+    "family_names",
+    "get_family",
+    "build_partitioner",
 ]

@@ -1,0 +1,1351 @@
+"""Competitor partitioner families on the shared engine, plus the registry.
+
+HyperPRAW's claim is that architecture-aware restreaming beats
+architecture-blind streaming — which needs external competitors to beat,
+not just its own ablations.  This module adds the two families ROADMAP
+item 4 names, a quality-polish stage, and the registry that makes any of
+them reachable from the Python API, the ``stream`` CLI and the service
+``partitioner=`` knob with one entry:
+
+* :class:`NeighborhoodExpansion` (``hype``) — HYPE-style neighbourhood
+  expansion (Mayer et al.): visit vertices in fringe-expansion order
+  (:class:`~repro.engine.blocks.FringeExpansionSource`), score with the
+  external-neighbour-minimisation
+  :class:`~repro.engine.scorers.HypeScorer`, and let the kernel's hard
+  balance cap provide HYPE's part-size bound — parts fill neighbourhood
+  by neighbourhood.
+* :class:`MinMaxStreamer` (``minmax``) — the limited-memory min-max
+  streaming family of Taşyaran et al. (arXiv:2103.05394): a greedy
+  min-max net-connectivity objective
+  (:class:`~repro.engine.scorers.MinMaxScorer` over
+  :class:`MinMaxState`, a presence-gathering capped-LRU table), plus a
+  similarity-ordered buffered variant (``buffer_size=``) that reorders
+  each arrival window so vertices sharing nets are placed consecutively.
+  Both run under the same ``max_tracked_edges`` bound as
+  ``OnePassStreamer`` so memory-fairness comparisons are honest.
+* :class:`PolishedStreamer` / :func:`refine_partition` — a
+  post-streaming FM-style boundary refinement (Mt-KaHyPar lineage):
+  propose positive-gain single-vertex moves in parallel over the
+  :mod:`repro.engine.parallel` worker pool against a frozen snapshot,
+  then apply them sequentially (re-validated, balance-capped) — so the
+  result is identical for any worker count, forked or sequential.
+  Attachable to *any* partitioner's output via ``refine=``.
+
+The :data:`PARTITIONERS` registry is the single source of truth for
+"what can the repo run": the service validates ``partitioner=`` against
+it, the OpenAPI enum is generated from it, the ``stream`` CLI offers it,
+and ``tests/test_invariants.py`` introspects it so every registered
+family gets the randomized invariant matrix automatically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import Partitioner
+from repro.core.result import PartitionResult
+from repro.engine import (
+    DenseKernelState,
+    FringeExpansionSource,
+    HypeScorer,
+    InMemorySource,
+    MinMaxScorer,
+    VertexBlock,
+    blocks_of,
+    pass_kernel,
+    run_tasks,
+    segment_gather_index,
+    shard_ranges,
+    shard_ranges_by_pins,
+)
+from repro.hypergraph.model import Hypergraph
+from repro.streaming.reader import DEFAULT_CHUNK_SIZE, HypergraphChunkStream
+from repro.streaming.state import StreamingState, resolve_cost_matrix
+
+__all__ = [
+    "FamilySpec",
+    "PARTITIONERS",
+    "family_names",
+    "get_family",
+    "build_partitioner",
+    "NeighborhoodExpansion",
+    "MinMaxStreamer",
+    "MinMaxState",
+    "RefineConfig",
+    "refine_partition",
+    "refine_blocks",
+    "PolishedStreamer",
+    "materialise_stream",
+]
+
+
+def _parallel_mode(workers: int, num_tasks: int) -> str:
+    """What :func:`repro.engine.parallel.run_tasks` will actually do."""
+    from repro.engine import parallel
+
+    if workers > 1 and num_tasks > 1 and parallel.fork_available():
+        return "forked"
+    return "sequential"
+
+
+def materialise_stream(stream) -> Hypergraph:
+    """Rebuild an in-memory :class:`Hypergraph` from a vertex chunk stream.
+
+    The chunks carry the vertex-major CSR (per-vertex incident-edge
+    lists); the edge-major direction is recovered with one stable sort.
+    This is the adapter that lets an inherently in-memory family (HYPE
+    needs random access for its fringe) serve the same replayed chunk
+    stores as the out-of-core streamers.
+    """
+    degs_parts, edges_parts, weights_parts = [], [], []
+    for chunk in stream:
+        degs_parts.append(np.diff(np.asarray(chunk.vertex_ptr, dtype=np.int64)))
+        edges_parts.append(np.asarray(chunk.vertex_edges, dtype=np.int64).copy())
+        weights_parts.append(
+            np.asarray(chunk.vertex_weights, dtype=np.float64).copy()
+        )
+    degs = (
+        np.concatenate(degs_parts) if degs_parts else np.empty(0, dtype=np.int64)
+    )
+    vertex_edges = (
+        np.concatenate(edges_parts)
+        if edges_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    pins_vertex = np.repeat(
+        np.arange(stream.num_vertices, dtype=np.int64), degs
+    )
+    order = np.argsort(vertex_edges, kind="stable")
+    edge_counts = np.bincount(vertex_edges, minlength=stream.num_edges)
+    edge_ptr = np.zeros(stream.num_edges + 1, dtype=np.int64)
+    np.cumsum(edge_counts, out=edge_ptr[1:])
+    return Hypergraph.from_csr_arrays(
+        stream.num_vertices,
+        edge_ptr,
+        pins_vertex[order],
+        vertex_weights=np.concatenate(weights_parts) if weights_parts else None,
+        edge_weights=stream.edge_weights,
+        name=getattr(stream, "name", "stream"),
+    )
+
+
+# ----------------------------------------------------------------------
+# (i) HYPE-style neighbourhood expansion
+# ----------------------------------------------------------------------
+class NeighborhoodExpansion(Partitioner):
+    """HYPE-style greedy neighbourhood-expansion partitioner.
+
+    Visits vertices in fringe-expansion order and places each at the
+    argmax of the external-neighbour-minimisation score under a hard
+    balance cap: with no load term in the score, a part absorbs its seed
+    vertex's whole neighbourhood until the cap forbids it, and the
+    expansion spills into the next part — HYPE's grow-one-part-at-a-time
+    behaviour expressed through the shared engine kernel.
+
+    Parameters
+    ----------
+    balance_slack:
+        hard cap on any part's load as a multiple of the balanced share
+        (HYPE's part-size bound; must be > 1).
+    expansion_penalty:
+        weight on external neighbours in the score (``lambda`` of
+        :class:`~repro.engine.scorers.HypeScorer`).
+    chunk_size:
+        vertices per kernel block (chunk-mode granularity).
+    max_expand_net:
+        hub-net guard for the fringe order (see
+        :func:`~repro.engine.blocks.expansion_order`).
+    max_tracked_edges:
+        ``None`` (default) runs against the exact dense table; an
+        integer swaps in the same capped-LRU
+        :class:`~repro.streaming.state.StreamingState` the out-of-core
+        streamers use — the fringe order is exactly the access pattern
+        that stresses its eviction policy differently from sequential
+        arrival.
+    score_mode / kernel:
+        kernel scoring mode and implementation, as in the streamers.
+    workers:
+        > 1 splits the expansion order into pin-balanced contiguous
+        slices placed by forked workers on independent states (same
+        merge semantics as phase-1 sharded streaming: disjoint vertex
+        ranges, summed loads, per-shard caps that add up to the global
+        cap).
+    """
+
+    name = "hype"
+
+    def __init__(
+        self,
+        *,
+        balance_slack: float = 1.05,
+        expansion_penalty: float = 1.0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_expand_net: "int | None" = 256,
+        max_tracked_edges: "int | None" = None,
+        score_mode: str = "vertex",
+        kernel: str = "auto",
+        workers: int = 1,
+    ) -> None:
+        if balance_slack <= 1.0:
+            raise ValueError(f"balance_slack must be > 1, got {balance_slack}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if score_mode not in ("vertex", "chunk"):
+            raise ValueError(
+                f"score_mode must be 'vertex' or 'chunk', got {score_mode!r}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if kernel not in ("auto", "python", "njit"):
+            raise ValueError(
+                f"kernel must be 'auto', 'python' or 'njit', got {kernel!r}"
+            )
+        self.balance_slack = float(balance_slack)
+        self.expansion_penalty = float(expansion_penalty)
+        self.chunk_size = int(chunk_size)
+        self.max_expand_net = max_expand_net
+        self.max_tracked_edges = max_tracked_edges
+        self.score_mode = score_mode
+        self.kernel = kernel
+        self.workers = int(workers)
+
+    # ------------------------------------------------------------------
+    def _make_state(self, num_parts: int, num_edges: int, shard_weight: float):
+        if self.max_tracked_edges is None:
+            return DenseKernelState.empty(num_edges, num_parts)
+        return StreamingState(
+            num_parts,
+            expected_loads=np.full(
+                num_parts, max(shard_weight, 1e-12) / num_parts
+            ),
+            max_tracked_edges=self.max_tracked_edges,
+        )
+
+    def partition(
+        self,
+        hg: Hypergraph,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        """Grow ``num_parts`` parts over ``hg`` by neighbourhood expansion."""
+        del seed  # fully deterministic: order and score are seed-free
+        self._check_args(hg, num_parts)
+        t_start = time.perf_counter()
+        p = num_parts
+        # The score never reads C — HYPE is architecture-blind; resolve
+        # only to validate the argument.
+        resolve_cost_matrix(cost_matrix, p)
+        source = FringeExpansionSource(
+            hg, block_size=self.chunk_size, max_expand_net=self.max_expand_net
+        )
+        order = source.order
+        total_weight = hg.total_vertex_weight()
+        assignment = np.full(hg.num_vertices, -1, dtype=np.int64)
+        scorer = HypeScorer(self.expansion_penalty)
+
+        degs = np.diff(hg.vertex_ptr)
+        # one "chunk" per kernel block of the expansion order, so worker
+        # cuts land on block boundaries (pin-balanced, contiguous).
+        block_pins = [
+            int(degs[order[s : s + self.chunk_size]].sum())
+            for s in range(0, order.size, self.chunk_size)
+        ]
+        ranges = shard_ranges_by_pins(block_pins, self.workers)
+        bounds = [
+            (lo * self.chunk_size, min(hi * self.chunk_size, order.size))
+            for lo, hi in ranges
+        ]
+
+        def make_task(a: int, b: int):
+            part_order = order[a:b]
+
+            def task():
+                shard_weight = float(hg.vertex_weights[part_order].sum())
+                state = self._make_state(p, hg.num_edges, shard_weight)
+                local = np.full(hg.num_vertices, -1, dtype=np.int64)
+                cap = self.balance_slack * shard_weight / p
+                kernel_mode = pass_kernel(
+                    InMemorySource(
+                        hg, order=part_order, block_size=self.chunk_size
+                    ).blocks(),
+                    state,
+                    scorer,
+                    local,
+                    restream=False,
+                    score_mode=self.score_mode,
+                    cap=cap,
+                    kernel=self.kernel,
+                )
+                return (
+                    local[part_order],
+                    state.loads.copy(),
+                    kernel_mode,
+                    getattr(state, "peak_tracked_edges", None),
+                    getattr(state, "evictions", None),
+                )
+
+            return task
+
+        tasks = [make_task(a, b) for a, b in bounds]
+        parallel_mode = _parallel_mode(self.workers, len(tasks))
+        results = run_tasks(tasks, self.workers)
+        loads = np.zeros(p, dtype=np.float64)
+        for (a, b), (parts, shard_loads, _, _, _) in zip(bounds, results):
+            assignment[order[a:b]] = parts
+            loads += shard_loads
+        peaks = [r[3] for r in results if r[3] is not None]
+        evictions = [r[4] for r in results if r[4] is not None]
+        mean = loads.sum() / p
+        return PartitionResult(
+            assignment=assignment,
+            num_parts=p,
+            algorithm=self.name,
+            metadata={
+                "single_pass": True,
+                "expansion_penalty": self.expansion_penalty,
+                "balance_slack": self.balance_slack,
+                "max_expand_net": self.max_expand_net,
+                "score_mode": self.score_mode,
+                "kernel_mode": results[0][2],
+                "workers": self.workers,
+                "parallel_mode": parallel_mode,
+                "max_tracked_edges": self.max_tracked_edges,
+                "peak_tracked_edges": max(peaks) if peaks else None,
+                "evictions": int(sum(evictions)) if evictions else None,
+                "architecture_aware": False,
+                "imbalance": float(loads.max() / mean) if mean else 1.0,
+                "total_weight": total_weight,
+                "wall_time_s": time.perf_counter() - t_start,
+            },
+        )
+
+    def partition_stream(
+        self,
+        stream,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        """Serve a chunk stream by materialising it first.
+
+        HYPE needs random access for its fringe; replayed chunk stores
+        are rebuilt into an in-memory hypergraph (one pass, vectorised)
+        and partitioned there.  ``peak_resident_pins`` consequently
+        reports the full pin count — the honest number for a family that
+        is not out-of-core.
+        """
+        hg = materialise_stream(stream)
+        result = self.partition(
+            hg, num_parts, cost_matrix=cost_matrix, seed=seed
+        )
+        result.metadata["materialised_stream"] = True
+        result.metadata["peak_resident_pins"] = int(hg.num_pins)
+        return result
+
+
+# ----------------------------------------------------------------------
+# (ii) limited-memory min-max streaming
+# ----------------------------------------------------------------------
+class MinMaxState(StreamingState):
+    """Capped-LRU presence table with a live per-part connectivity counter.
+
+    Two deltas against the base table, both serving the min-max
+    objective:
+
+    * :meth:`gather`/:meth:`gather_block` return net **presence** counts
+      — how many of the vertex's incident nets already have a pin in
+      each part — instead of summed pin counts;
+    * ``connectivity[i]`` tracks the number of *tracked* (net, part)
+      incidences, the per-part connectivity load the objective caps.
+
+    Under LRU eviction both keep the table's documented lower-bound
+    semantics: an evicted net's incidences leave the counter, exactly as
+    its counts leave the table.
+    """
+
+    def __init__(
+        self,
+        num_parts: int,
+        *,
+        expected_loads: np.ndarray,
+        max_tracked_edges: "int | None" = None,
+    ) -> None:
+        super().__init__(
+            num_parts,
+            expected_loads=expected_loads,
+            max_tracked_edges=max_tracked_edges,
+        )
+        self.connectivity = np.zeros(num_parts, dtype=np.int64)
+
+    def _acquire(self, edge: int) -> int:
+        slots = self._slots
+        if (
+            edge not in slots
+            and self.max_tracked_edges is not None
+            and len(slots) >= self.max_tracked_edges
+        ):
+            # the base class is about to zero the LRU row — retire its
+            # tracked incidences from the connectivity counter first
+            lru_slot = next(iter(slots.values()))
+            self.connectivity -= self._table[lru_slot] > 0
+        return super()._acquire(edge)
+
+    def place(self, edges: np.ndarray, part: int, weight: float) -> None:
+        for e in edges.tolist():
+            slot = self._acquire(e)
+            if self._table[slot, part] == 0:
+                self.connectivity[part] += 1
+            self._table[slot, part] += 1
+        self.loads[part] += weight
+
+    def remove(self, edges: np.ndarray, part: int, weight: float) -> None:
+        slots = self._slots
+        table = self._table
+        for e in edges.tolist():
+            slot = slots.get(e)
+            if slot is not None and table[slot, part] > 0:
+                slots.move_to_end(e)
+                table[slot, part] -= 1
+                if table[slot, part] == 0:
+                    self.connectivity[part] -= 1
+        self.loads[part] -= weight
+
+    def gather(self, edges: np.ndarray) -> np.ndarray:
+        X = np.zeros(self.num_parts, dtype=np.int64)
+        slots = self._slots
+        table = self._table
+        for e in edges.tolist():
+            slot = slots.get(e)
+            if slot is not None:
+                slots.move_to_end(e)
+                X += table[slot] > 0
+        return X
+
+    def gather_block(
+        self, rows_all: np.ndarray, vertex_ptr: np.ndarray
+    ) -> np.ndarray:
+        m = vertex_ptr.size - 1
+        p = self.num_parts
+        X = np.zeros((m, p), dtype=np.int64)
+        if rows_all.size == 0:
+            return X
+        uniq, inverse = np.unique(rows_all, return_inverse=True)
+        slots = self._slots
+        slot_arr = np.empty(uniq.size, dtype=np.int64)
+        for k, e in enumerate(uniq.tolist()):
+            slot = slots.get(e)
+            if slot is None:
+                slot_arr[k] = -1
+            else:
+                slots.move_to_end(e)
+                slot_arr[k] = slot
+        presence_uniq = np.zeros((uniq.size, p), dtype=np.int64)
+        tracked = slot_arr >= 0
+        presence_uniq[tracked] = self._table[slot_arr[tracked]] > 0
+        seg = presence_uniq[inverse]
+        degs = np.diff(vertex_ptr)
+        nonzero = degs > 0
+        if nonzero.any():
+            X[nonzero] = np.add.reduceat(seg, vertex_ptr[:-1][nonzero], axis=0)
+        return X
+
+    def _recount(self) -> None:
+        n = len(self._slots)
+        if n == 0:
+            self.connectivity[:] = 0
+            return
+        slots = np.fromiter(self._slots.values(), dtype=np.int64, count=n)
+        self.connectivity[:] = (self._table[slots] > 0).sum(axis=0)
+
+    def seed_table(self, edges: np.ndarray, counts: np.ndarray) -> None:
+        super().seed_table(edges, counts)
+        self._recount()
+
+    def set_rows(self, edges: np.ndarray, counts: np.ndarray) -> None:
+        super().set_rows(edges, counts)
+        self._recount()
+
+
+class MinMaxStreamer(Partitioner):
+    """Limited-memory min-max streaming partitioner (Taşyaran et al.).
+
+    Single-pass placement at the argmax of the greedy min-max
+    connectivity score, against :class:`MinMaxState` under the same
+    ``max_tracked_edges`` capped-LRU bound as ``OnePassStreamer``.
+
+    Parameters
+    ----------
+    chunk_size:
+        vertices per arriving chunk when adapting an in-memory
+        hypergraph.
+    balance_slack:
+        hard balance cap multiple (> 1).
+    tie_penalty:
+        load tie-break weight of the scorer.
+    max_tracked_edges:
+        presence-table cap (``None`` = unbounded / exact).
+    buffer_size:
+        ``None`` (default) places strictly in arrival order.  An integer
+        enables the **similarity-ordered buffered variant**: vertices
+        accumulate into windows of at least this many, and each window
+        is reordered so vertices sharing their lowest incident net are
+        placed consecutively (the cheap deterministic proxy for
+        arXiv:2103.05394's similarity-based reordering) before the
+        normal kernel pass places the window.
+    score_mode / kernel:
+        kernel scoring mode and implementation, as in the streamers.
+    workers:
+        > 1 splits the chunk stream into pin-balanced contiguous ranges
+        streamed by forked workers on independent states (phase-1
+        sharding: disjoint vertex ranges, summed loads, per-shard caps).
+    """
+
+    name = "stream-minmax"
+
+    def __init__(
+        self,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        balance_slack: float = 1.1,
+        tie_penalty: float = 1e-3,
+        max_tracked_edges: "int | None" = None,
+        buffer_size: "int | None" = None,
+        score_mode: str = "vertex",
+        kernel: str = "auto",
+        workers: int = 1,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if balance_slack <= 1.0:
+            raise ValueError(f"balance_slack must be > 1, got {balance_slack}")
+        if buffer_size is not None and buffer_size < 1:
+            raise ValueError(
+                f"buffer_size must be >= 1 or None, got {buffer_size}"
+            )
+        if score_mode not in ("vertex", "chunk"):
+            raise ValueError(
+                f"score_mode must be 'vertex' or 'chunk', got {score_mode!r}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if kernel not in ("auto", "python", "njit"):
+            raise ValueError(
+                f"kernel must be 'auto', 'python' or 'njit', got {kernel!r}"
+            )
+        self.chunk_size = int(chunk_size)
+        self.balance_slack = float(balance_slack)
+        self.tie_penalty = float(tie_penalty)
+        self.max_tracked_edges = max_tracked_edges
+        self.buffer_size = buffer_size
+        self.score_mode = score_mode
+        self.kernel = kernel
+        self.workers = int(workers)
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        hg: Hypergraph,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        """Stream an in-memory hypergraph chunk by chunk (adapter path)."""
+        self._check_args(hg, num_parts)
+        stream = HypergraphChunkStream(hg, self.chunk_size)
+        return self.partition_stream(
+            stream, num_parts, cost_matrix=cost_matrix, seed=seed
+        )
+
+    def partition_stream(
+        self,
+        stream,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        """Place every vertex of ``stream`` in a single min-max pass."""
+        del seed  # deterministic: the min-max greedy has no randomness
+        if num_parts < 1:
+            raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+        if num_parts > stream.num_vertices:
+            raise ValueError(
+                f"cannot split {stream.num_vertices} vertices into {num_parts} parts"
+            )
+        t_start = time.perf_counter()
+        p = num_parts
+        C, aware = resolve_cost_matrix(cost_matrix, p)
+        assignment = np.full(stream.num_vertices, -1, dtype=np.int64)
+
+        del aware  # min-max is architecture-blind; C only feeds monitoring
+        if self.workers > 1:
+            return self._partition_sharded(stream, p, t_start)
+
+        state, stats = self._run_shard(
+            iter(stream),
+            p,
+            assignment,
+            shard_weight=stream.total_vertex_weight,
+        )
+        return PartitionResult(
+            assignment=assignment,
+            num_parts=p,
+            algorithm=self.name,
+            metadata={
+                "single_pass": True,
+                "objective": "minmax-connectivity",
+                "score_mode": self.score_mode,
+                "kernel_mode": stats["kernel_mode"],
+                "pass_seconds": stats["pass_seconds"],
+                "balance_slack": self.balance_slack,
+                "buffer_size": self.buffer_size,
+                "similarity_ordered": self.buffer_size is not None,
+                "max_tracked_edges": self.max_tracked_edges,
+                "peak_tracked_edges": state.peak_tracked_edges,
+                "evictions": state.evictions,
+                "max_connectivity": int(state.connectivity.max()),
+                "monitored_pc_cost": state.pc_cost(
+                    C, edge_weights=stream.edge_weights
+                ),
+                "peak_resident_pins": stream.peak_resident_pins,
+                "architecture_aware": False,
+                "imbalance": state.imbalance(),
+                "workers": 1,
+                "wall_time_s": time.perf_counter() - t_start,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _run_shard(
+        self,
+        chunks,
+        num_parts: int,
+        assignment: np.ndarray,
+        *,
+        shard_weight: float,
+    ) -> "tuple[MinMaxState, dict]":
+        p = num_parts
+        state = MinMaxState(
+            p,
+            expected_loads=np.full(p, max(shard_weight, 1e-12) / p),
+            max_tracked_edges=self.max_tracked_edges,
+        )
+        scorer = MinMaxScorer(
+            state.connectivity, state.expected_loads, self.tie_penalty
+        )
+        cap = self.balance_slack * shard_weight / p
+        t_pass = time.perf_counter()
+        kernel_mode = pass_kernel(
+            self._blocks(chunks),
+            state,
+            scorer,
+            assignment,
+            restream=False,
+            score_mode=self.score_mode,
+            cap=cap,
+            kernel=self.kernel,
+        )
+        return state, {
+            "kernel_mode": kernel_mode,
+            "pass_seconds": time.perf_counter() - t_pass,
+        }
+
+    def _blocks(self, chunks):
+        if self.buffer_size is None:
+            return blocks_of(chunks)
+        return self._similarity_blocks(chunks)
+
+    def _similarity_blocks(self, chunks):
+        """Window the arrivals and reorder each window by net similarity.
+
+        Vertices are grouped by their lowest incident net id (stable,
+        deterministic): vertices sharing that net become consecutive, so
+        the presence rows they score against are the rows the previous
+        placement just updated — the locality the buffered variants of
+        arXiv:2103.05394 engineer with their similarity orders.
+        """
+        ids_parts: "list[np.ndarray]" = []
+        degs_parts: "list[np.ndarray]" = []
+        edges_parts: "list[np.ndarray]" = []
+        weights_parts: "list[np.ndarray]" = []
+        held = 0
+
+        def flush():
+            nonlocal held, ids_parts, degs_parts, edges_parts, weights_parts
+            ids = np.concatenate(ids_parts)
+            degs = np.concatenate(degs_parts)
+            edges = np.concatenate(edges_parts)
+            weights = np.concatenate(weights_parts)
+            ptr = np.zeros(ids.size + 1, dtype=np.int64)
+            np.cumsum(degs, out=ptr[1:])
+            key = np.full(ids.size, np.iinfo(np.int64).max, dtype=np.int64)
+            nonzero = degs > 0
+            if nonzero.any():
+                key[nonzero] = np.minimum.reduceat(edges, ptr[:-1][nonzero])
+            order = np.lexsort((ids, key))
+            new_degs = degs[order]
+            new_ptr = np.zeros(ids.size + 1, dtype=np.int64)
+            np.cumsum(new_degs, out=new_ptr[1:])
+            block = VertexBlock(
+                ids=ids[order],
+                vertex_ptr=new_ptr,
+                vertex_edges=edges[segment_gather_index(ptr[:-1][order], new_degs)],
+                vertex_weights=weights[order],
+            )
+            ids_parts, degs_parts, edges_parts, weights_parts = [], [], [], []
+            held = 0
+            return block
+
+        for chunk in chunks:
+            ids_parts.append(
+                np.arange(chunk.start, chunk.stop, dtype=np.int64)
+            )
+            degs_parts.append(
+                np.diff(np.asarray(chunk.vertex_ptr, dtype=np.int64))
+            )
+            edges_parts.append(np.asarray(chunk.vertex_edges, dtype=np.int64))
+            weights_parts.append(
+                np.asarray(chunk.vertex_weights, dtype=np.float64)
+            )
+            held += int(chunk.stop - chunk.start)
+            if held >= self.buffer_size:
+                yield flush()
+        if held:
+            yield flush()
+
+    # ------------------------------------------------------------------
+    def _partition_sharded(self, stream, p, t_start):
+        """Phase-1 sharding: disjoint chunk ranges on independent states."""
+        chunk_pins = stream.chunk_pins()
+        if chunk_pins is None or len(chunk_pins) != stream.num_chunks:
+            ranges = shard_ranges(stream.num_chunks, self.workers)
+        else:
+            ranges = shard_ranges_by_pins(chunk_pins, self.workers)
+        vertex_bounds = [
+            (stream.chunk_bounds(lo)[0], stream.chunk_bounds(hi - 1)[1])
+            for lo, hi in ranges
+        ]
+        vertex_weights = stream.vertex_weights
+        shard_weights = [
+            float(vertex_weights[a:b].sum()) for a, b in vertex_bounds
+        ]
+
+        def make_task(k: int):
+            lo, hi = ranges[k]
+
+            def task():
+                local = np.full(stream.num_vertices, -1, dtype=np.int64)
+                state, stats = self._run_shard(
+                    stream.iter_range(lo, hi),
+                    p,
+                    local,
+                    shard_weight=shard_weights[k],
+                )
+                a, b = vertex_bounds[k]
+                return (
+                    local[a:b],
+                    state.loads.copy(),
+                    state.peak_tracked_edges,
+                    state.evictions,
+                    int(state.connectivity.max()),
+                    stats,
+                )
+
+            return task
+
+        tasks = [make_task(k) for k in range(len(ranges))]
+        parallel_mode = _parallel_mode(self.workers, len(tasks))
+        results = run_tasks(tasks, self.workers)
+        assignment = np.full(stream.num_vertices, -1, dtype=np.int64)
+        loads = np.zeros(p, dtype=np.float64)
+        for (a, b), res in zip(vertex_bounds, results):
+            assignment[a:b] = res[0]
+            loads += res[1]
+        mean = loads.sum() / p
+        return PartitionResult(
+            assignment=assignment,
+            num_parts=p,
+            algorithm=self.name,
+            metadata={
+                "single_pass": True,
+                "objective": "minmax-connectivity",
+                "score_mode": self.score_mode,
+                "kernel_mode": results[0][5]["kernel_mode"],
+                "pass_seconds": sum(r[5]["pass_seconds"] for r in results),
+                "balance_slack": self.balance_slack,
+                "buffer_size": self.buffer_size,
+                "similarity_ordered": self.buffer_size is not None,
+                "max_tracked_edges": self.max_tracked_edges,
+                "peak_tracked_edges": max(r[2] for r in results),
+                "evictions": int(sum(r[3] for r in results)),
+                "max_connectivity": max(r[4] for r in results),
+                "monitored_pc_cost": None,
+                "peak_resident_pins": stream.peak_resident_pins,
+                "architecture_aware": False,
+                "imbalance": float(loads.max() / mean) if mean else 1.0,
+                "workers": self.workers,
+                "parallel_mode": parallel_mode,
+                "wall_time_s": time.perf_counter() - t_start,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# (iii) FM-style boundary refinement polish
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RefineConfig:
+    """Knobs of the post-streaming boundary polish.
+
+    Attributes
+    ----------
+    passes:
+        maximum propose/apply rounds (a round applying zero moves stops
+        early).
+    balance_slack:
+        hard cap multiple a move may not push its target part over
+        (moves out of an *overloaded* part are additionally allowed when
+        they strictly reduce the overload).
+    workers:
+        size of the :func:`repro.engine.parallel.run_tasks` pool the
+        propose phase fans out over.  Results are identical for every
+        worker count: proposals are computed against a frozen snapshot
+        and applied sequentially in a deterministic order.
+    min_gain:
+        strict gain threshold a proposal must exceed (in weighted-cut
+        units).
+    """
+
+    passes: int = 4
+    balance_slack: float = 1.1
+    workers: int = 1
+    min_gain: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.passes < 1:
+            raise ValueError(f"passes must be >= 1, got {self.passes}")
+        if self.balance_slack <= 1.0:
+            raise ValueError(
+                f"balance_slack must be > 1, got {self.balance_slack}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.min_gain < 0:
+            raise ValueError(f"min_gain must be >= 0, got {self.min_gain}")
+
+
+def _weighted_cut(counts: np.ndarray, edge_weights) -> float:
+    """Weighted hyperedge cut from the dense per-edge count rows."""
+    cut = (counts > 0).sum(axis=1) >= 2
+    if edge_weights is None:
+        return float(cut.sum())
+    return float(edge_weights[cut].sum())
+
+
+def _propose_moves(blocks, counts, assignment, edge_weights, cut_flags, min_gain):
+    """Scan a shard of blocks against frozen counts; return candidates.
+
+    A vertex is a candidate only if one of its nets is currently cut
+    (``cut_flags``); for those, the exact weighted-cut delta of moving
+    it to each other part is computed vectorised, and the best strictly
+    positive move is proposed as ``(gain, v, src, dst, w_v, edges)``.
+    """
+    moves = []
+    for block in blocks:
+        for i in range(block.num_vertices):
+            edges = block.edges_of(i)
+            if edges.size == 0 or not cut_flags[edges].any():
+                continue
+            v = int(block.ids[i])
+            a = int(assignment[v])
+            rows = counts[edges]
+            nnz = np.count_nonzero(rows, axis=1)
+            own = rows[:, a]
+            # cut state after moving v from a to each candidate target
+            nnz_after = nnz[:, None] - (own == 1)[:, None] + (rows == 0)
+            diff = (nnz >= 2)[:, None].astype(np.float64) - (nnz_after >= 2)
+            if edge_weights is None:
+                gains = diff.sum(axis=0)
+            else:
+                gains = (diff * edge_weights[edges][:, None]).sum(axis=0)
+            gains[a] = -np.inf
+            b = int(np.argmax(gains))
+            gain = float(gains[b])
+            if gain > min_gain:
+                moves.append(
+                    (gain, v, a, b, float(block.vertex_weights[i]), edges)
+                )
+    return moves
+
+
+def _apply_moves(moves, counts, assignment, loads, edge_weights, cap, min_gain):
+    """Apply proposals best-gain first, re-validated against live state."""
+    applied = 0
+    for gain0, v, a, b, w_v, edges in sorted(
+        moves, key=lambda m: (-m[0], m[1])
+    ):
+        if int(assignment[v]) != a:  # defensive: one proposal per vertex
+            continue
+        rows = counts[edges]
+        nnz = np.count_nonzero(rows, axis=1)
+        own = rows[:, a]
+        nnz_after = nnz - (own == 1) + (rows[:, b] == 0)
+        diff = ((nnz >= 2).astype(np.float64) - (nnz_after >= 2)).astype(
+            np.float64
+        )
+        if edge_weights is None:
+            gain = float(diff.sum())
+        else:
+            gain = float((diff * edge_weights[edges]).sum())
+        if gain <= min_gain:
+            continue
+        if loads[b] + w_v > cap and not (
+            loads[a] > cap and loads[b] + w_v < loads[a]
+        ):
+            continue
+        counts[edges, a] -= 1
+        counts[edges, b] += 1
+        loads[a] -= w_v
+        loads[b] += w_v
+        assignment[v] = b
+        applied += 1
+    return applied
+
+
+def refine_blocks(
+    blocks,
+    assignment: np.ndarray,
+    num_parts: int,
+    *,
+    num_edges: int,
+    edge_weights: "np.ndarray | None" = None,
+    refine: "RefineConfig | None" = None,
+) -> "tuple[np.ndarray, dict]":
+    """FM-style boundary refinement over a list of vertex blocks.
+
+    Each pass proposes positive-gain single-vertex moves in parallel
+    against a frozen snapshot of the dense per-edge counts (forked
+    workers see a copy-on-write snapshot; the sequential fallback sees
+    the same unmutated arrays), then applies them sequentially in
+    best-gain order, re-validating every move against the live counts
+    and the balance cap.  The propose/apply split is what makes the
+    result independent of the worker count.
+
+    ``assignment`` is mutated in place and also returned, together with
+    a stats dict (``cut_before``/``cut_after`` in weighted-cut units).
+    """
+    refine = refine or RefineConfig()
+    blocks = list(blocks)
+    counts = np.zeros((num_edges, num_parts), dtype=np.int64)
+    flat = counts.reshape(-1)
+    loads = np.zeros(num_parts, dtype=np.float64)
+    for block in blocks:
+        parts = assignment[block.ids]
+        degs = np.diff(block.vertex_ptr)
+        keys = block.vertex_edges * num_parts + np.repeat(parts, degs)
+        uniq, cnt = np.unique(keys, return_counts=True)
+        flat[uniq] += cnt
+        loads += np.bincount(
+            parts, weights=block.vertex_weights, minlength=num_parts
+        )
+    total = float(loads.sum())
+    cap = refine.balance_slack * total / num_parts
+    cut_before = _weighted_cut(counts, edge_weights)
+
+    block_pins = [b.num_pins for b in blocks]
+    ranges = (
+        shard_ranges_by_pins(block_pins, refine.workers) if blocks else []
+    )
+    t_start = time.perf_counter()
+    parallel_mode = _parallel_mode(refine.workers, len(ranges))
+    total_moves = 0
+    passes_run = 0
+    for _ in range(refine.passes):
+        passes_run += 1
+        cut_flags = (counts > 0).sum(axis=1) >= 2
+        tasks = [
+            (
+                lambda lo=lo, hi=hi: _propose_moves(
+                    blocks[lo:hi],
+                    counts,
+                    assignment,
+                    edge_weights,
+                    cut_flags,
+                    refine.min_gain,
+                )
+            )
+            for lo, hi in ranges
+        ]
+        proposals = run_tasks(tasks, refine.workers)
+        moves = [m for sub in proposals for m in sub]
+        applied = _apply_moves(
+            moves, counts, assignment, loads, edge_weights, cap, refine.min_gain
+        )
+        total_moves += applied
+        if applied == 0:
+            break
+    mean = loads.sum() / num_parts
+    stats = {
+        "refine_passes": passes_run,
+        "refine_moves": total_moves,
+        "refine_cut_before": cut_before,
+        "refine_cut_after": _weighted_cut(counts, edge_weights),
+        "refine_seconds": time.perf_counter() - t_start,
+        "refine_workers": refine.workers,
+        "refine_parallel_mode": parallel_mode,
+        "imbalance": float(loads.max() / mean) if mean else 1.0,
+    }
+    return assignment, stats
+
+
+def refine_partition(
+    hg: Hypergraph,
+    assignment: np.ndarray,
+    num_parts: int,
+    *,
+    refine: "RefineConfig | None" = None,
+) -> "tuple[np.ndarray, dict]":
+    """Polish an in-memory partition with FM-style boundary moves.
+
+    Returns a *new* assignment array (the input is not mutated) and the
+    refinement stats of :func:`refine_blocks`.
+    """
+    refined = np.array(assignment, dtype=np.int64, copy=True)
+    blocks = InMemorySource(hg, block_size=512).blocks()
+    return refine_blocks(
+        blocks,
+        refined,
+        num_parts,
+        num_edges=hg.num_edges,
+        edge_weights=hg.edge_weights,
+        refine=refine,
+    )
+
+
+def _snapshot_block(block: VertexBlock) -> VertexBlock:
+    """Deep-copy a block (stream chunks may reuse or unmap buffers)."""
+    return VertexBlock(
+        ids=np.array(block.ids, dtype=np.int64, copy=True),
+        vertex_ptr=np.array(block.vertex_ptr, dtype=np.int64, copy=True),
+        vertex_edges=np.array(block.vertex_edges, dtype=np.int64, copy=True),
+        vertex_weights=np.array(
+            block.vertex_weights, dtype=np.float64, copy=True
+        ),
+    )
+
+
+class PolishedStreamer(Partitioner):
+    """Attach the FM-style boundary polish to any partitioner via ``refine=``.
+
+    Runs the wrapped partitioner, then refines its assignment
+    (:func:`refine_blocks`) and reports the polish under ``refine_*``
+    metadata keys.  Works on both faces: ``partition`` polishes against
+    the in-memory hypergraph, ``partition_stream`` re-replays the
+    (re-iterable) chunk stream to build the polish's block list — the
+    polish is a shared-memory stage (dense ``E x p`` counts), which is
+    the Mt-KaHyPar-lineage trade: memory for quality, after the bounded
+    streaming pass has done the placement.
+    """
+
+    def __init__(
+        self, base: Partitioner, *, refine: "RefineConfig | None" = None
+    ) -> None:
+        if not hasattr(base, "partition"):
+            raise TypeError(f"base must be a Partitioner, got {type(base)!r}")
+        self.base = base
+        self.refine = refine or RefineConfig()
+        self.name = f"{base.name}+fm"
+
+    def partition(
+        self,
+        hg: Hypergraph,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        result = self.base.partition(
+            hg, num_parts, cost_matrix=cost_matrix, seed=seed
+        )
+        refined, stats = refine_partition(
+            hg, result.assignment, num_parts, refine=self.refine
+        )
+        return self._wrap(result, refined, num_parts, stats)
+
+    def partition_stream(
+        self,
+        stream,
+        num_parts: int,
+        *,
+        cost_matrix: "np.ndarray | None" = None,
+        seed=None,
+    ) -> PartitionResult:
+        result = self.base.partition_stream(
+            stream, num_parts, cost_matrix=cost_matrix, seed=seed
+        )
+        blocks = [_snapshot_block(b) for b in blocks_of(stream)]
+        refined = np.array(result.assignment, dtype=np.int64, copy=True)
+        refined, stats = refine_blocks(
+            blocks,
+            refined,
+            num_parts,
+            num_edges=stream.num_edges,
+            edge_weights=stream.edge_weights,
+            refine=self.refine,
+        )
+        return self._wrap(result, refined, num_parts, stats)
+
+    def _wrap(self, result, refined, num_parts, stats) -> PartitionResult:
+        return PartitionResult(
+            assignment=refined,
+            num_parts=num_parts,
+            algorithm=self.name,
+            iterations=result.iterations,
+            metadata={**result.metadata, "refined": True, **stats},
+        )
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FamilySpec:
+    """One registered partitioner family.
+
+    Attributes
+    ----------
+    name:
+        registry key — the ``partitioner=`` value the service accepts
+        and the OpenAPI enum advertises.
+    summary:
+        one-line description (docs, CLI help).
+    build:
+        ``(spec, num_vertices) -> Partitioner`` — instantiate from a
+        validated service request spec (see
+        ``repro.service.handlers._partition_spec``).
+    make:
+        ``(hg, workers) -> Partitioner`` — the default-configuration
+        factory the invariant matrix and benches use (``hg`` sizes
+        windows; ``workers`` exercises the family's parallel path).
+    imbalance_bound:
+        hard bound on ``max/mean`` load the invariant matrix asserts at
+        ``workers=1``.
+    sharded_imbalance_bound:
+        the (possibly looser) bound asserted at ``workers > 1``.
+    """
+
+    name: str
+    summary: str
+    build: Callable
+    make: Callable
+    imbalance_bound: float
+    sharded_imbalance_bound: float
+
+    def bound(self, workers: int) -> float:
+        return (
+            self.imbalance_bound
+            if workers <= 1
+            else self.sharded_imbalance_bound
+        )
+
+
+def _invariant_config():
+    from repro.core.config import HyperPRAWConfig
+
+    return HyperPRAWConfig(record_history=False, max_iterations=40)
+
+
+def _build_onepass(spec: dict, num_vertices: int):
+    from repro.streaming.onepass import OnePassStreamer
+
+    return OnePassStreamer(
+        scorer=spec["scorer"],
+        gamma=spec["gamma"],
+        kernel=spec["kernel"],
+        workers=spec["workers"],
+        shard_payload=spec["shard_payload"],
+        shard_by=spec["shard_by"],
+        max_tracked_edges=spec["max_tracked_edges"],
+    )
+
+
+def _build_buffered(spec: dict, num_vertices: int):
+    from repro.core.config import HyperPRAWConfig
+    from repro.streaming.restream import BufferedRestreamer
+
+    config = HyperPRAWConfig(
+        max_iterations=spec["max_iterations"],
+        record_history=False,
+        shard_payload=spec["shard_payload"],
+        shard_by=spec["shard_by"],
+        kernel=spec["kernel"],
+    )
+    buffer_size = spec["buffer_size"] or max(
+        1, int(round(spec["buffer_fraction"] * num_vertices))
+    )
+    return BufferedRestreamer(
+        config,
+        buffer_size=buffer_size,
+        max_tracked_edges=spec["max_tracked_edges"],
+        workers=spec["workers"],
+    )
+
+
+def _build_hype(spec: dict, num_vertices: int):
+    return NeighborhoodExpansion(
+        kernel=spec["kernel"],
+        workers=spec["workers"],
+        max_tracked_edges=spec["max_tracked_edges"],
+    )
+
+
+def _build_minmax(spec: dict, num_vertices: int):
+    return MinMaxStreamer(
+        kernel=spec["kernel"],
+        workers=spec["workers"],
+        max_tracked_edges=spec["max_tracked_edges"],
+        buffer_size=spec["buffer_size"],
+    )
+
+
+def _make_onepass(hg, workers: int = 1):
+    from repro.streaming.onepass import OnePassStreamer
+
+    return OnePassStreamer(chunk_size=32, workers=workers)
+
+
+def _make_buffered(hg, workers: int = 1):
+    from repro.streaming.restream import BufferedRestreamer
+
+    return BufferedRestreamer(
+        _invariant_config(),
+        buffer_size=max(1, hg.num_vertices // 4),
+        workers=workers,
+    )
+
+
+def _make_sharded(hg, workers: int = 1):
+    from repro.streaming.restream import BufferedRestreamer
+    from repro.streaming.sharded import ShardedStreamer
+
+    return ShardedStreamer(
+        BufferedRestreamer(
+            _invariant_config(), buffer_size=max(1, hg.num_vertices // 4)
+        ),
+        workers=workers,
+        chunk_size=32,
+    )
+
+
+def _make_hype(hg, workers: int = 1):
+    return NeighborhoodExpansion(chunk_size=32, workers=workers)
+
+
+def _make_minmax(hg, workers: int = 1):
+    return MinMaxStreamer(chunk_size=32, workers=workers)
+
+
+#: The partitioner registry: ``partitioner=`` knob -> family.  Order is
+#: presentation order (docs, OpenAPI enum, CLI help).
+PARTITIONERS: "dict[str, FamilySpec]" = {
+    spec.name: spec
+    for spec in (
+        FamilySpec(
+            name="onepass",
+            summary=(
+                "single-pass Eq. 1 / FENNEL streaming placement over the "
+                "capped-LRU presence table"
+            ),
+            build=_build_onepass,
+            make=_make_onepass,
+            imbalance_bound=1.2,
+            sharded_imbalance_bound=1.25,
+        ),
+        FamilySpec(
+            name="buffered",
+            summary=(
+                "windowed HyperPRAW restreaming (BufferedRestreamer) — "
+                "exact HyperPRAW at unbounded buffer"
+            ),
+            build=_build_buffered,
+            make=_make_buffered,
+            imbalance_bound=1.1,
+            sharded_imbalance_bound=1.25,
+        ),
+        FamilySpec(
+            name="sharded",
+            summary=(
+                "the buffered restreamer fanned out over forked workers "
+                "with boundary-only merges"
+            ),
+            build=_build_buffered,
+            make=_make_sharded,
+            imbalance_bound=1.25,
+            sharded_imbalance_bound=1.25,
+        ),
+        FamilySpec(
+            name="hype",
+            summary=(
+                "HYPE-style neighbourhood expansion: fringe-ordered "
+                "external-neighbour minimisation under a hard cap"
+            ),
+            build=_build_hype,
+            make=_make_hype,
+            imbalance_bound=1.1,
+            sharded_imbalance_bound=1.1,
+        ),
+        FamilySpec(
+            name="minmax",
+            summary=(
+                "limited-memory min-max connectivity streaming "
+                "(similarity-ordered buffered variant via buffer_size)"
+            ),
+            build=_build_minmax,
+            make=_make_minmax,
+            imbalance_bound=1.15,
+            sharded_imbalance_bound=1.15,
+        ),
+    )
+}
+
+
+def family_names() -> "tuple[str, ...]":
+    """Registered ``partitioner=`` choices, in presentation order."""
+    return tuple(PARTITIONERS)
+
+
+def get_family(name: str) -> FamilySpec:
+    """Look up a registered family; raise ``ValueError`` on unknowns."""
+    try:
+        return PARTITIONERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; registered: {family_names()}"
+        ) from None
+
+
+def build_partitioner(spec: dict, num_vertices: int) -> Partitioner:
+    """Instantiate the requested family from a validated service spec.
+
+    When the spec carries ``refine`` truthy, the built partitioner is
+    wrapped in :class:`PolishedStreamer` — the polish is attachable to
+    *any* registered family.
+    """
+    partitioner = get_family(spec["partitioner"]).build(spec, num_vertices)
+    if spec.get("refine"):
+        partitioner = PolishedStreamer(
+            partitioner,
+            refine=RefineConfig(
+                passes=spec.get("refine_passes", 4),
+                workers=spec.get("workers", 1),
+            ),
+        )
+    return partitioner

@@ -36,7 +36,6 @@ import numpy as np
 from repro.architecture.bandwidth import archer_like_bandwidth
 from repro.architecture.cost import cost_matrix_from_bandwidth
 from repro.architecture.topology import archer_like_topology
-from repro.core.config import HyperPRAWConfig
 from repro.hypergraph.io import HypergraphFormatError
 from repro.service.admission import AdmissionControl, keys_from_env
 from repro.service.errors import (
@@ -65,8 +64,7 @@ from repro.streaming.reader import (
     stream_hmetis,
     stream_matrix_market,
 )
-from repro.streaming.onepass import OnePassStreamer
-from repro.streaming.restream import BufferedRestreamer
+from repro.partitioning.families import build_partitioner, family_names
 
 __all__ = [
     "ServiceConfig",
@@ -82,10 +80,10 @@ UPLOAD_FORMATS = {
     "mtx": stream_matrix_market,
 }
 
-#: Registered partitioners (the ``partitioner=`` request knob).
-#: ``sharded`` is the buffered restreamer fanned out across forked
-#: workers (``workers`` >= 2, see ShardedStreamer).
-PARTITIONERS = ("onepass", "buffered", "sharded")
+#: Registered partitioners (the ``partitioner=`` request knob), taken
+#: from the :data:`repro.partitioning.families.PARTITIONERS` registry —
+#: registering a family there makes it servable with no service change.
+PARTITIONERS = family_names()
 
 #: Query parameters that shape an upload's ingest.
 _UPLOAD_PARAMS = frozenset(
@@ -107,6 +105,8 @@ _PARTITION_PARAMS = _UPLOAD_PARAMS | frozenset(
         "buffer_size",
         "max_tracked_edges",
         "max_iterations",
+        "refine",
+        "refine_passes",
         "seed",
         "cost",
         "sync",
@@ -663,6 +663,8 @@ class ServiceHandlers:
                 "buffer_size",
                 "max_tracked_edges",
                 "max_iterations",
+                "refine",
+                "refine_passes",
                 "seed",
                 "cost",
             )
@@ -793,7 +795,11 @@ class ServiceHandlers:
     # ------------------------------------------------------------------
     def _partition_spec(self, params: dict) -> dict:
         """Validate the partitioning knobs (400 on any bad value)."""
-        partitioner = _get_choice(params, "partitioner", PARTITIONERS, "onepass")
+        # family_names() is read per request, not snapshotted at import:
+        # a family registered at runtime is immediately servable.
+        partitioner = _get_choice(
+            params, "partitioner", family_names(), "onepass"
+        )
         scorer = _get_choice(params, "scorer", ("eq1", "fennel"), "eq1")
         if scorer == "fennel" and partitioner != "onepass":
             raise BadRequest(
@@ -834,6 +840,8 @@ class ServiceHandlers:
                 params, "max_tracked_edges", None, minimum=1
             ),
             "max_iterations": _get_int(params, "max_iterations", 20, minimum=1),
+            "refine": _get_bool(params, "refine"),
+            "refine_passes": _get_int(params, "refine_passes", 4, minimum=1),
             "seed": _get_int(params, "seed", 20190805),
             "cost": _get_choice(params, "cost", ("uniform", "archer"), "uniform"),
             "sync": _get_bool(params, "sync"),
@@ -844,33 +852,13 @@ class ServiceHandlers:
         return spec
 
     def build_partitioner(self, spec: dict, num_vertices: int):
-        """Instantiate the requested partitioner for an instance size."""
-        if spec["partitioner"] == "onepass":
-            return OnePassStreamer(
-                scorer=spec["scorer"],
-                gamma=spec["gamma"],
-                kernel=spec["kernel"],
-                workers=spec["workers"],
-                shard_payload=spec["shard_payload"],
-                shard_by=spec["shard_by"],
-                max_tracked_edges=spec["max_tracked_edges"],
-            )
-        config = HyperPRAWConfig(
-            max_iterations=spec["max_iterations"],
-            record_history=False,
-            shard_payload=spec["shard_payload"],
-            shard_by=spec["shard_by"],
-            kernel=spec["kernel"],
-        )
-        buffer_size = spec["buffer_size"] or max(
-            1, int(round(spec["buffer_fraction"] * num_vertices))
-        )
-        return BufferedRestreamer(
-            config,
-            buffer_size=buffer_size,
-            max_tracked_edges=spec["max_tracked_edges"],
-            workers=spec["workers"],
-        )
+        """Instantiate the requested partitioner for an instance size.
+
+        Delegates to the :data:`repro.partitioning.families.PARTITIONERS`
+        registry (which also wraps the FM polish when ``refine`` is set),
+        so the service construction path and the library's are one.
+        """
+        return build_partitioner(spec, num_vertices)
 
     def _job_fn(self, digest: str, spec: dict):
         """The deferred partition body: replay the store, run, report.

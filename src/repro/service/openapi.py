@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import copy
 
+from repro.partitioning.families import family_names
+
 __all__ = ["openapi_spec", "OPENAPI_VERSION", "SERVICE_VERSION"]
 
 OPENAPI_VERSION = "3.0.3"
@@ -23,7 +25,7 @@ OPENAPI_VERSION = "3.0.3"
 #: The service's own version: reported in the spec's ``info.version``
 #: and by ``GET /v1/healthz``.  Single-sourced here; a test pins it to
 #: the ``version=`` in setup.py so a one-sided bump fails CI.
-SERVICE_VERSION = "0.7.0"
+SERVICE_VERSION = "0.8.0"
 
 _ERROR_SCHEMA = {
     "type": "object",
@@ -236,10 +238,12 @@ _PARTITION_PARAMETERS = [
         "partitioner",
         {
             "type": "string",
-            "enum": ["onepass", "buffered", "sharded"],
+            "enum": list(family_names()),
             "default": "onepass",
         },
-        "registered streaming partitioner",
+        "registered streaming partitioner (the "
+        "repro.partitioning.families registry: onepass, buffered, "
+        "sharded, hype, minmax)",
     ),
     _q(
         "scorer",
@@ -298,6 +302,17 @@ _PARTITION_PARAMETERS = [
         "max_iterations",
         {"type": "integer", "default": 20, "minimum": 1},
         "restreaming pass cap per window",
+    ),
+    _q(
+        "refine",
+        {"type": "string", "enum": ["1", "0"], "default": "0"},
+        "polish the result with FM-style boundary refinement "
+        "(attachable to any partitioner; reported as refine_* metrics)",
+    ),
+    _q(
+        "refine_passes",
+        {"type": "integer", "default": 4, "minimum": 1},
+        "maximum refinement propose/apply rounds (refine=1)",
     ),
     _q("seed", {"type": "integer", "default": 20190805}, "deterministic seed"),
     _q(
@@ -578,6 +593,13 @@ def openapi_spec() -> dict:
     dict
         the full OpenAPI 3.0 spec; a fresh copy each call, so callers
         (including the route handler serialising it) can never mutate
-        the contract.
+        the contract.  The ``partitioner`` enum is re-read from the
+        live :data:`repro.partitioning.families.PARTITIONERS` registry
+        on every call, so a family registered at runtime shows up in
+        the served contract immediately.
     """
-    return copy.deepcopy(_SPEC)
+    spec = copy.deepcopy(_SPEC)
+    for param in spec["paths"]["/v1/partitions"]["post"]["parameters"]:
+        if param["name"] == "partitioner":
+            param["schema"]["enum"] = list(family_names())
+    return spec

@@ -1,9 +1,10 @@
-"""Property/invariant suite pinning sharded streaming v2.
+"""Property/invariant suite pinning the partitioner registry.
 
-Randomised hypergraphs (three generator families, seeded) x all five
-partitioner families (HyperPRAW, OnePass, Buffered, Fennel, Sharded) x
-worker counts {1, 2, 4}, asserting the invariants every refactor of the
-parallel layer must preserve:
+Randomised hypergraphs (three generator families, seeded) x **every
+family registered in** :data:`repro.partitioning.families.PARTITIONERS`
+(plus the non-registry baselines HyperPRAW and Fennel, and the FM-polished
+wrapper) x worker counts {1, 2, 4}, asserting the invariants every
+refactor of the engine or parallel layer must preserve:
 
 (a) every vertex lands in a valid part;
 (b) the partitioner's balance guarantee holds (hard cap for the
@@ -13,6 +14,11 @@ parallel layer must preserve:
 (d) sharded merges with boundary-only payloads equal merges with
     full-table payloads, assignment for assignment — shipping less must
     never change the result.
+
+The matrix is *introspected* from the registry, not hand-listed: a newly
+registered family is exercised automatically, and
+``TestRegistryCompleteness`` fails if a registered name somehow dodges
+the matrix or the service/OpenAPI surface drifts from the registry.
 
 Plus the golden-hash regression extension: sharded-v2 ``workers=1``
 stays assignment-identical to the unsharded partitioner for both the
@@ -37,6 +43,12 @@ from repro.hypergraph.generators import (
     random_uniform_hypergraph,
 )
 from repro.hypergraph.io import write_hmetis
+from repro.partitioning.families import (
+    PARTITIONERS as FAMILY_REGISTRY,
+    PolishedStreamer,
+    RefineConfig,
+    family_names,
+)
 from repro.partitioning.fennel import FennelStreaming
 from repro.streaming import (
     BufferedRestreamer,
@@ -78,25 +90,34 @@ def _cfg():
 
 
 def _partitioners(hg):
-    """name -> (factory, hard_imbalance_bound) for all five families."""
-    buffer = max(1, hg.num_vertices // 4)
+    """name -> (factory, hard_imbalance_bound): the whole registry at
+    every worker count, plus the non-registry baselines.
+
+    Each :class:`~repro.partitioning.families.FamilySpec` carries its own
+    default-configuration factory (``make``) and hard imbalance bound
+    (``bound``), so registering a new family automatically enrolls it
+    here — ``TestRegistryCompleteness`` pins that property.
+    """
     entries = {
         "hyperpraw": (lambda: HyperPRAW(_cfg()), 1.1),
-        "onepass": (lambda: OnePassStreamer(chunk_size=32), 1.2),
-        "buffered": (
-            lambda: BufferedRestreamer(_cfg(), buffer_size=buffer),
-            1.1,
-        ),
         "fennel": (lambda: FennelStreaming(), 1.2),
     }
+    for name, spec in FAMILY_REGISTRY.items():
+        for w in WORKER_COUNTS:
+            entries[f"{name}-w{w}"] = (
+                lambda spec=spec, w=w: spec.make(hg, w),
+                spec.bound(w),
+            )
+    # The FM polish is attachable to any family; pin it on the onepass
+    # base at every refine worker count.  The polish may not worsen the
+    # base's balance guarantee (moves are cap-checked live).
+    onepass = FAMILY_REGISTRY["onepass"]
     for w in WORKER_COUNTS:
-        entries[f"sharded-w{w}"] = (
-            lambda w=w: ShardedStreamer(
-                BufferedRestreamer(_cfg(), buffer_size=buffer),
-                workers=w,
-                chunk_size=32,
+        entries[f"onepass+fm-w{w}"] = (
+            lambda w=w: PolishedStreamer(
+                onepass.make(hg, 1), refine=RefineConfig(workers=w)
             ),
-            1.25,
+            onepass.bound(1),
         )
     return entries
 
@@ -133,6 +154,62 @@ class TestCoreInvariants:
             if w > 1:  # w=1 runs the plain unsharded streamer
                 assert runs[0].metadata["workers"] == w
             assert _digest(runs[0].assignment) == _digest(runs[1].assignment)
+
+    def test_forked_equals_sequential_every_family(self, monkeypatch):
+        """Worker fan-out may never change the answer: for every
+        registered family, workers=2 with fork available is bit-identical
+        to the same run with fork forced off (sequential fallback)."""
+        import repro.engine.parallel as parallel
+
+        hg = _instance("uniform")
+        for name, spec in FAMILY_REGISTRY.items():
+            forked = spec.make(hg, 2).partition(hg, P, seed=7)
+            with monkeypatch.context() as m:
+                m.setattr(parallel, "fork_available", lambda: False)
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    sequential = spec.make(hg, 2).partition(hg, P, seed=7)
+            assert sequential.metadata.get("parallel_mode", "sequential") == (
+                "sequential"
+            ), name
+            assert np.array_equal(forked.assignment, sequential.assignment), name
+
+
+class TestRegistryCompleteness:
+    """A registered family cannot dodge the invariants, and the service
+    surface cannot drift from the registry."""
+
+    def test_every_registered_family_in_matrix(self):
+        hg = _instance("uniform")
+        matrix = set(_partitioners(hg))
+        missing = [
+            name
+            for name in family_names()
+            if not all(f"{name}-w{w}" in matrix for w in WORKER_COUNTS)
+        ]
+        assert not missing, (
+            f"registered families missing from the invariant matrix: "
+            f"{missing} — _partitioners() must enroll every "
+            f"PARTITIONERS entry at all of {WORKER_COUNTS}"
+        )
+
+    def test_registry_specs_are_complete(self):
+        for name, spec in FAMILY_REGISTRY.items():
+            assert spec.name == name
+            assert spec.summary
+            assert callable(spec.build) and callable(spec.make)
+            assert 1.0 < spec.bound(1) <= spec.bound(2) + 1e-12, name
+
+    def test_service_tracks_registry(self):
+        from repro.service.handlers import PARTITIONERS as SERVICE_NAMES
+        from repro.service.openapi import openapi_spec
+
+        assert tuple(SERVICE_NAMES) == family_names()
+        params = openapi_spec()["paths"]["/v1/partitions"]["post"]["parameters"]
+        enum = next(
+            p for p in params if p["name"] == "partitioner"
+        )["schema"]["enum"]
+        assert tuple(enum) == family_names()
 
 
 class TestPayloadEquivalence:

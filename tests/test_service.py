@@ -442,6 +442,86 @@ class TestMemoryBound:
 
 
 # ----------------------------------------------------------------------
+# the partitioner-family registry is the single service surface
+# ----------------------------------------------------------------------
+class TestFamilyRegistry:
+    """Registering a family makes it servable — no service change."""
+
+    def test_every_registered_family_servable(self, service, tiny_hgr):
+        from repro.partitioning.families import family_names
+
+        for name in family_names():
+            status, job = _request(
+                f"{service.url}/v1/partitions?k=2&sync=1"
+                f"&partitioner={name}&chunk_size=2&max_iterations=5",
+                data=tiny_hgr,
+            )
+            assert status == 200, (name, job)
+            assert job["status"] == "done", (name, job.get("error"))
+            assert job["request"]["partitioner"] == name
+            lines = _assignment_lines(service, job)
+            assert len(lines) == 6 and set(lines) <= {"0", "1"}, name
+
+    def test_refine_knob_polishes_any_family(self, service, tiny_hgr):
+        status, job = _request(
+            f"{service.url}/v1/partitions?k=2&sync=1&partitioner=minmax"
+            "&chunk_size=2&refine=1&refine_passes=2",
+            data=tiny_hgr,
+        )
+        assert status == 200
+        assert job["status"] == "done", job.get("error")
+        assert job["metrics"]["algorithm"].endswith("+fm")
+        assert job["request"]["refine"] is True
+        assert job["request"]["refine_passes"] == 2
+
+    def test_openapi_enum_matches_registry(self, service):
+        from repro.partitioning.families import family_names
+
+        status, spec = _request(f"{service.url}/v1/openapi.json")
+        assert status == 200
+        params = spec["paths"]["/v1/partitions"]["post"]["parameters"]
+        enum = next(p for p in params if p["name"] == "partitioner")[
+            "schema"
+        ]["enum"]
+        assert tuple(enum) == family_names()
+
+    def test_dynamic_family_immediately_servable(
+        self, tmp_path, tiny_hgr, monkeypatch
+    ):
+        """A family registered at runtime is servable on the next
+        request and appears in the served OpenAPI enum — the validation
+        and the spec both read the live registry, never a snapshot."""
+        import dataclasses
+
+        from repro.partitioning import families as fam
+
+        toy = dataclasses.replace(fam.PARTITIONERS["onepass"], name="toy")
+        monkeypatch.setitem(fam.PARTITIONERS, "toy", toy)
+        # thread pool: jobs must see the monkeypatched registry
+        svc = PartitionService(
+            ServiceConfig(
+                port=0, workers=1, pool="thread", cache_dir=tmp_path / "dyn"
+            )
+        )
+        with svc:
+            status, spec = _request(f"{svc.url}/v1/openapi.json")
+            params = spec["paths"]["/v1/partitions"]["post"]["parameters"]
+            enum = next(p for p in params if p["name"] == "partitioner")[
+                "schema"
+            ]["enum"]
+            assert "toy" in enum
+            status, job = _request(
+                f"{svc.url}/v1/partitions?k=2&sync=1&partitioner=toy",
+                data=tiny_hgr,
+            )
+            assert status == 200
+            assert job["status"] == "done", job.get("error")
+            assert job["request"]["partitioner"] == "toy"
+            lines = _assignment_lines(svc, job)
+            assert len(lines) == 6 and set(lines) <= {"0", "1"}
+
+
+# ----------------------------------------------------------------------
 # meta endpoints
 # ----------------------------------------------------------------------
 class TestMetaEndpoints:
